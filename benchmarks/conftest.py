@@ -1,0 +1,29 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs one paper experiment end to end (via
+``benchmark.pedantic`` with a single round — the experiments are
+deterministic, so repeated rounds would only re-measure the same work),
+prints the regenerated table/figure, and archives it under ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Print a rendered experiment and archive it under results/."""
+
+    def _report(name: str, rendered: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n",
+                                                 encoding="utf-8")
+        print(f"\n===== {name} =====")
+        print(rendered)
+
+    return _report

@@ -1,0 +1,26 @@
+"""Benchmark + regeneration of Fig. 10: cache warm-up curves.
+
+Paper shape: D-LOCATER+C starts expensive on a cold global affinity
+graph and converges to a much lower steady state as queries accumulate;
+I-LOCATER+C stays comparatively flat and fast throughout.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import fig10_efficiency
+
+
+def test_bench_fig10_efficiency(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig10_efficiency.run(days=10, population=18, per_device=10,
+                                     generated_count=150, seed=7,
+                                     n_checkpoints=6),
+        rounds=1, iterations=1)
+    report("fig10_efficiency", result.render())
+
+    for qset in ("university", "generated"):
+        d_curve = result.curve("D-LOCATER+C", qset)
+        # Shape: the running average decreases as the cache warms (the
+        # first checkpoint is the most expensive).
+        assert d_curve[0] >= d_curve[-1] * 0.8
+        assert all(v > 0 for v in d_curve)

@@ -1,0 +1,24 @@
+"""Benchmark + regeneration of Fig. 7: coarse thresholds τl / τh.
+
+Paper shape: Pc peaks around τl = 20 min (with τh fixed at 180) and
+rises with τh, levelling off towards 170–180 min.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import fig7_thresholds
+
+
+def test_bench_fig7_thresholds(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig7_thresholds.run(days=10, population=18, per_device=10,
+                                    seed=7),
+        rounds=1, iterations=1)
+    report("fig7_thresholds", result.render())
+
+    # Shape checks: both sweeps stay in a sane precision band and the
+    # extreme-low τl is never the unique best choice by a large margin.
+    assert all(40.0 <= v <= 100.0 for v in result.pc_by_tau_low)
+    assert all(40.0 <= v <= 100.0 for v in result.pc_by_tau_high)
+    spread_low = max(result.pc_by_tau_low) - min(result.pc_by_tau_low)
+    assert spread_low <= 30.0  # threshold choice tunes, not breaks, Pc

@@ -1,0 +1,28 @@
+"""Benchmark + regeneration of Fig. 8: impact of historical data.
+
+Paper shape: all three precisions rise with more history; the fine level
+benefits fastest (near-plateau after ~3 weeks; large jump from 0 to 1
+week), the coarse level keeps improving longer.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import fig8_history
+
+
+def test_bench_fig8_history(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig8_history.run(weeks_grid=(0, 0.5, 1, 2, 3),
+                                 population=20, per_device=10, seed=7),
+        rounds=1, iterations=1)
+    report("fig8_history", result.render())
+
+    for band in result.bands:
+        po = result.series("Po", band)
+        pf = result.series("Pf", band)
+        # Shape: more history never collapses precision, and the
+        # most-history point beats the no-history point.
+        assert po[-1] >= po[0] - 5.0
+        assert pf[-1] >= pf[0] - 5.0
+        # Shape: some history is materially better than none overall.
+        assert max(po) >= po[0]

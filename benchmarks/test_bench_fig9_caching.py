@@ -1,0 +1,23 @@
+"""Benchmark + regeneration of Fig. 9: caching's precision cost.
+
+Paper shape: the +C (cached) variants lose at most ~5-10% overall
+precision versus their exact counterparts.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import fig9_caching
+
+
+def test_bench_fig9_caching(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig9_caching.run(days=10, population=18, per_device=12,
+                                 seed=7),
+        rounds=1, iterations=1)
+    report("fig9_caching", result.render())
+
+    # Shape: caching costs bounded precision (paper: 5-10%).
+    assert result.loss("I-LOCATER", "I-LOCATER+C") <= 12.0
+    assert result.loss("D-LOCATER", "D-LOCATER+C") <= 12.0
+    for value in result.po.values():
+        assert 30.0 <= value <= 100.0

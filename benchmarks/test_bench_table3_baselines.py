@@ -1,0 +1,41 @@
+"""Benchmark + regeneration of Table 3: precision per user group.
+
+Paper shape: LOCATER ≫ Baseline1 in every band; LOCATER ≥ Baseline2 in
+every band except (possibly) the most predictable one, where picking the
+metadata office is already near-optimal; D-LOCATER ≥ I-LOCATER; LOCATER's
+precision rises with predictability.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import table3_baselines
+
+
+def test_bench_table3_baselines(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: table3_baselines.run(days=12, population=28, per_device=12,
+                                     seed=7),
+        rounds=1, iterations=1)
+    report("table3_baselines", result.render())
+
+    populated = [band for band in result.bands
+                 if result.band_sizes.get(band, 0) > 0]
+    assert len(populated) >= 3, "population must span the paper's bands"
+
+    for band in populated:
+        b1 = result.triple("Baseline1", band)[2]
+        d = result.triple("D-LOCATER", band)[2]
+        assert d > b1, f"D-LOCATER must beat Baseline1 in {band}"
+
+    # LOCATER beats Baseline2 in the lower-predictability bands.
+    lower = [band for band in populated if band[0] < 70]
+    wins = sum(result.triple("D-LOCATER", band)[2]
+               >= result.triple("Baseline2", band)[2] for band in lower)
+    assert wins >= max(1, len(lower) - 1)
+
+    # D >= I overall.
+    total_d = sum(result.triple("D-LOCATER", band)[2]
+                  for band in populated)
+    total_i = sum(result.triple("I-LOCATER", band)[2]
+                  for band in populated)
+    assert total_d >= total_i - 3.0

@@ -1,0 +1,37 @@
+"""Benchmark + regeneration of Table 4: simulated scenarios per profile.
+
+Paper shape: coarse precision stays high everywhere (≥ ~80%); fine
+precision is high for predictable profiles (staff/employees) and low for
+transients (passengers, random customers); LOCATER's margin over
+Baseline2 shrinks for very unpredictable profiles.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import table4_scenarios
+
+
+def test_bench_table4_scenarios(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: table4_scenarios.run(days=8, per_device=8, seed=11,
+                                     population_scale=0.5),
+        rounds=1, iterations=1)
+    report("table4_scenarios", result.render())
+
+    for scenario in result.scenarios:
+        pcs = [result.triple(scenario, profile)[0]
+               for profile in result.profiles[scenario]]
+        # Shape: coarse localization robust across environments.
+        assert sum(pcs) / len(pcs) >= 70.0
+
+    # Shape: within the airport, staff-like profiles beat passengers on
+    # fine precision.
+    if "airport" in result.scenarios:
+        profiles = result.profiles["airport"]
+        passenger = [p for p in profiles if p == "passenger"]
+        staffish = [p for p in profiles if p != "passenger"]
+        if passenger and staffish:
+            pf_passenger = result.triple("airport", passenger[0])[1]
+            pf_staff = max(result.triple("airport", p)[1]
+                           for p in staffish)
+            assert pf_staff >= pf_passenger

@@ -1,0 +1,62 @@
+"""Airport passenger-flow analysis on a simulated terminal (paper §6.3).
+
+Run with::
+
+    python examples/airport_flow.py
+
+Simulates the paper's Santa Ana-style airport scenario (TSA staff,
+airline representatives, store/restaurant staff, passengers attending
+security checks, dining, boarding and shopping events), cleans the
+connectivity log with LOCATER, and reports how well room-level cleaning
+works per profile — the same per-profile breakdown as the paper's
+Table 4 airport block.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro import Locater, LocaterConfig, ScenarioSpec, Simulator
+from repro.eval.metrics import PrecisionCounts
+from repro.eval.queries import labeled_query_set
+from repro.eval.runner import evaluate, pooled_counts
+
+
+def main() -> None:
+    dataset = Simulator(
+        ScenarioSpec.airport(seed=3, population=50)).run(days=6)
+    print(f"terminal : {dataset.building}")
+    print(f"dataset  : {dataset.event_count()} events, "
+          f"{len(dataset.macs())} devices\n")
+
+    locater = Locater(dataset.building, dataset.metadata, dataset.table,
+                      config=LocaterConfig())
+    queries = labeled_query_set(dataset, per_device=8, seed=3)
+    outcome = evaluate(locater, dataset, queries)
+
+    # Group devices by profile, as in Table 4.
+    by_profile: dict[str, list[str]] = defaultdict(list)
+    for person in dataset.people:
+        by_profile[person.profile.name].append(person.mac)
+
+    print(f"{'profile':<24} {'Pc':>6} {'Pf':>6} {'Po':>6}  devices")
+    print("-" * 56)
+    for profile, macs in sorted(by_profile.items()):
+        counts: PrecisionCounts = pooled_counts(outcome, macs)
+        print(f"{profile:<24} {100 * counts.coarse_precision:>5.0f}% "
+              f"{100 * counts.fine_precision:>5.0f}% "
+              f"{100 * counts.overall_precision:>5.0f}%  {len(macs)}")
+
+    total = outcome.counts
+    print("-" * 56)
+    print(f"{'all profiles':<24} {100 * total.coarse_precision:>5.0f}% "
+          f"{100 * total.fine_precision:>5.0f}% "
+          f"{100 * total.overall_precision:>5.0f}%  "
+          f"{len(dataset.macs())}")
+    print("\nExpected shape (paper Table 4): staff-like profiles clean far"
+          "\nbetter at room level than transient passengers, while coarse"
+          "\nprecision stays high for everyone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` in
+offline environments that lack the ``wheel`` package (PEP 660 editable
+installs require it; ``setup.py develop`` does not).  All real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,138 @@
+"""LOCATER reproduction: cleaning WiFi connectivity data for semantic localization.
+
+A full reimplementation of the VLDB 2020 LOCATER system (Lin et al.):
+coarse-grained localization as missing-value repair over connectivity
+gaps, fine-grained room disambiguation via room/device/group affinities,
+an affinity-graph caching engine, baselines, a SmartBench-style synthetic
+data generator, and the paper's complete evaluation harness.
+
+Typical use::
+
+    from repro import ScenarioSpec, Simulator, Locater
+
+    scenario = ScenarioSpec.dbh_like(seed=7)
+    dataset = Simulator(scenario).run(days=14)
+    locater = Locater(dataset.building, dataset.metadata, dataset.table)
+    answer = locater.locate(dataset.macs()[0], timestamp=dataset.span.end - 3600)
+    print(answer.location_label)
+"""
+
+from repro.cache import CachingEngine, GlobalAffinityGraph, LocalAffinityGraph
+from repro.coarse import (
+    BootstrapLabeler,
+    CoarseLocalizer,
+    CoarseResult,
+    SelfTrainingClassifier,
+)
+from repro.errors import (
+    ConfigurationError,
+    LocalizationError,
+    ReproError,
+    SimulationError,
+    SpaceModelError,
+    StorageError,
+    TrainingError,
+)
+from repro.events import (
+    ConnectivityEvent,
+    DeltaEstimator,
+    Device,
+    EventTable,
+    Gap,
+    extract_gaps,
+    find_gap_at,
+)
+from repro.fine import (
+    DeviceAffinityIndex,
+    FineLocalizer,
+    FineMode,
+    FineResult,
+    GroupAffinityModel,
+    RoomAffinityModel,
+    RoomAffinityWeights,
+)
+from repro.sim import Dataset, PersonProfile, ScenarioSpec, Simulator
+from repro.space import (
+    AccessPoint,
+    Building,
+    BuildingBuilder,
+    Region,
+    Room,
+    RoomType,
+    SpaceMetadata,
+    airport_blueprint,
+    dbh_blueprint,
+    mall_blueprint,
+    office_blueprint,
+    university_blueprint,
+)
+from repro.system import (
+    Baseline1,
+    Baseline2,
+    IngestionEngine,
+    InMemoryStorage,
+    Locater,
+    LocaterConfig,
+    LocationAnswer,
+    LocationQuery,
+    SqliteStorage,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPoint",
+    "Baseline1",
+    "Baseline2",
+    "BootstrapLabeler",
+    "Building",
+    "BuildingBuilder",
+    "CachingEngine",
+    "CoarseLocalizer",
+    "CoarseResult",
+    "ConfigurationError",
+    "ConnectivityEvent",
+    "Dataset",
+    "DeltaEstimator",
+    "Device",
+    "DeviceAffinityIndex",
+    "EventTable",
+    "FineLocalizer",
+    "FineMode",
+    "FineResult",
+    "Gap",
+    "GlobalAffinityGraph",
+    "GroupAffinityModel",
+    "IngestionEngine",
+    "InMemoryStorage",
+    "LocalAffinityGraph",
+    "LocalizationError",
+    "Locater",
+    "LocaterConfig",
+    "LocationAnswer",
+    "LocationQuery",
+    "PersonProfile",
+    "Region",
+    "ReproError",
+    "Room",
+    "RoomAffinityModel",
+    "RoomAffinityWeights",
+    "RoomType",
+    "ScenarioSpec",
+    "SelfTrainingClassifier",
+    "SimulationError",
+    "Simulator",
+    "SpaceMetadata",
+    "SpaceModelError",
+    "SqliteStorage",
+    "StorageError",
+    "TrainingError",
+    "airport_blueprint",
+    "dbh_blueprint",
+    "extract_gaps",
+    "find_gap_at",
+    "mall_blueprint",
+    "office_blueprint",
+    "university_blueprint",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Application-level analytics over cleaned locations.
+
+The paper motivates LOCATER with three downstream workloads (§1):
+occupancy for HVAC control, space-usage analysis, and COVID-style contact
+tracing.  This package provides library-grade implementations of those
+workloads on top of the :class:`~repro.system.locater.Locater` query
+interface: occupancy time series, cleaned trajectory reconstruction, and
+room-level co-location (exposure) analysis.
+"""
+
+from repro.analytics.occupancy import OccupancySeries, occupancy_series
+from repro.analytics.trajectory import CleanedTrajectory, reconstruct_trajectory
+from repro.analytics.colocation import Exposure, exposure_report
+
+__all__ = [
+    "CleanedTrajectory",
+    "Exposure",
+    "OccupancySeries",
+    "exposure_report",
+    "occupancy_series",
+    "reconstruct_trajectory",
+]

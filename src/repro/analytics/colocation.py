@@ -1,0 +1,67 @@
+"""Room-level co-location / exposure analysis (contact-tracing workload, §1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analytics.trajectory import reconstruct_trajectory
+from repro.system.locater import Locater
+from repro.util.timeutil import TimeInterval
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class Exposure:
+    """Shared-room time between the index device and one contact.
+
+    Attributes:
+        mac: The contact device.
+        shared_seconds: Total seconds both cleaned trajectories agree on
+            the same room.
+        rooms: Rooms in which the contact occurred.
+    """
+
+    mac: str
+    shared_seconds: float
+    rooms: tuple[str, ...]
+
+
+def exposure_report(locater: Locater, index_mac: str,
+                    candidates: Sequence[str], window: TimeInterval,
+                    step: float = 1800.0,
+                    min_shared_seconds: float = 0.0) -> list[Exposure]:
+    """Find devices co-located (same cleaned room) with ``index_mac``.
+
+    Both the index device and every candidate are sampled on the same
+    grid; a slot counts as exposure when both are inside and in the same
+    room.  Results are sorted by descending shared time.
+
+    Args:
+        min_shared_seconds: Drop contacts below this total (e.g. require
+            at least 15 minutes of shared-room time).
+    """
+    check_positive("step", step)
+    index_traj = reconstruct_trajectory(locater, index_mac, window, step)
+
+    exposures: list[Exposure] = []
+    for mac in candidates:
+        if mac == index_mac:
+            continue
+        shared = 0.0
+        rooms: list[str] = []
+        cursor = window.start
+        while cursor < window.end:
+            index_loc = index_traj.location_at(cursor)
+            if index_loc is not None and index_loc != "outside":
+                answer = locater.locate(mac, cursor)
+                if answer.inside and answer.room_id == index_loc:
+                    shared += step
+                    if index_loc not in rooms:
+                        rooms.append(index_loc)
+            cursor += step
+        if shared > 0 and shared >= min_shared_seconds:
+            exposures.append(Exposure(mac=mac, shared_seconds=shared,
+                                      rooms=tuple(rooms)))
+    exposures.sort(key=lambda e: (-e.shared_seconds, e.mac))
+    return exposures

@@ -1,0 +1,90 @@
+"""Cleaned trajectory reconstruction (tracking workload, §1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.system.locater import Locater
+from repro.util.timeutil import TimeInterval
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectorySegment:
+    """A maximal run of consecutive samples with the same location."""
+
+    location: str           # room id or "outside"
+    interval: TimeInterval
+    samples: int
+
+    @property
+    def is_inside(self) -> bool:
+        return self.location != "outside"
+
+
+@dataclass(slots=True)
+class CleanedTrajectory:
+    """The cleaned room-level trajectory of one device.
+
+    Attributes:
+        mac: The device.
+        step: Sampling step in seconds.
+        segments: Run-length-encoded location sequence.
+    """
+
+    mac: str
+    step: float
+    segments: list[TrajectorySegment]
+
+    def __iter__(self) -> Iterator[TrajectorySegment]:
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def rooms_visited(self) -> list[str]:
+        """Distinct rooms in visit order (excluding outside runs)."""
+        seen: list[str] = []
+        for segment in self.segments:
+            if segment.is_inside and segment.location not in seen:
+                seen.append(segment.location)
+        return seen
+
+    def time_inside(self) -> float:
+        """Total seconds of in-building runs."""
+        return sum(s.interval.duration for s in self.segments
+                   if s.is_inside)
+
+    def location_at(self, timestamp: float) -> "str | None":
+        """Location of the segment containing ``timestamp``, if any."""
+        for segment in self.segments:
+            if segment.interval.contains(timestamp):
+                return segment.location
+        return None
+
+
+def reconstruct_trajectory(locater: Locater, mac: str,
+                           window: TimeInterval,
+                           step: float = 1800.0) -> CleanedTrajectory:
+    """Sample the device every ``step`` seconds and run-length encode."""
+    check_positive("step", step)
+    samples: list[tuple[float, str]] = []
+    cursor = window.start
+    while cursor < window.end:
+        answer = locater.locate(mac, cursor)
+        samples.append((cursor, answer.location_label))
+        cursor += step
+
+    segments: list[TrajectorySegment] = []
+    run_start = 0
+    for i in range(1, len(samples) + 1):
+        if i == len(samples) or samples[i][1] != samples[run_start][1]:
+            start_t = samples[run_start][0]
+            end_t = samples[i - 1][0] + step
+            segments.append(TrajectorySegment(
+                location=samples[run_start][1],
+                interval=TimeInterval(start_t, min(end_t, window.end)),
+                samples=i - run_start))
+            run_start = i
+    return CleanedTrajectory(mac=mac, step=step, segments=segments)

@@ -1,0 +1,87 @@
+"""The caching engine: wires local/global graphs into query answering."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cache.global_graph import GlobalAffinityGraph
+from repro.cache.local_graph import LocalAffinityGraph
+from repro.fine.neighbors import NeighborDevice
+from repro.util.timeutil import SECONDS_PER_DAY
+
+
+class CachingEngine:
+    """Maintains the global affinity graph across queries (paper §5).
+
+    Usage per query: call :meth:`order_neighbors` before running
+    Algorithm 2 (so high-affinity neighbors are processed first and the
+    early-stop fires sooner), then :meth:`record` with the per-neighbor
+    edge weights the run computed.
+    """
+
+    def __init__(self, sigma: float = SECONDS_PER_DAY,
+                 max_observations_per_edge: int = 64) -> None:
+        self._graph = GlobalAffinityGraph(
+            sigma=sigma, max_observations_per_edge=max_observations_per_edge)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def graph(self) -> GlobalAffinityGraph:
+        """The underlying global affinity graph."""
+        return self._graph
+
+    # ------------------------------------------------------------------
+    def order_neighbors(self, mac: str, neighbors: Sequence[NeighborDevice],
+                        timestamp: float) -> list[NeighborDevice]:
+        """Reorder neighbors by descending cached affinity to ``mac``.
+
+        Counts a *hit* when at least one neighbor has a cached edge (the
+        order is informed), a *miss* otherwise (cold cache, order
+        unchanged).
+        """
+        if not neighbors:
+            return []
+        by_mac = {n.mac: n for n in neighbors}
+        ranked = self._graph.rank(mac, list(by_mac.keys()), timestamp)
+        if all(affinity == 0.0 for _, affinity in ranked):
+            self.misses += 1
+            return list(neighbors)
+        self.hits += 1
+        return [by_mac[other] for other, _ in ranked]
+
+    def neighbor_caps(self, mac: str, neighbors: Sequence[NeighborDevice],
+                      timestamp: float) -> dict[str, float]:
+        """Cached affinity upper bounds per neighbor (for world bounds).
+
+        A cached weight is the *mean* group affinity over the candidate
+        rooms, so the neighbor's total co-location mass is roughly the
+        weight times the candidate count; scale up with margin and clamp.
+        A device cached with near-zero weight gets a tiny cap, which is
+        what lets the early-stop conditions ignore it.
+        """
+        caps: dict[str, float] = {}
+        for neighbor in neighbors:
+            cached = self._graph.affinity_at(mac, neighbor.mac, timestamp)
+            if cached is not None:
+                scaled = cached * 2.0 * max(len(neighbor.candidate_rooms), 1)
+                caps[neighbor.mac] = min(max(scaled, 0.02), 0.5)
+        return caps
+
+    # ------------------------------------------------------------------
+    def record(self, mac: str, timestamp: float,
+               edge_weights: dict[str, float]) -> None:
+        """Persist one query's local affinity graph into the global graph."""
+        local = LocalAffinityGraph(center=mac, timestamp=timestamp)
+        for other, weight in edge_weights.items():
+            local.add_edge(other, weight)
+        self._graph.merge_local(local)
+
+    def stats(self) -> dict[str, int]:
+        """Cache effectiveness counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "edges": self._graph.edge_count,
+            "nodes": self._graph.node_count,
+        }

@@ -1,0 +1,131 @@
+"""The global affinity graph (paper §5, steps 2–3).
+
+Nodes are devices; an edge between two devices stores the *vector* of
+(weight, timestamp) observations accumulated from local affinity graphs.
+Querying the graph at time t_q collapses each vector into one scalar by
+weighting observations with a normalized Gaussian kernel centred at t_q.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.cache.local_graph import LocalAffinityGraph
+from repro.util.stats import gaussian_weights
+from repro.util.timeutil import SECONDS_PER_DAY
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeObservation:
+    """One cached (weight, timestamp) affinity observation."""
+
+    weight: float
+    timestamp: float
+
+
+def _edge_key(mac_a: str, mac_b: str) -> tuple[str, str]:
+    """Canonical undirected edge key."""
+    return (mac_a, mac_b) if mac_a <= mac_b else (mac_b, mac_a)
+
+
+class GlobalAffinityGraph:
+    """Accumulates local affinity graphs across queries.
+
+    Args:
+        sigma: Standard deviation of the temporal Gaussian kernel, in
+            seconds.  The paper uses a normalized normal distribution
+            centred at the query time; observations closer to t_q get
+            higher weight.  Default: one day.
+        max_observations_per_edge: Older observations beyond this cap are
+            dropped FIFO, bounding memory on hot pairs.
+    """
+
+    def __init__(self, sigma: float = SECONDS_PER_DAY,
+                 max_observations_per_edge: int = 64) -> None:
+        check_positive("sigma", sigma)
+        check_positive("max_observations_per_edge", max_observations_per_edge)
+        self.sigma = sigma
+        self.max_observations = int(max_observations_per_edge)
+        self._edges: dict[tuple[str, str], list[EdgeObservation]] = {}
+        self._adjacency: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def merge_local(self, local: LocalAffinityGraph) -> None:
+        """Fold one local graph into the global graph (Ĝg = Gg ∪ Gl)."""
+        for other, weight in local:
+            self.add_observation(local.center, other, weight,
+                                 local.timestamp)
+
+    def add_observation(self, mac_a: str, mac_b: str, weight: float,
+                        timestamp: float) -> None:
+        """Append one (weight, timestamp) pair to an edge vector."""
+        if mac_a == mac_b:
+            raise ValueError("global graph edges must join distinct devices")
+        key = _edge_key(mac_a, mac_b)
+        vector = self._edges.setdefault(key, [])
+        vector.append(EdgeObservation(weight=weight, timestamp=timestamp))
+        if len(vector) > self.max_observations:
+            del vector[: len(vector) - self.max_observations]
+        self._adjacency.setdefault(mac_a, set()).add(mac_b)
+        self._adjacency.setdefault(mac_b, set()).add(mac_a)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def observations(self, mac_a: str, mac_b: str) -> list[EdgeObservation]:
+        """The raw observation vector of an edge (empty if never seen)."""
+        return list(self._edges.get(_edge_key(mac_a, mac_b), ()))
+
+    def affinity_at(self, mac_a: str, mac_b: str,
+                    timestamp: float) -> "float | None":
+        """Time-weighted affinity w(e_ab, t_q), or None if edge unseen.
+
+        w = Σ_j l_j · w_j with l_j the normalized Gaussian kernel of the
+        observation timestamps around t_q (paper §5 step 3).
+        """
+        vector = self._edges.get(_edge_key(mac_a, mac_b))
+        if not vector:
+            return None
+        weights = gaussian_weights(timestamp,
+                                   [obs.timestamp for obs in vector],
+                                   self.sigma)
+        return sum(l * obs.weight for l, obs in zip(weights, vector))
+
+    def neighbors_of(self, mac: str) -> set[str]:
+        """Devices with at least one cached edge to ``mac``."""
+        return set(self._adjacency.get(mac, ()))
+
+    def rank(self, mac: str, candidates: Iterable[str],
+             timestamp: float) -> list[tuple[str, float]]:
+        """Candidates sorted by descending cached affinity to ``mac``.
+
+        Unseen candidates rank last with affinity 0 (a device that "just
+        appeared in the dataset" provides the least information).  Ties
+        break by MAC for determinism.
+        """
+        scored: list[tuple[str, float]] = []
+        for other in candidates:
+            affinity = self.affinity_at(mac, other, timestamp)
+            scored.append((other, affinity if affinity is not None else 0.0))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored
+
+    # ------------------------------------------------------------------
+    @property
+    def edge_count(self) -> int:
+        """Number of distinct device pairs cached."""
+        return len(self._edges)
+
+    @property
+    def node_count(self) -> int:
+        """Number of devices appearing in any cached edge."""
+        return len(self._adjacency)
+
+    def clear(self) -> None:
+        """Drop every cached observation."""
+        self._edges.clear()
+        self._adjacency.clear()

@@ -1,0 +1,34 @@
+"""Coarse-grained localization: missing-value detection and repair (§3).
+
+Given a query (device, time) that falls in a gap of the device's log, the
+coarse localizer decides (1) whether the device was inside or outside the
+building and (2) if inside, which region it was in.  Labels for training
+come from a threshold-based bootstrapper; the rest are filled in by the
+self-training loop of Algorithm 1 over per-device logistic-regression
+classifiers.
+"""
+
+from repro.coarse.aggregate import PopulationAggregate
+from repro.coarse.features import GapFeatureExtractor, gap_feature_row
+from repro.coarse.bootstrap import BootstrapLabeler, BootstrapResult, GapLabel
+from repro.coarse.semi_supervised import SelfTrainingClassifier
+from repro.coarse.localizer import (
+    CoarseLocalizer,
+    CoarseResult,
+    INSIDE,
+    OUTSIDE,
+)
+
+__all__ = [
+    "INSIDE",
+    "OUTSIDE",
+    "BootstrapLabeler",
+    "BootstrapResult",
+    "CoarseLocalizer",
+    "CoarseResult",
+    "GapFeatureExtractor",
+    "GapLabel",
+    "PopulationAggregate",
+    "SelfTrainingClassifier",
+    "gap_feature_row",
+]

@@ -1,0 +1,125 @@
+"""Population-level fallback for first-time devices (paper §3, fn. 5).
+
+The paper assumes historical events exist for a queried device, noting:
+"If data for the device does not exist, e.g., if a person enters the
+building for the first time, then, we can label such devices based on
+aggregated location, e.g., most common label for other devices."
+
+This module builds that aggregate: per hour-of-day counts of bootstrap
+gap labels across (a sample of) the population, yielding the modal
+inside/outside label and modal region for any time of day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coarse.bootstrap import BootstrapLabeler, LABEL_INSIDE
+from repro.events.gaps import extract_gaps
+from repro.events.table import EventTable
+from repro.space.building import Building
+from repro.util.timeutil import SECONDS_PER_HOUR, TimeInterval, seconds_of_day
+
+
+@dataclass(slots=True)
+class _HourAggregate:
+    """Label counts for one hour-of-day bucket."""
+
+    inside: int = 0
+    outside: int = 0
+    region_counts: dict[int, int] = field(default_factory=dict)
+
+    def modal_inside(self) -> bool:
+        """Whether inside gaps outnumber outside gaps this hour."""
+        return self.inside >= self.outside
+
+    def modal_region(self) -> "int | None":
+        """Most common region label this hour, or None."""
+        if not self.region_counts:
+            return None
+        return max(sorted(self.region_counts), key=self.region_counts.get)
+
+
+class PopulationAggregate:
+    """Hour-of-day aggregate of bootstrap gap labels across devices.
+
+    Args:
+        building: Space model.
+        table: Events table to aggregate over.
+        bootstrap: The same threshold labeler the coarse localizer uses,
+            so aggregate labels are consistent with per-device ones.
+        history: Window to aggregate (defaults to the table's span).
+        max_devices: Sample cap — the aggregate needs the population's
+            *shape*, not every device (keeps construction cheap on large
+            tables).
+    """
+
+    def __init__(self, building: Building, table: EventTable,
+                 bootstrap: "BootstrapLabeler | None" = None,
+                 history: "TimeInterval | None" = None,
+                 max_devices: int = 64) -> None:
+        self._building = building
+        self._table = table
+        self._bootstrap = bootstrap or BootstrapLabeler(building)
+        self._history = history
+        self._max_devices = max_devices
+        self._hours: "list[_HourAggregate] | None" = None
+
+    def _build(self) -> list[_HourAggregate]:
+        hours = [_HourAggregate() for _ in range(24)]
+        try:
+            history = self._history or self._table.span()
+        except Exception:
+            return hours  # empty table: a flat aggregate
+        macs = sorted(self._table.macs())[: self._max_devices]
+        for mac in macs:
+            log = self._table.log(mac)
+            gaps = extract_gaps(log, window=history)
+            if not gaps:
+                continue
+            split = self._bootstrap.label_building_level(gaps)
+            for gap, label in split.labeled:
+                region = (self._bootstrap.region_heuristic(gap, log,
+                                                           history)
+                          if label == LABEL_INSIDE else None)
+                # Credit the label to every hour-of-day the gap covers
+                # (an overnight gap is evidence of absence for all the
+                # hours it spans, not just the hour it started in).
+                for hour in self._covered_hours(gap.interval.start,
+                                                gap.interval.end):
+                    bucket = hours[hour]
+                    if label == LABEL_INSIDE:
+                        bucket.inside += 1
+                        assert region is not None
+                        bucket.region_counts[region] = \
+                            bucket.region_counts.get(region, 0) + 1
+                    else:
+                        bucket.outside += 1
+        return hours
+
+    @staticmethod
+    def _covered_hours(start: float, end: float) -> list[int]:
+        """Hour-of-day buckets intersecting [start, end) (≤ 24 entries)."""
+        first = int(start // SECONDS_PER_HOUR)
+        last = int(max(start, end - 1e-9) // SECONDS_PER_HOUR)
+        count = min(last - first + 1, 24)
+        return [(first + k) % 24 for k in range(count)]
+
+    def _bucket(self, timestamp: float) -> _HourAggregate:
+        if self._hours is None:
+            self._hours = self._build()
+        hour = int(seconds_of_day(timestamp) // SECONDS_PER_HOUR) % 24
+        return self._hours[hour]
+
+    # ------------------------------------------------------------------
+    def modal_inside(self, timestamp: float) -> bool:
+        """Most common building-level label at this time of day."""
+        return self._bucket(timestamp).modal_inside()
+
+    def modal_region(self, timestamp: float) -> "int | None":
+        """Most common region label at this time of day, if any."""
+        return self._bucket(timestamp).modal_region()
+
+    def invalidate(self) -> None:
+        """Drop the aggregate (e.g. after ingesting new data)."""
+        self._hours = None

@@ -1,0 +1,264 @@
+"""The coarse-grained localizer: query answering over gaps (paper §3).
+
+Wiring: a query (device, t_q) first checks whether t_q lies inside some
+event's validity window — if so the answer is that event's region with no
+cleaning needed.  Otherwise the query falls in a gap and two per-device
+self-trained classifiers decide (1) inside vs outside the building and
+(2) the region if inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coarse.aggregate import PopulationAggregate
+from repro.coarse.bootstrap import (
+    BootstrapLabeler,
+    LABEL_INSIDE,
+    LABEL_OUTSIDE,
+)
+from repro.coarse.features import GapFeatureExtractor
+from repro.coarse.semi_supervised import SelfTrainingClassifier
+from repro.errors import LocalizationError
+from repro.events.gaps import extract_gaps, find_gap_at
+from repro.events.table import EventTable
+from repro.events.validity import valid_event_at
+from repro.ml.pipeline import FeaturePipeline
+from repro.space.building import Building
+from repro.util.timeutil import TimeInterval
+
+#: Building-level answers.
+INSIDE = "inside"
+OUTSIDE = "outside"
+
+
+@dataclass(frozen=True, slots=True)
+class CoarseResult:
+    """Answer of the coarse-grained localizer for one query.
+
+    Attributes:
+        mac: Queried device.
+        timestamp: Query time.
+        inside: Whether the device was inside the building.
+        region_id: Region the device was in (None when outside).
+        from_event: True when t_q hit a validity interval directly (no
+            cleaning was needed); False when a gap was classified.
+    """
+
+    mac: str
+    timestamp: float
+    inside: bool
+    region_id: "int | None"
+    from_event: bool
+
+    def __str__(self) -> str:
+        where = f"region g{self.region_id}" if self.inside else "outside"
+        via = "event" if self.from_event else "gap"
+        return f"{self.mac} @ {self.timestamp:.0f}s → {where} (via {via})"
+
+
+@dataclass(slots=True)
+class _DeviceModels:
+    """Trained per-device classifiers plus the feature pipeline."""
+
+    pipeline: FeaturePipeline
+    building_clf: "SelfTrainingClassifier | None"
+    region_clf: "SelfTrainingClassifier | None"
+    fallback_inside: bool
+    fallback_region: "int | None"
+
+
+class CoarseLocalizer:
+    """Missing-value detection and repair for one building.
+
+    Args:
+        building: The space model.
+        table: The connectivity events table (history source).
+        bootstrap: Threshold labeler; defaults per the paper's best values.
+        history: Training window T (defaults to the table's full span).
+        batch_size: Promotions per self-training round (1 = paper-literal).
+
+    Models are trained lazily per device and cached; :meth:`invalidate`
+    drops the cache (e.g. after ingesting new events).
+    """
+
+    def __init__(self, building: Building, table: EventTable,
+                 bootstrap: "BootstrapLabeler | None" = None,
+                 history: "TimeInterval | None" = None,
+                 batch_size: int = 1) -> None:
+        self._building = building
+        self._table = table
+        self._bootstrap = bootstrap or BootstrapLabeler(building)
+        self._history = history
+        self._batch_size = batch_size
+        self._extractor = GapFeatureExtractor(building)
+        self._models: dict[str, _DeviceModels] = {}
+        self._aggregate = PopulationAggregate(building, table,
+                                              bootstrap=self._bootstrap,
+                                              history=history)
+
+    # ------------------------------------------------------------------
+    @property
+    def history(self) -> TimeInterval:
+        """The training window actually in use."""
+        if self._history is None:
+            self._history = self._table.span()
+        return self._history
+
+    def set_history(self, history: "TimeInterval | None") -> None:
+        """Change the training window and drop cached models."""
+        self._history = history
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Forget all trained per-device models and the aggregate."""
+        self._models.clear()
+        self._aggregate.invalidate()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _train_device(self, mac: str) -> _DeviceModels:
+        log = self._table.log(mac)
+        history = self.history
+        gaps = extract_gaps(log, window=history)
+
+        pipeline = FeaturePipeline(self._extractor.numeric_columns,
+                                   self._extractor.categorical_vocab)
+
+        if not gaps:
+            # No gap history: the paper (§3 fn. 5) labels such devices by
+            # aggregated location — the most common label among other
+            # devices (resolved per query time via PopulationAggregate);
+            # the device's own modal region, when it has events, wins.
+            return _DeviceModels(
+                pipeline=pipeline, building_clf=None, region_clf=None,
+                fallback_inside=True,
+                fallback_region=self._modal_region(mac))
+
+        rows = self._extractor.rows(gaps, log, history)
+        pipeline.fit(rows)
+        matrix = pipeline.transform(rows)
+        row_of_gap = {id(gap): i for i, gap in enumerate(gaps)}
+
+        # ---- building level ------------------------------------------
+        split = self._bootstrap.label_building_level(gaps)
+        building_clf: "SelfTrainingClassifier | None" = None
+        if split.labeled:
+            labeled_idx = [row_of_gap[id(g)] for g, _ in split.labeled]
+            labels = [label for _, label in split.labeled]
+            unlabeled_idx = [row_of_gap[id(g)] for g in split.unlabeled]
+            building_clf = SelfTrainingClassifier(
+                classes=[LABEL_INSIDE, LABEL_OUTSIDE],
+                batch_size=self._batch_size)
+            building_clf.fit(matrix[labeled_idx], labels,
+                             matrix[unlabeled_idx]
+                             if unlabeled_idx else np.zeros((0, matrix.shape[1])))
+
+        # ---- region level ---------------------------------------------
+        inside_gaps = [g for g, label in split.labeled if label == LABEL_INSIDE]
+        region_clf: "SelfTrainingClassifier | None" = None
+        if inside_gaps:
+            region_split = self._bootstrap.label_region_level(
+                inside_gaps, log, history)
+            if region_split.labeled:
+                region_classes = [str(r.region_id)
+                                  for r in self._building.regions]
+                labeled_idx = [row_of_gap[id(g)]
+                               for g, _ in region_split.labeled]
+                labels = [label for _, label in region_split.labeled]
+                unlabeled_idx = [row_of_gap[id(g)]
+                                 for g in region_split.unlabeled]
+                region_clf = SelfTrainingClassifier(
+                    classes=region_classes, batch_size=self._batch_size)
+                region_clf.fit(matrix[labeled_idx], labels,
+                               matrix[unlabeled_idx]
+                               if unlabeled_idx
+                               else np.zeros((0, matrix.shape[1])))
+
+        return _DeviceModels(
+            pipeline=pipeline,
+            building_clf=building_clf,
+            region_clf=region_clf,
+            fallback_inside=True,
+            fallback_region=self._modal_region(mac))
+
+    def _modal_region(self, mac: str) -> "int | None":
+        """The device's most-visited region over the history, if any."""
+        log = self._table.log(mac)
+        times, ap_indices = log.slice_interval(self.history)
+        if times.size == 0:
+            return None
+        counts: dict[int, int] = {}
+        for ap_index in ap_indices:
+            region_id = self._building.region_of_ap(
+                log.resolve_ap(int(ap_index))).region_id
+            counts[region_id] = counts.get(region_id, 0) + 1
+        return max(sorted(counts), key=counts.get)
+
+    def models_for(self, mac: str) -> _DeviceModels:
+        """Trained models for a device, training on first use."""
+        models = self._models.get(mac)
+        if models is None:
+            models = self._train_device(mac)
+            self._models[mac] = models
+        return models
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def locate(self, mac: str, timestamp: float) -> CoarseResult:
+        """Answer Q = (d, t_q) at the coarse level.
+
+        A device with no connectivity history at all is answered as
+        outside: with zero association events there is no evidence the
+        device ever entered the building.
+        """
+        log = self._table.log(mac)
+        if log.is_empty:
+            return CoarseResult(mac=mac, timestamp=timestamp, inside=False,
+                                region_id=None, from_event=False)
+
+        hit = valid_event_at(log, timestamp)
+        if hit is not None:
+            region = self._building.region_of_ap(hit.ap_id)
+            return CoarseResult(mac=mac, timestamp=timestamp, inside=True,
+                                region_id=region.region_id, from_event=True)
+
+        gap = find_gap_at(log, timestamp)
+        if gap is None:
+            # Before the first or after the last event: no enclosing gap
+            # features exist, so the device is considered outside.
+            return CoarseResult(mac=mac, timestamp=timestamp, inside=False,
+                                region_id=None, from_event=False)
+
+        models = self.models_for(mac)
+        features = None
+        if models.building_clf is not None or models.region_clf is not None:
+            row = self._extractor.rows([gap], log, self.history)
+            features = models.pipeline.transform(row)[0]
+
+        if models.building_clf is not None:
+            _, label = models.building_clf.predict_one(features)
+        else:
+            # Aggregate fallback (§3 fn. 5): most common label among
+            # other devices at this time of day.
+            label = (LABEL_INSIDE if self._aggregate.modal_inside(timestamp)
+                     else LABEL_OUTSIDE)
+        if label == LABEL_OUTSIDE:
+            return CoarseResult(mac=mac, timestamp=timestamp, inside=False,
+                                region_id=None, from_event=False)
+
+        if models.region_clf is not None:
+            _, region_label = models.region_clf.predict_one(features)
+            region_id = int(region_label)
+        else:
+            fallback = models.fallback_region
+            if fallback is None:
+                fallback = self._aggregate.modal_region(timestamp)
+            region_id = (fallback if fallback is not None else
+                         self._building.region_of_ap(gap.ap_before).region_id)
+        return CoarseResult(mac=mac, timestamp=timestamp, inside=True,
+                            region_id=region_id, from_event=False)

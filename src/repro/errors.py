@@ -1,0 +1,55 @@
+"""Exception hierarchy for the LOCATER reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class SpaceModelError(ReproError):
+    """The space model (building / region / room graph) is malformed."""
+
+
+class UnknownRoomError(SpaceModelError):
+    """A room id was referenced that the building does not contain."""
+
+
+class UnknownRegionError(SpaceModelError):
+    """A region / access-point id was referenced that does not exist."""
+
+
+class UnknownDeviceError(ReproError):
+    """A device (MAC address) was referenced that the table has never seen."""
+
+
+class EventTableError(ReproError):
+    """The connectivity event table was used inconsistently."""
+
+
+class EmptyHistoryError(EventTableError):
+    """An operation required historical events but none were available."""
+
+
+class LocalizationError(ReproError):
+    """A localization query could not be answered."""
+
+
+class TrainingError(ReproError):
+    """A model could not be trained (e.g. degenerate labels or features)."""
+
+
+class SimulationError(ReproError):
+    """The synthetic data generator was configured inconsistently."""
+
+
+class StorageError(ReproError):
+    """The storage engine failed or was used after being closed."""

@@ -1,0 +1,26 @@
+"""Evaluation harness (paper §6): metrics, queries, runners, experiments.
+
+Reproduces the paper's evaluation protocol: queries sampled against
+ground truth, precision metrics Pc / Pf / Po, user grouping by
+predictability bands, and one experiment module per table/figure.
+"""
+
+from repro.eval.metrics import PrecisionCounts, precision_summary
+from repro.eval.queries import generated_query_set, labeled_query_set
+from repro.eval.predictability import PREDICTABILITY_BANDS, band_of, group_by_band
+from repro.eval.runner import EvaluationResult, SystemUnderTest, evaluate
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "PREDICTABILITY_BANDS",
+    "EvaluationResult",
+    "PrecisionCounts",
+    "SystemUnderTest",
+    "band_of",
+    "evaluate",
+    "format_table",
+    "generated_query_set",
+    "group_by_band",
+    "labeled_query_set",
+    "precision_summary",
+]

@@ -1,0 +1,81 @@
+"""Fig. 7 — impact of the bootstrap thresholds τl and τh on Pc.
+
+The paper varies τl from 10 to 30 minutes (fixing τh = 180) and τh from
+60 to 180 minutes (fixing τl = 20), reporting coarse precision.  The
+observed shape: Pc peaks around τl = 20 and rises with τh, levelling off
+beyond ~170.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.queries import labeled_query_set
+from repro.eval.reporting import format_series
+from repro.eval.runner import evaluate
+from repro.eval.experiments.common import dbh_dataset
+from repro.sim.dataset import Dataset
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+from repro.util.timeutil import minutes
+
+
+@dataclass(slots=True)
+class ThresholdSweepResult:
+    """Pc series for the τl and τh sweeps (percent)."""
+
+    tau_low_minutes: list[float]
+    pc_by_tau_low: list[float]
+    tau_high_minutes: list[float]
+    pc_by_tau_high: list[float]
+
+    def best_tau_low(self) -> float:
+        """τl (minutes) with the highest Pc."""
+        best = max(range(len(self.tau_low_minutes)),
+                   key=lambda i: self.pc_by_tau_low[i])
+        return self.tau_low_minutes[best]
+
+    def best_tau_high(self) -> float:
+        """τh (minutes) with the highest Pc."""
+        best = max(range(len(self.tau_high_minutes)),
+                   key=lambda i: self.pc_by_tau_high[i])
+        return self.tau_high_minutes[best]
+
+    def render(self) -> str:
+        """Print both series like the paper's two panels."""
+        left = format_series("Pc vs tau_l (tau_h=180min)",
+                             [f"{v:.0f}min" for v in self.tau_low_minutes],
+                             self.pc_by_tau_low, unit="%")
+        right = format_series("Pc vs tau_h (tau_l=20min)",
+                              [f"{v:.0f}min" for v in self.tau_high_minutes],
+                              self.pc_by_tau_high, unit="%")
+        return left + "\n" + right
+
+
+def _coarse_precision(dataset: Dataset, tau_low: float, tau_high: float,
+                      per_device: int, seed: int) -> float:
+    config = LocaterConfig(tau_low=tau_low, tau_high=tau_high,
+                           use_caching=False)
+    system = Locater(dataset.building, dataset.metadata, dataset.table,
+                     config=config)
+    queries = labeled_query_set(dataset, per_device=per_device, seed=seed)
+    result = evaluate(system, dataset, queries)
+    return 100.0 * result.counts.coarse_precision
+
+
+def run(days: int = 10, population: int = 18, per_device: int = 12,
+        seed: int = 7,
+        tau_low_grid: "tuple[float, ...]" = (10, 15, 20, 25, 30),
+        tau_high_grid: "tuple[float, ...]" = (60, 90, 120, 150, 180),
+        ) -> ThresholdSweepResult:
+    """Run both threshold sweeps on a DBH-like dataset."""
+    dataset = dbh_dataset(days=days, population=population, seed=seed)
+    pc_low = [_coarse_precision(dataset, minutes(tl), minutes(180),
+                                per_device, seed)
+              for tl in tau_low_grid]
+    pc_high = [_coarse_precision(dataset, minutes(20), minutes(th),
+                                 per_device, seed)
+               for th in tau_high_grid]
+    return ThresholdSweepResult(
+        tau_low_minutes=list(tau_low_grid), pc_by_tau_low=pc_low,
+        tau_high_minutes=list(tau_high_grid), pc_by_tau_high=pc_high)

@@ -1,0 +1,92 @@
+"""Fig. 8 — impact of the amount of historical data on precision.
+
+The paper trains on 0..9 weeks of history and reports Pc, Pf and Po for
+the [40,55) and [55,70) predictability groups.  Shape to reproduce:
+precision rises with history; Pc plateaus late (~8 weeks), Pf plateaus
+early (~3 weeks) and roughly doubles from 0 to 1 week of data; the
+overall curve follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.eval.predictability import band_label, group_by_band
+from repro.eval.queries import labeled_query_set
+from repro.eval.reporting import format_table
+from repro.eval.runner import evaluate, pooled_counts
+from repro.eval.experiments.common import dbh_dataset
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+
+
+@dataclass(slots=True)
+class HistorySweepResult:
+    """Per-band Pc/Pf/Po (percent) per history length (weeks)."""
+
+    weeks: list[float]
+    bands: list[tuple[int, int]]
+    pc: dict[tuple[int, int], list[float]] = field(default_factory=dict)
+    pf: dict[tuple[int, int], list[float]] = field(default_factory=dict)
+    po: dict[tuple[int, int], list[float]] = field(default_factory=dict)
+
+    def series(self, metric: str,
+               band: tuple[int, int]) -> list[float]:
+        """One curve: metric in {"Pc", "Pf", "Po"} for one band."""
+        return {"Pc": self.pc, "Pf": self.pf, "Po": self.po}[metric][band]
+
+    def render(self) -> str:
+        """Print the three panels of Fig. 8 as tables."""
+        blocks = []
+        for metric in ("Pc", "Pf", "Po"):
+            rows = []
+            for band in self.bands:
+                rows.append([band_label(band)]
+                            + [f"{v:.1f}" for v in self.series(metric, band)])
+            headers = ["band \\ weeks"] + [f"{w:g}" for w in self.weeks]
+            blocks.append(format_table(headers, rows,
+                                       title=f"Fig 8: {metric} vs history"))
+        return "\n\n".join(blocks)
+
+
+def run(weeks_grid: Sequence[float] = (0, 0.5, 1, 2, 3),
+        population: int = 20, per_device: int = 10, seed: int = 7,
+        bands: Sequence[tuple[int, int]] = ((40, 55), (55, 70)),
+        ) -> HistorySweepResult:
+    """Sweep the training-history length.
+
+    The dataset always spans ``max(weeks_grid)`` weeks plus an evaluation
+    margin; each sweep point restricts model training (coarse classifiers
+    and affinity mining) to the last ``w`` weeks via
+    ``LocaterConfig.history_days``.  ``weeks=0`` trains on (almost) no
+    history — the paper's "no data at all" point — here one hour of tail
+    data so the pipeline still runs.
+    """
+    max_weeks = max(weeks_grid)
+    days = max(3, int(max_weeks * 7) + 3)
+    dataset = dbh_dataset(days=days, population=population, seed=seed)
+    band_map = group_by_band(dataset)
+    result = HistorySweepResult(weeks=list(weeks_grid),
+                                bands=[tuple(b) for b in bands])
+    queries = labeled_query_set(dataset, per_device=per_device, seed=seed)
+
+    for band in result.bands:
+        result.pc[band] = []
+        result.pf[band] = []
+        result.po[band] = []
+
+    for weeks in weeks_grid:
+        history_days = max(1, round(weeks * 7)) if weeks > 0 else 0
+        config = LocaterConfig(use_caching=False,
+                               history_days=history_days)
+        system = Locater(dataset.building, dataset.metadata, dataset.table,
+                         config=config)
+        outcome = evaluate(system, dataset, queries)
+        for band in result.bands:
+            macs = band_map.get(band, [])
+            counts = pooled_counts(outcome, macs)
+            result.pc[band].append(100.0 * counts.coarse_precision)
+            result.pf[band].append(100.0 * counts.fine_precision)
+            result.po[band].append(100.0 * counts.overall_precision)
+    return result

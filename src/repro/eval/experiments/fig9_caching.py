@@ -1,0 +1,61 @@
+"""Fig. 9 — impact of the caching engine on precision.
+
+Caching replaces exact neighbor processing order with the global-affinity
+order and tightens the early-stop bounds with cached caps, so it can trade
+a little precision for speed.  Paper shape: the +C variants lose at most
+5–10% overall precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.queries import labeled_query_set
+from repro.eval.reporting import format_table
+from repro.eval.runner import evaluate
+from repro.eval.experiments.common import dbh_dataset
+from repro.fine.localizer import FineMode
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+
+
+@dataclass(slots=True)
+class CachingPrecisionResult:
+    """Po (percent) per system variant."""
+
+    po: dict[str, float]
+
+    def loss(self, base: str, cached: str) -> float:
+        """Precision loss (percent points) of ``cached`` vs ``base``."""
+        return self.po[base] - self.po[cached]
+
+    def render(self) -> str:
+        """Print Po per variant like Fig. 9's bars."""
+        rows = [[name, f"{value:.1f}"]
+                for name, value in self.po.items()]
+        return format_table(["system", "Po (%)"], rows,
+                            title="Fig 9: caching precision")
+
+
+def run(days: int = 10, population: int = 18, per_device: int = 12,
+        seed: int = 7) -> CachingPrecisionResult:
+    """Evaluate I/D-LOCATER with and without the caching engine."""
+    dataset = dbh_dataset(days=days, population=population, seed=seed)
+    queries = labeled_query_set(dataset, per_device=per_device, seed=seed)
+    po: dict[str, float] = {}
+    variants = {
+        "I-LOCATER": LocaterConfig(fine_mode=FineMode.INDEPENDENT,
+                                   use_caching=False),
+        "I-LOCATER+C": LocaterConfig(fine_mode=FineMode.INDEPENDENT,
+                                     use_caching=True),
+        "D-LOCATER": LocaterConfig(fine_mode=FineMode.DEPENDENT,
+                                   use_caching=False),
+        "D-LOCATER+C": LocaterConfig(fine_mode=FineMode.DEPENDENT,
+                                     use_caching=True),
+    }
+    for name, config in variants.items():
+        system = Locater(dataset.building, dataset.metadata, dataset.table,
+                         config=config)
+        outcome = evaluate(system, dataset, queries)
+        po[name] = 100.0 * outcome.counts.overall_precision
+    return CachingPrecisionResult(po=po)

@@ -1,0 +1,72 @@
+"""Table 2 — impact of room-affinity weights on fine precision.
+
+The paper evaluates four (w^pf, w^pb, w^pr) combinations for I-FINE and
+D-FINE.  Shape to reproduce: precision is insensitive to the choice, C2
+is (slightly) best, and D-FINE beats I-FINE by a few points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.queries import labeled_query_set
+from repro.eval.reporting import format_table
+from repro.eval.runner import evaluate
+from repro.eval.experiments.common import dbh_dataset
+from repro.fine.affinity import TABLE2_COMBINATIONS
+from repro.fine.localizer import FineMode
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+
+
+@dataclass(slots=True)
+class WeightSweepResult:
+    """Pf (percent) per combination per mode."""
+
+    combinations: list[str]
+    pf_independent: dict[str, float]
+    pf_dependent: dict[str, float]
+
+    def best_combination(self, mode: str = "D-FINE") -> str:
+        """Combination with the highest Pf under the given mode."""
+        table = (self.pf_dependent if mode == "D-FINE"
+                 else self.pf_independent)
+        return max(self.combinations, key=lambda c: table[c])
+
+    def mean_gap_dependent_minus_independent(self) -> float:
+        """Average Pf advantage of D-FINE over I-FINE (percent points)."""
+        gaps = [self.pf_dependent[c] - self.pf_independent[c]
+                for c in self.combinations]
+        return sum(gaps) / len(gaps)
+
+    def render(self) -> str:
+        """Print the table like the paper's Table 2."""
+        rows = [
+            ["I-FINE"] + [f"{self.pf_independent[c]:.1f}"
+                          for c in self.combinations],
+            ["D-FINE"] + [f"{self.pf_dependent[c]:.1f}"
+                          for c in self.combinations],
+        ]
+        return format_table(["Pf"] + self.combinations, rows,
+                            title="Table 2: impact of room affinity weights")
+
+
+def run(days: int = 10, population: int = 18, per_device: int = 12,
+        seed: int = 7) -> WeightSweepResult:
+    """Evaluate every Table-2 weight combination under both modes."""
+    dataset = dbh_dataset(days=days, population=population, seed=seed)
+    queries = labeled_query_set(dataset, per_device=per_device, seed=seed)
+    pf_i: dict[str, float] = {}
+    pf_d: dict[str, float] = {}
+    for name, weights in TABLE2_COMBINATIONS.items():
+        for mode, sink in ((FineMode.INDEPENDENT, pf_i),
+                           (FineMode.DEPENDENT, pf_d)):
+            config = LocaterConfig(room_weights=weights, fine_mode=mode,
+                                   use_caching=False)
+            system = Locater(dataset.building, dataset.metadata,
+                             dataset.table, config=config)
+            result = evaluate(system, dataset, queries)
+            sink[name] = 100.0 * result.counts.fine_precision
+    return WeightSweepResult(
+        combinations=list(TABLE2_COMBINATIONS.keys()),
+        pf_independent=pf_i, pf_dependent=pf_d)

@@ -1,0 +1,94 @@
+"""Table 4 — accuracy per profile on the four simulated scenarios.
+
+For each of office / university / mall / airport, report Pc|Pf|Po per
+person profile plus the margin of D-LOCATER's Po over Baseline2's.
+Shape to reproduce: Pc stays high (≥ ~80%) everywhere; Pf is high for
+predictable profiles (staff, employees) and low for transients
+(passengers, random customers); LOCATER beats Baseline2 with the margin
+shrinking for very unpredictable profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.metrics import PrecisionCounts
+from repro.eval.queries import labeled_query_set
+from repro.eval.reporting import format_table
+from repro.eval.runner import evaluate, pooled_counts
+from repro.eval.experiments.common import scenario_dataset
+from repro.system.baselines import Baseline2
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+
+#: Scenario order matches the paper's table (most → least predictable).
+SCENARIOS = ("office", "university", "mall", "airport")
+
+
+@dataclass(slots=True)
+class ScenarioProfileResult:
+    """Per-scenario, per-profile precision triples and baseline margins."""
+
+    scenarios: list[str]
+    profiles: dict[str, list[str]]
+    cells: dict[tuple[str, str], tuple[float, float, float]]
+    margins: dict[tuple[str, str], float]
+
+    def triple(self, scenario: str,
+               profile: str) -> tuple[float, float, float]:
+        """(Pc, Pf, Po) for one scenario/profile."""
+        return self.cells[(scenario, profile)]
+
+    def margin(self, scenario: str, profile: str) -> float:
+        """D-LOCATER Po minus Baseline2 Po (percent points)."""
+        return self.margins[(scenario, profile)]
+
+    def render(self) -> str:
+        """Print one block per scenario like the paper's Table 4."""
+        blocks = []
+        for scenario in self.scenarios:
+            rows = []
+            for profile in self.profiles[scenario]:
+                pc, pf, po = self.cells[(scenario, profile)]
+                margin = self.margins[(scenario, profile)]
+                rows.append([profile,
+                             f"{pc:.0f}|{pf:.0f}|{po:.0f}({margin:+.0f})"])
+            blocks.append(format_table(
+                ["profile", "Pc|Pf|Po(margin)"], rows,
+                title=f"Table 4 [{scenario}]"))
+        return "\n\n".join(blocks)
+
+
+def run(days: int = 8, per_device: int = 8, seed: int = 11,
+        population_scale: float = 0.4,
+        scenarios: "tuple[str, ...]" = SCENARIOS) -> ScenarioProfileResult:
+    """Evaluate D-LOCATER and Baseline2 per profile on each scenario."""
+    result = ScenarioProfileResult(scenarios=list(scenarios), profiles={},
+                                   cells={}, margins={})
+    for scenario in scenarios:
+        dataset = scenario_dataset(scenario, days=days, seed=seed,
+                                   population_scale=population_scale)
+        queries = labeled_query_set(dataset, per_device=per_device,
+                                    seed=seed)
+        locater = Locater(dataset.building, dataset.metadata, dataset.table,
+                          config=LocaterConfig())
+        baseline = Baseline2(dataset.building, dataset.metadata,
+                             dataset.table, seed=seed)
+        outcome = evaluate(locater, dataset, queries)
+        base_outcome = evaluate(baseline, dataset, queries)
+
+        profile_macs: dict[str, list[str]] = {}
+        for person in dataset.people:
+            profile_macs.setdefault(person.profile.name,
+                                    []).append(person.mac)
+        result.profiles[scenario] = sorted(profile_macs)
+        for profile, macs in sorted(profile_macs.items()):
+            counts: PrecisionCounts = pooled_counts(outcome, macs)
+            base: PrecisionCounts = pooled_counts(base_outcome, macs)
+            result.cells[(scenario, profile)] = (
+                100.0 * counts.coarse_precision,
+                100.0 * counts.fine_precision,
+                100.0 * counts.overall_precision)
+            result.margins[(scenario, profile)] = 100.0 * (
+                counts.overall_precision - base.overall_precision)
+    return result

@@ -1,0 +1,85 @@
+"""Precision metrics of §6.1.
+
+Given a query set Q, let Q_out, Q_region, Q_room be the queries answered
+correctly as outside / in the right region / in the right room:
+
+* coarse precision  Pc = (|Q_out| + |Q_region|) / |Q|
+* fine precision    Pf = |Q_room| / |Q_region|
+* overall precision Po = (|Q_room| + |Q_out|) / |Q|
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.stats import safe_div
+
+
+@dataclass(slots=True)
+class PrecisionCounts:
+    """Counters accumulated over an evaluated query set."""
+
+    total: int = 0
+    correct_outside: int = 0
+    correct_region: int = 0
+    correct_room: int = 0
+
+    def record(self, truth_outside: bool, predicted_outside: bool,
+               region_correct: bool, room_correct: bool) -> None:
+        """Tally one query.
+
+        Args:
+            truth_outside: Ground truth says the device was outside.
+            predicted_outside: The system said outside.
+            region_correct: Both inside and the region contains the true
+                room.
+            room_correct: Both inside and the exact room matched.
+        """
+        self.total += 1
+        if truth_outside and predicted_outside:
+            self.correct_outside += 1
+            return
+        if region_correct:
+            self.correct_region += 1
+            if room_correct:
+                self.correct_room += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def coarse_precision(self) -> float:
+        """Pc = (|Q_out| + |Q_region|) / |Q|."""
+        return safe_div(self.correct_outside + self.correct_region,
+                        self.total)
+
+    @property
+    def fine_precision(self) -> float:
+        """Pf = |Q_room| / |Q_region|."""
+        return safe_div(self.correct_room, self.correct_region)
+
+    @property
+    def overall_precision(self) -> float:
+        """Po = (|Q_room| + |Q_out|) / |Q|."""
+        return safe_div(self.correct_room + self.correct_outside,
+                        self.total)
+
+    def merge(self, other: "PrecisionCounts") -> "PrecisionCounts":
+        """Sum two counter sets (for pooling user groups)."""
+        return PrecisionCounts(
+            total=self.total + other.total,
+            correct_outside=self.correct_outside + other.correct_outside,
+            correct_region=self.correct_region + other.correct_region,
+            correct_room=self.correct_room + other.correct_room)
+
+    def __str__(self) -> str:
+        return (f"Pc={self.coarse_precision:.1%} "
+                f"Pf={self.fine_precision:.1%} "
+                f"Po={self.overall_precision:.1%} (n={self.total})")
+
+
+def precision_summary(counts: PrecisionCounts) -> dict[str, float]:
+    """The (Pc, Pf, Po) triple as percentages, like the paper's tables."""
+    return {
+        "Pc": 100.0 * counts.coarse_precision,
+        "Pf": 100.0 * counts.fine_precision,
+        "Po": 100.0 * counts.overall_precision,
+    }

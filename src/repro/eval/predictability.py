@@ -1,0 +1,50 @@
+"""Grouping users by predictability (paper §6.2).
+
+The paper buckets ground-truth users by the share of in-building time
+spent in their preferred room: [40,55), [55,70), [70,85), [85,100).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.dataset import Dataset
+
+#: The paper's four bands, as (low, high) percent pairs.
+PREDICTABILITY_BANDS: tuple[tuple[int, int], ...] = (
+    (40, 55), (55, 70), (70, 85), (85, 100))
+
+
+def band_of(share: float,
+            bands: Sequence[tuple[int, int]] = PREDICTABILITY_BANDS
+            ) -> "tuple[int, int] | None":
+    """The band containing a preferred-room share (0..1 scale).
+
+    Shares below the lowest band return None (the paper notes no ground
+    truth user fell below 40%; synthetic visitors can).
+    """
+    pct = share * 100.0
+    for low, high in bands:
+        if low <= pct < high:
+            return (low, high)
+    if pct >= bands[-1][1]:
+        return bands[-1]
+    return None
+
+
+def group_by_band(dataset: Dataset,
+                  macs: "Sequence[str] | None" = None
+                  ) -> dict[tuple[int, int], list[str]]:
+    """Partition devices into predictability bands."""
+    out: dict[tuple[int, int], list[str]] = {b: [] for b
+                                             in PREDICTABILITY_BANDS}
+    for mac in (macs if macs is not None else dataset.macs()):
+        band = band_of(dataset.realized_predictability(mac))
+        if band is not None:
+            out[band].append(mac)
+    return out
+
+
+def band_label(band: tuple[int, int]) -> str:
+    """Render a band the way the paper prints it, e.g. ``[40,55)``."""
+    return f"[{band[0]},{band[1]})"

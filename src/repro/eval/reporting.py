@@ -1,0 +1,33 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned monospace table (paper-style experiment output)."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(c) for c in row] for row in rows)
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object],
+                  ys: Sequence[float], unit: str = "") -> str:
+    """Render one figure series as ``x -> y`` lines."""
+    suffix = f" {unit}" if unit else ""
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x}: {y:.2f}{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""WiFi connectivity data model: events, devices, validity, gaps.
+
+Implements the paper's Section 2 data model: connectivity events
+``⟨mac, timestamp, wap⟩`` with per-device temporal validity ``δ(d)``,
+from which *gaps* — maximal periods with no valid event — are derived.
+"""
+
+from repro.events.device import Device, DeviceRegistry
+from repro.events.event import ConnectivityEvent
+from repro.events.gaps import Gap, extract_gaps, find_gap_at
+from repro.events.table import DeviceLog, EventTable
+from repro.events.validity import (
+    DeltaEstimator,
+    ValidityInterval,
+    validity_intervals,
+)
+
+__all__ = [
+    "ConnectivityEvent",
+    "DeltaEstimator",
+    "Device",
+    "DeviceLog",
+    "DeviceRegistry",
+    "EventTable",
+    "Gap",
+    "ValidityInterval",
+    "extract_gaps",
+    "find_gap_at",
+    "validity_intervals",
+]

@@ -1,0 +1,109 @@
+"""Gap detection: the missing values of the coarse localization problem.
+
+A *gap* is a maximal period in a device's log during which no connectivity
+event is valid (paper §2): between consecutive events ``e0`` at ``t0`` and
+``e1`` at ``t1``, if ``t1 − t0 > 2δ`` there is a gap
+``[t0 + δ, t1 − δ]``.  The coarse-grained localizer classifies each gap as
+outside the building or inside a specific region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events.table import DeviceLog
+from repro.util.timeutil import TimeInterval
+
+
+@dataclass(frozen=True, slots=True)
+class Gap:
+    """One gap in a device's connectivity log.
+
+    Attributes:
+        mac: Device the gap belongs to.
+        interval: ``[t_str, t_end]`` = ``[t0 + δ, t1 − δ]``.
+        before_position: Log position of the event e0 preceding the gap.
+        after_position: Log position of the event e1 following the gap.
+        ap_before: AP of e0 (determines the gap's start region g_str).
+        ap_after: AP of e1 (determines the gap's end region g_end).
+    """
+
+    mac: str
+    interval: TimeInterval
+    before_position: int
+    after_position: int
+    ap_before: str
+    ap_after: str
+
+    @property
+    def duration(self) -> float:
+        """δ(gap): the length of the gap in seconds."""
+        return self.interval.duration
+
+    def __str__(self) -> str:
+        return (f"gap({self.mac}) {self.interval} "
+                f"[{self.ap_before} → {self.ap_after}]")
+
+
+def extract_gaps(log: DeviceLog, delta: "float | None" = None,
+                 window: "TimeInterval | None" = None) -> list[Gap]:
+    """All gaps of a device log (GAP(d)), optionally restricted to a window.
+
+    A pair of consecutive events produces a gap only when the spacing
+    exceeds ``2δ``; otherwise their validity windows tile the whole span.
+    With ``window``, only gaps whose *start* event lies in the window are
+    returned (how the training history E_T is assembled in Section 3).
+    """
+    if delta is None:
+        delta = log.device.delta
+    gaps: list[Gap] = []
+    n = len(log)
+    for i in range(n - 1):
+        t0 = log.time_at(i)
+        t1 = log.time_at(i + 1)
+        if t1 - t0 <= 2 * delta:
+            continue
+        if window is not None and not window.contains(t0):
+            continue
+        gaps.append(Gap(
+            mac=log.device.mac,
+            interval=TimeInterval(t0 + delta, t1 - delta),
+            before_position=i,
+            after_position=i + 1,
+            ap_before=log.ap_at(i),
+            ap_after=log.ap_at(i + 1),
+        ))
+    return gaps
+
+
+def find_gap_at(log: DeviceLog, timestamp: float,
+                delta: "float | None" = None) -> "Gap | None":
+    """The gap containing ``timestamp``, or None if an event is valid there.
+
+    Boundary gaps (before the first or after the last event) return None:
+    they are handled by the caller, since without a surrounding event pair
+    the gap features of Section 3 are undefined (the coarse localizer
+    treats a query there as outside the building).
+    """
+    if delta is None:
+        delta = log.device.delta
+    if log.is_empty:
+        return None
+    before = log.nearest_before(timestamp)
+    if before is None or before + 1 >= len(log):
+        return None
+    t0 = log.time_at(before)
+    t1 = log.time_at(before + 1)
+    if t1 - t0 <= 2 * delta:
+        return None
+    start, end = t0 + delta, t1 - delta
+    if not start <= timestamp <= end:
+        return None
+    return Gap(
+        mac=log.device.mac,
+        interval=TimeInterval(start, end),
+        before_position=before,
+        after_position=before + 1,
+        ap_before=log.ap_at(before),
+        ap_after=log.ap_at(before + 1),
+    )

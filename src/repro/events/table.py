@@ -1,0 +1,228 @@
+"""The connectivity events table E with per-device numpy-backed logs.
+
+The table stores events per device as parallel sorted arrays (timestamps
+and AP indices), which makes the hot operations of the localizers —
+"which event is valid at t?", "events in [a, b)", "co-occurrence scans" —
+binary searches instead of linear passes.  This mirrors how a production
+system would index the association log by device and time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import EmptyHistoryError, EventTableError, UnknownDeviceError
+from repro.events.device import Device, DeviceRegistry
+from repro.events.event import ConnectivityEvent
+from repro.util.timeutil import TimeInterval
+
+
+class DeviceLog:
+    """Chronologically sorted events of one device.
+
+    Internally two parallel numpy arrays: ``times`` (float64 seconds) and
+    ``ap_indices`` (int32 indices into the table's AP vocabulary).
+    """
+
+    def __init__(self, device: Device, times: np.ndarray,
+                 ap_indices: np.ndarray, ap_vocab: Sequence[str]) -> None:
+        if times.shape != ap_indices.shape:
+            raise EventTableError("times and ap_indices must align")
+        self.device = device
+        self.times = times
+        self.ap_indices = ap_indices
+        self._ap_vocab = ap_vocab
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.times.size == 0
+
+    def ap_at(self, position: int) -> str:
+        """AP id of the event at array position ``position``."""
+        return self._ap_vocab[int(self.ap_indices[position])]
+
+    def resolve_ap(self, ap_index: int) -> str:
+        """AP id for a raw vocabulary index (as returned by slices)."""
+        return self._ap_vocab[int(ap_index)]
+
+    def time_at(self, position: int) -> float:
+        """Timestamp of the event at array position ``position``."""
+        return float(self.times[position])
+
+    def slice_interval(self, interval: TimeInterval) -> "tuple[np.ndarray, np.ndarray]":
+        """Return ``(times, ap_indices)`` of events with t in [start, end)."""
+        lo = int(np.searchsorted(self.times, interval.start, side="left"))
+        hi = int(np.searchsorted(self.times, interval.end, side="left"))
+        return self.times[lo:hi], self.ap_indices[lo:hi]
+
+    def count_in(self, interval: TimeInterval) -> int:
+        """Number of events with timestamp in [start, end)."""
+        lo = int(np.searchsorted(self.times, interval.start, side="left"))
+        hi = int(np.searchsorted(self.times, interval.end, side="left"))
+        return hi - lo
+
+    def nearest_before(self, timestamp: float) -> "int | None":
+        """Position of the latest event with t <= timestamp, or None."""
+        pos = int(np.searchsorted(self.times, timestamp, side="right")) - 1
+        return pos if pos >= 0 else None
+
+    def nearest_after(self, timestamp: float) -> "int | None":
+        """Position of the earliest event with t >= timestamp, or None."""
+        pos = int(np.searchsorted(self.times, timestamp, side="left"))
+        return pos if pos < self.times.size else None
+
+    def events(self) -> Iterator[ConnectivityEvent]:
+        """Materialize the log as :class:`ConnectivityEvent` records."""
+        for i in range(len(self)):
+            yield ConnectivityEvent(timestamp=self.time_at(i),
+                                    mac=self.device.mac, ap_id=self.ap_at(i))
+
+
+class EventTable:
+    """The events table E, indexed by device and time.
+
+    Build either incrementally with :meth:`append` + :meth:`freeze`, or in
+    one shot with :meth:`from_events`.  Appends after freezing re-open the
+    table; reads on a dirty (unfrozen) table freeze it lazily.
+    """
+
+    def __init__(self) -> None:
+        self.registry = DeviceRegistry()
+        self._ap_vocab: list[str] = []
+        self._ap_index: dict[str, int] = {}
+        self._pending: dict[str, list[tuple[float, int]]] = {}
+        self._logs: dict[str, DeviceLog] = {}
+        self._dirty = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(cls, events: Iterable[ConnectivityEvent]) -> "EventTable":
+        """Build a frozen table from an iterable of events."""
+        table = cls()
+        for event in events:
+            table.append(event)
+        table.freeze()
+        return table
+
+    def append(self, event: ConnectivityEvent) -> None:
+        """Ingest one event (any order; sorting happens at freeze)."""
+        self.registry.intern(event.mac)
+        ap_idx = self._ap_index.get(event.ap_id)
+        if ap_idx is None:
+            ap_idx = len(self._ap_vocab)
+            self._ap_vocab.append(event.ap_id)
+            self._ap_index[event.ap_id] = ap_idx
+        self._pending.setdefault(event.mac, []).append((event.timestamp, ap_idx))
+        self._event_count += 1
+        self._dirty = True
+
+    def extend(self, events: Iterable[ConnectivityEvent]) -> None:
+        """Ingest many events."""
+        for event in events:
+            self.append(event)
+
+    def freeze(self) -> None:
+        """Sort pending events into the per-device numpy logs."""
+        if not self._dirty:
+            return
+        for mac, rows in self._pending.items():
+            old = self._logs.get(mac)
+            times = np.array([t for t, _ in rows], dtype=np.float64)
+            aps = np.array([a for _, a in rows], dtype=np.int32)
+            if old is not None and len(old):
+                times = np.concatenate([old.times, times])
+                aps = np.concatenate([old.ap_indices, aps])
+            order = np.argsort(times, kind="stable")
+            device = self.registry.get(mac)
+            self._logs[mac] = DeviceLog(device, times[order], aps[order],
+                                        self._ap_vocab)
+        self._pending.clear()
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _ensure_frozen(self) -> None:
+        if self._dirty:
+            self.freeze()
+
+    def __len__(self) -> int:
+        return self._event_count
+
+    @property
+    def device_count(self) -> int:
+        return len(self.registry)
+
+    @property
+    def ap_ids(self) -> tuple[str, ...]:
+        """All AP ids observed, in first-seen order."""
+        return tuple(self._ap_vocab)
+
+    def macs(self) -> list[str]:
+        """All device MACs observed."""
+        return self.registry.macs()
+
+    def log(self, mac: str) -> DeviceLog:
+        """The chronologically sorted log of one device (E(d))."""
+        self._ensure_frozen()
+        if mac not in self.registry:
+            raise UnknownDeviceError(f"device {mac!r} never observed")
+        device_log = self._logs.get(mac)
+        if device_log is None:
+            device = self.registry.get(mac)
+            empty = np.empty(0)
+            device_log = DeviceLog(device, empty.astype(np.float64),
+                                   empty.astype(np.int32), self._ap_vocab)
+            self._logs[mac] = device_log
+        return device_log
+
+    def events_of(self, mac: str,
+                  interval: "TimeInterval | None" = None
+                  ) -> list[ConnectivityEvent]:
+        """Materialized events of a device, optionally clipped to a window."""
+        device_log = self.log(mac)
+        if interval is None:
+            return list(device_log.events())
+        times, aps = device_log.slice_interval(interval)
+        return [ConnectivityEvent(timestamp=float(t), mac=mac,
+                                  ap_id=self._ap_vocab[int(a)])
+                for t, a in zip(times, aps)]
+
+    def span(self) -> TimeInterval:
+        """Smallest interval containing every event in the table."""
+        self._ensure_frozen()
+        lo, hi = np.inf, -np.inf
+        for device_log in self._logs.values():
+            if len(device_log):
+                lo = min(lo, float(device_log.times[0]))
+                hi = max(hi, float(device_log.times[-1]))
+        if lo > hi:
+            raise EmptyHistoryError("event table contains no events")
+        return TimeInterval(lo, hi + 1e-9)
+
+    def devices_active_in(self, interval: TimeInterval) -> list[str]:
+        """MACs with at least one event inside ``interval``."""
+        self._ensure_frozen()
+        return [mac for mac, device_log in self._logs.items()
+                if device_log.count_in(interval) > 0]
+
+    def restrict(self, interval: TimeInterval) -> "EventTable":
+        """A new table containing only events inside ``interval`` (E_T)."""
+        self._ensure_frozen()
+        clipped = EventTable()
+        for mac in self.macs():
+            for event in self.events_of(mac, interval):
+                clipped.append(event)
+            # Preserve per-device delta estimates on the restriction.
+            if mac in clipped.registry:
+                clipped.registry.get(mac).delta = self.registry.get(mac).delta
+        clipped.freeze()
+        return clipped

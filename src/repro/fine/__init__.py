@@ -1,0 +1,51 @@
+"""Fine-grained localization: room disambiguation (paper §4).
+
+Given the coarse answer — a region gx — pick the room r ∈ R(gx) with the
+highest posterior probability, combining:
+
+* **room affinity** α(d, r, t): a metadata prior over preferred / public /
+  private candidate rooms;
+* **device affinity** α(D): the fraction of co-occurring connectivity
+  events among a device set, mined from the historical log;
+* **group affinity** α(D, r, t) (Eq. 1): device affinity × each member's
+  conditional probability of being in r given the intersecting rooms.
+
+Two inference variants are provided: I-FINE (conditional independence
+across neighbors, Eq. 3, with possible-world min/max/expected bounds per
+Theorems 1–3 and the loosened early-stop conditions) and D-FINE (neighbor
+clusters treated as units, Eq. 6).
+"""
+
+from repro.fine.affinity import (
+    DeviceAffinityIndex,
+    GroupAffinityModel,
+    RoomAffinityModel,
+    RoomAffinityWeights,
+)
+from repro.fine.neighbors import NeighborDevice, find_neighbors
+from repro.fine.time_dependent import (
+    TimeDependentRoomAffinityModel,
+    TimeWindowPreference,
+)
+from repro.fine.worlds import PosteriorBounds, RoomPosterior
+from repro.fine.localizer import (
+    FineLocalizer,
+    FineMode,
+    FineResult,
+)
+
+__all__ = [
+    "DeviceAffinityIndex",
+    "FineLocalizer",
+    "FineMode",
+    "FineResult",
+    "GroupAffinityModel",
+    "NeighborDevice",
+    "PosteriorBounds",
+    "RoomAffinityModel",
+    "RoomAffinityWeights",
+    "RoomPosterior",
+    "TimeDependentRoomAffinityModel",
+    "TimeWindowPreference",
+    "find_neighbors",
+]

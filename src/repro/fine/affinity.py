@@ -1,0 +1,290 @@
+"""Affinity learning (paper §4.1): room, device, and group affinities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.events.table import EventTable
+from repro.space.building import Building
+from repro.space.metadata import SpaceMetadata
+from repro.util.timeutil import TimeInterval
+from repro.util.validation import check_probability_vector
+
+
+@dataclass(frozen=True, slots=True)
+class RoomAffinityWeights:
+    """The (w^pf, w^pb, w^pr) weight triple of §4.1.
+
+    Constraints (paper): w^pf > w^pb > w^pr and they sum to 1.  The paper
+    evaluates C1={.7,.2,.1}, C2={.6,.3,.1} (best), C3={.5,.3,.2},
+    C4={.5,.4,.1} in Table 2.
+    """
+
+    preferred: float = 0.6
+    public: float = 0.3
+    private: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_probability_vector(
+            "room affinity weights",
+            (self.preferred, self.public, self.private))
+        if not self.preferred > self.public > self.private:
+            raise ConfigurationError(
+                "room affinity weights must satisfy w_pf > w_pb > w_pr, got "
+                f"({self.preferred}, {self.public}, {self.private})")
+
+
+#: The four weight combinations evaluated in Table 2 of the paper.
+TABLE2_COMBINATIONS: dict[str, RoomAffinityWeights] = {
+    "C1": RoomAffinityWeights(0.7, 0.2, 0.1),
+    "C2": RoomAffinityWeights(0.6, 0.3, 0.1),
+    "C3": RoomAffinityWeights(0.5, 0.3, 0.2),
+    "C4": RoomAffinityWeights(0.5, 0.4, 0.1),
+}
+
+
+class RoomAffinityModel:
+    """Room affinity α(d, r, t): metadata-driven priors over candidates.
+
+    Each weight class is split uniformly among the candidate rooms of that
+    class (paper example: three "other private" rooms share w^pr/3 each).
+    When a class has no candidates its weight is redistributed
+    proportionally to the remaining classes so affinities still sum to 1
+    over the candidate set.
+    """
+
+    def __init__(self, metadata: SpaceMetadata,
+                 weights: RoomAffinityWeights = RoomAffinityWeights()) -> None:
+        self._metadata = metadata
+        self.weights = weights
+
+    def affinities_at(self, mac: str, candidate_rooms: Sequence[str],
+                      timestamp: float) -> dict[str, float]:
+        """α(d, r, t): time-aware affinities; the base model ignores ``t``.
+
+        Subclasses (e.g. the time-dependent model of
+        :mod:`repro.fine.time_dependent`) override this; the fine
+        localizer always calls it so either model plugs in.
+        """
+        del timestamp  # static model: affinity is time-independent
+        return self.affinities(mac, candidate_rooms)
+
+    def affinities(self, mac: str, candidate_rooms: Sequence[str]
+                   ) -> dict[str, float]:
+        """α(d, r) for every candidate room; values sum to 1.
+
+        Room affinity is not data dependent (paper: "we can pre-compute and
+        store it"), so callers may cache the result per (device, region).
+        """
+        if not candidate_rooms:
+            return {}
+        split = self._metadata.classify_candidates(mac, candidate_rooms)
+        class_rooms = (
+            (self.weights.preferred, split.preferred),
+            (self.weights.public, split.public),
+            (self.weights.private, split.private),
+        )
+        active_weight = sum(w for w, rooms in class_rooms if rooms)
+        if active_weight <= 0:
+            uniform = 1.0 / len(candidate_rooms)
+            return {room: uniform for room in candidate_rooms}
+        out: dict[str, float] = {}
+        for weight, rooms in class_rooms:
+            if not rooms:
+                continue
+            share = (weight / active_weight) / len(rooms)
+            for room in rooms:
+                out[room] = share
+        return out
+
+
+class DeviceAffinityIndex:
+    """Device affinity α(D): co-occurrence mining over the event log.
+
+    For a pair (a, b): the fraction of events in E({a, b}) that have a
+    matching event of the other device within the validity period and at
+    the same AP (paper §4.1).  Generalizes to larger D by requiring a match
+    from *every* other member.  Results are cached per frozenset of MACs —
+    the history scan is the expensive part the caching engine of §5 tries
+    to avoid repeating.
+
+    Args:
+        table: Event table to mine.
+        history: Restrict mining to this window (defaults to full span).
+        max_events: Cap on per-device events scanned (subsampled evenly if
+            above), bounding worst-case cost on chatty devices.
+        match_window_cap: Upper bound (seconds) on the temporal matching
+            tolerance.  The paper matches within the device's validity
+            period δ; with real handsets δ is small (phones probe every
+            couple of minutes while active), which keeps incidental
+            same-AP matches between unrelated devices rare.  Devices with
+            sparse probing would otherwise inflate the window to tens of
+            minutes and count mere region-mates as companions, so the
+            tolerance is min(δ, cap).
+        reuse_cache: Memoize computed affinities across queries.  ``True``
+            (default) is the production-sane choice; ``False`` recomputes
+            the history scan per request, reproducing the per-query cost
+            model of the paper's efficiency experiments (§6.4), where the
+            *caching engine* — not a memo table — is what saves work.
+    """
+
+    def __init__(self, table: EventTable,
+                 history: "TimeInterval | None" = None,
+                 max_events: int = 4000,
+                 match_window_cap: float = 240.0,
+                 reuse_cache: bool = True) -> None:
+        self._table = table
+        self._history = history
+        self._max_events = max_events
+        self.match_window_cap = match_window_cap
+        self.reuse_cache = reuse_cache
+        self._cache: dict[frozenset[str], float] = {}
+
+    def _device_arrays(self, mac: str) -> "tuple[np.ndarray, np.ndarray]":
+        log = self._table.log(mac)
+        if self._history is not None:
+            times, aps = log.slice_interval(self._history)
+        else:
+            times, aps = log.times, log.ap_indices
+        n = times.size
+        if n > self._max_events:
+            take = np.linspace(0, n - 1, self._max_events).astype(int)
+            times, aps = times[take], aps[take]
+        return times, aps
+
+    def pairwise(self, mac_a: str, mac_b: str) -> float:
+        """α({a, b}) ∈ [0, 1]."""
+        return self.group(frozenset((mac_a, mac_b)))
+
+    def group(self, macs: "frozenset[str] | Iterable[str]") -> float:
+        """α(D) for a device set of size ≥ 2."""
+        key = frozenset(macs)
+        if len(key) < 2:
+            raise ConfigurationError(
+                f"device affinity needs >= 2 devices, got {sorted(key)}")
+        if self.reuse_cache:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        value = self._compute_group(sorted(key))
+        if self.reuse_cache:
+            self._cache[key] = value
+        return value
+
+    def _compute_group(self, macs: list[str]) -> float:
+        arrays = {mac: self._device_arrays(mac) for mac in macs}
+        deltas = {mac: min(self._table.registry.get(mac).delta,
+                           self.match_window_cap) for mac in macs}
+        total = sum(times.size for times, _ in arrays.values())
+        if total == 0:
+            return 0.0
+        matches = 0
+        for mac in macs:
+            times, aps = arrays[mac]
+            delta = deltas[mac]
+            if times.size == 0:
+                continue
+            ok = np.ones(times.size, dtype=bool)
+            for other in macs:
+                if other == mac:
+                    continue
+                ok &= self._has_match(times, aps, arrays[other], delta)
+                if not ok.any():
+                    break
+            matches += int(ok.sum())
+        return matches / total
+
+    @staticmethod
+    def _has_match(times: np.ndarray, aps: np.ndarray,
+                   other: "tuple[np.ndarray, np.ndarray]",
+                   delta: float) -> np.ndarray:
+        """For each (t, ap), is there an ``other`` event within ±δ at ap?
+
+        Vectorized: for every event, binary-search the other device's log
+        for entries in [t−δ, t+δ] and check AP equality inside that span.
+        Spans are short (δ is minutes), so the inner scan is tiny.
+        """
+        other_times, other_aps = other
+        if other_times.size == 0:
+            return np.zeros(times.size, dtype=bool)
+        lo = np.searchsorted(other_times, times - delta, side="left")
+        hi = np.searchsorted(other_times, times + delta, side="right")
+        out = np.zeros(times.size, dtype=bool)
+        for i in range(times.size):
+            if lo[i] >= hi[i]:
+                continue
+            out[i] = bool((other_aps[lo[i]:hi[i]] == aps[i]).any())
+        return out
+
+    def clear(self) -> None:
+        """Drop all cached affinities (e.g. after new data arrives)."""
+        self._cache.clear()
+
+
+class GroupAffinityModel:
+    """Group affinity α(D, r, t) per Eq. 1 of the paper.
+
+    α(D, r, t) = α(D) · Π_{d ∈ D} P(@(d, r, t) | @(d, R_is, t)) when r lies
+    in the intersection R_is of all members' candidate rooms, else 0.  The
+    conditional is each member's room affinity renormalized over R_is.
+
+    Args:
+        noise_floor: Device affinities below this are treated as zero.
+            The paper's neighbor definition (§4.2 condition ii) admits
+            only devices with genuinely positive group affinity; sporadic
+            same-AP coincidences between unrelated devices produce tiny
+            positive affinities that would otherwise accumulate across
+            many neighbors and swamp the room-affinity prior.
+    """
+
+    def __init__(self, room_model: RoomAffinityModel,
+                 device_index: DeviceAffinityIndex,
+                 building: Building,
+                 noise_floor: float = 0.1) -> None:
+        if not 0.0 <= noise_floor < 1.0:
+            raise ConfigurationError(
+                f"noise_floor must be in [0, 1), got {noise_floor}")
+        self._rooms = room_model
+        self._devices = device_index
+        self._building = building
+        self.noise_floor = noise_floor
+
+    def intersecting_rooms(self, candidate_sets: Sequence[Iterable[str]]
+                           ) -> frozenset[str]:
+        """R_is: rooms common to every member's candidate set."""
+        sets = [frozenset(c) for c in candidate_sets]
+        if not sets:
+            return frozenset()
+        out = sets[0]
+        for s in sets[1:]:
+            out &= s
+        return out
+
+    def group_affinity(self, members: Sequence[tuple[str, Sequence[str]]],
+                       room_id: str) -> float:
+        """α(D, r, t) for members given as (mac, candidate_rooms) pairs.
+
+        The paper's worked example: α({d1,d2})=.4, R_is={2065,2069,2099},
+        P(d1 in 2065|R_is)=.69, P(d2 in 2065|R_is)=.44 → affinity .12.
+        """
+        if len(members) < 2:
+            raise ConfigurationError("group affinity needs >= 2 members")
+        r_is = self.intersecting_rooms([cands for _, cands in members])
+        if room_id not in r_is:
+            return 0.0
+        device_affinity = self._devices.group(
+            frozenset(mac for mac, _ in members))
+        if device_affinity < self.noise_floor:
+            return 0.0
+        value = device_affinity
+        for mac, candidates in members:
+            alphas = self._rooms.affinities(mac, list(candidates))
+            mass_in_ris = sum(alphas.get(r, 0.0) for r in r_is)
+            if mass_in_ris <= 0:
+                return 0.0
+            value *= alphas.get(room_id, 0.0) / mass_in_ris
+        return value

@@ -1,0 +1,322 @@
+"""Algorithm 2: the iterative fine-grained localization loop (paper §4.2).
+
+Processes neighbor devices one at a time, folding each one's group
+affinities into the posterior over candidate rooms, and stops early when
+the loosened conditions hold for the top-2 rooms:
+
+1. ``minP(ra | D̄n) >= expP(rb | D̄n)``, or
+2. ``expP(ra | D̄n) >= maxP(rb | D̄n)``.
+
+I-FINE treats neighbors as conditionally independent (Eq. 3).  D-FINE
+groups the processed neighbors into clusters of mutually affine devices
+and treats each cluster as one unit (Eq. 6); its loop additionally stops
+once every remaining cluster has zero group affinity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import LocalizationError
+from repro.fine.affinity import (
+    DeviceAffinityIndex,
+    GroupAffinityModel,
+    RoomAffinityModel,
+)
+from repro.fine.neighbors import NeighborDevice, find_neighbors
+from repro.fine.worlds import RoomPosterior
+from repro.events.table import EventTable
+from repro.space.building import Building
+
+
+class FineMode(enum.Enum):
+    """Inference variant: independent (I-FINE) or dependent (D-FINE)."""
+
+    INDEPENDENT = "I-FINE"
+    DEPENDENT = "D-FINE"
+
+
+@dataclass(frozen=True, slots=True)
+class FineResult:
+    """Answer of the fine-grained localizer.
+
+    Attributes:
+        mac: Queried device.
+        timestamp: Query time.
+        room_id: The selected room (argmax posterior).
+        posterior: Full posterior over candidate rooms.
+        neighbors_total: Neighbors available.
+        neighbors_processed: Neighbors actually folded in before stopping.
+        stopped_early: Whether a stop condition fired before exhausting
+            the neighbor set.
+        edge_weights: Local-affinity-graph edge weight per processed
+            neighbor — w(e_ab, t_q) = mean group affinity over the
+            candidate rooms (consumed by the caching engine of §5).
+    """
+
+    mac: str
+    timestamp: float
+    room_id: str
+    posterior: dict[str, float]
+    neighbors_total: int
+    neighbors_processed: int
+    stopped_early: bool
+    edge_weights: dict[str, float]
+
+    def __str__(self) -> str:
+        return (f"{self.mac} @ {self.timestamp:.0f}s → room {self.room_id} "
+                f"(p={self.posterior.get(self.room_id, 0.0):.3f}, "
+                f"{self.neighbors_processed}/{self.neighbors_total} neighbors)")
+
+
+@dataclass(slots=True)
+class _Cluster:
+    """A D-FINE cluster: processed neighbors with mutual device affinity."""
+
+    members: list[NeighborDevice] = field(default_factory=list)
+
+    def macs(self) -> list[str]:
+        return [n.mac for n in self.members]
+
+
+class FineLocalizer:
+    """Room disambiguation for one building (Algorithm 2).
+
+    Args:
+        building: Space model.
+        table: Event table (history for affinity mining).
+        room_model: Room-affinity prior model.
+        device_index: Device-affinity co-occurrence index.
+        mode: I-FINE or D-FINE.
+        use_stop_conditions: Disable to process every neighbor (the paper's
+            Fig. 11 ablation).
+        max_neighbors: Cap on neighbors considered per query.
+        affinity_cap: Default co-location-mass bound for unprocessed
+            neighbors in the possible-world bounds (see
+            :mod:`repro.fine.worlds`).
+    """
+
+    def __init__(self, building: Building, table: EventTable,
+                 room_model: RoomAffinityModel,
+                 device_index: DeviceAffinityIndex,
+                 mode: FineMode = FineMode.DEPENDENT,
+                 use_stop_conditions: bool = True,
+                 max_neighbors: int = 24,
+                 affinity_cap: float = 0.1,
+                 affinity_noise_floor: float = 0.1) -> None:
+        self._building = building
+        self._table = table
+        self._room_model = room_model
+        self._device_index = device_index
+        self._group_model = GroupAffinityModel(
+            room_model, device_index, building,
+            noise_floor=affinity_noise_floor)
+        self.mode = mode
+        self.use_stop_conditions = use_stop_conditions
+        self.max_neighbors = max_neighbors
+        self.affinity_cap = affinity_cap
+
+    # ------------------------------------------------------------------
+    def locate(self, mac: str, timestamp: float, region_id: int,
+               neighbor_order: "Sequence[NeighborDevice] | None" = None,
+               neighbor_caps: "dict[str, float] | None" = None) -> FineResult:
+        """Pick the room of ``mac`` at ``timestamp`` within region ``gx``.
+
+        Args:
+            neighbor_order: Pre-ordered neighbor list (the caching engine
+                supplies descending-affinity order); default is discovery
+                order.
+            neighbor_caps: Optional per-neighbor upper bounds on group
+                affinity from the global affinity graph, used to tighten
+                the possible-world bounds of unprocessed neighbors.
+        """
+        candidates = [room.room_id
+                      for room in self._building.candidate_rooms(region_id)]
+        if not candidates:
+            raise LocalizationError(
+                f"region g{region_id} has no candidate rooms")
+
+        prior = self._room_model.affinities_at(mac, candidates, timestamp)
+        posterior = RoomPosterior(prior, affinity_cap=self.affinity_cap)
+
+        neighbors = list(neighbor_order) if neighbor_order is not None else \
+            find_neighbors(self._building, self._table, mac, timestamp,
+                           region_id, max_neighbors=self.max_neighbors)
+        neighbors = neighbors[: self.max_neighbors]
+
+        edge_weights: dict[str, float] = {}
+        if self.mode is FineMode.INDEPENDENT:
+            posterior, processed, stopped = self._run_independent(
+                mac, posterior, neighbors, neighbor_caps, edge_weights)
+        else:
+            posterior, processed, stopped = self._run_dependent(
+                mac, timestamp, posterior, neighbors, neighbor_caps,
+                edge_weights)
+
+        final = posterior.posterior()
+        best_room = self._argmax_room(final, mac, timestamp)
+        return FineResult(
+            mac=mac, timestamp=timestamp, room_id=best_room,
+            posterior=final, neighbors_total=len(neighbors),
+            neighbors_processed=processed, stopped_early=stopped,
+            edge_weights=edge_weights)
+
+    @staticmethod
+    def _argmax_room(posterior: dict[str, float], mac: str,
+                     timestamp: float) -> str:
+        """Argmax with deterministic, query-keyed tie-breaking.
+
+        Devices with no metadata and no co-location evidence end with a
+        flat posterior over same-class rooms; breaking ties always toward
+        the lexicographically first room would be systematically wrong,
+        so ties are broken by a hash of the query instead (uniform across
+        queries, reproducible per query).
+        """
+        best = max(posterior.values())
+        tied = sorted(room for room, p in posterior.items()
+                      if p >= best - 1e-9)
+        if len(tied) == 1:
+            return tied[0]
+        from repro.util.rng import _fnv1a
+        return tied[_fnv1a(f"{mac}|{timestamp:.3f}") % len(tied)]
+
+    # ------------------------------------------------------------------
+    def _pair_affinities(self, mac: str, neighbor: NeighborDevice,
+                         candidates: Sequence[str]) -> dict[str, float]:
+        """α({d_i, d_k}, r, t_q) for every candidate room r."""
+        members = [(mac, list(candidates)),
+                   (neighbor.mac, list(neighbor.candidate_rooms))]
+        return {room: self._group_model.group_affinity(members, room)
+                for room in candidates}
+
+    def _caps_for(self, remaining: Sequence[NeighborDevice],
+                  neighbor_caps: "dict[str, float] | None") -> list[float]:
+        if neighbor_caps is None:
+            return [self.affinity_cap] * len(remaining)
+        return [min(neighbor_caps.get(n.mac, self.affinity_cap), 1.0 - 1e-6)
+                for n in remaining]
+
+    def _stop_satisfied(self, posterior: RoomPosterior,
+                        remaining: Sequence[NeighborDevice],
+                        neighbor_caps: "dict[str, float] | None") -> bool:
+        """The loosened stop conditions over the top-2 rooms."""
+        (room_a, _), (room_b, _) = posterior.top_two()
+        if not room_b:
+            return True  # single candidate: nothing to disambiguate
+        caps = self._caps_for(remaining, neighbor_caps)
+        bounds_a = posterior.bounds(room_a, len(remaining), caps)
+        bounds_b = posterior.bounds(room_b, len(remaining), caps)
+        return (bounds_a.minimum >= bounds_b.expected
+                or bounds_a.expected >= bounds_b.maximum)
+
+    # ------------------------------------------------------------------
+    def _run_independent(self, mac: str, posterior: RoomPosterior,
+                         neighbors: Sequence[NeighborDevice],
+                         neighbor_caps: "dict[str, float] | None",
+                         edge_weights: dict[str, float]
+                         ) -> "tuple[RoomPosterior, int, bool]":
+        """I-FINE: fold neighbors independently (Eq. 3)."""
+        candidates = posterior.rooms
+        for index, neighbor in enumerate(neighbors):
+            affinities = self._pair_affinities(mac, neighbor, candidates)
+            edge_weights[neighbor.mac] = (
+                sum(affinities.values()) / len(candidates))
+            posterior.observe(affinities)
+            remaining = neighbors[index + 1:]
+            if (self.use_stop_conditions and remaining
+                    and self._stop_satisfied(posterior, remaining,
+                                             neighbor_caps)):
+                return posterior, index + 1, True
+        return posterior, len(neighbors), False
+
+    def _run_dependent(self, mac: str, timestamp: float,
+                       posterior: RoomPosterior,
+                       neighbors: Sequence[NeighborDevice],
+                       neighbor_caps: "dict[str, float] | None",
+                       edge_weights: dict[str, float]
+                       ) -> "tuple[RoomPosterior, int, bool]":
+        """D-FINE: cluster processed neighbors, fold clusters (Eq. 6).
+
+        Clusters are connected components under non-zero pairwise device
+        affinity.  Each time a neighbor is processed it joins (or starts)
+        a cluster; the posterior is rebuilt from the prior with one factor
+        per cluster, whose affinity is α({cluster ∪ d_i}, r, t_q).
+        """
+        candidates = posterior.rooms
+        clusters: list[_Cluster] = []
+        processed = 0
+        stopped = False
+        current = posterior
+        for index, neighbor in enumerate(neighbors):
+            pair = self._pair_affinities(mac, neighbor, candidates)
+            edge_weights[neighbor.mac] = (
+                sum(pair.values()) / len(candidates))
+            self._assign_to_cluster(clusters, neighbor)
+            processed = index + 1
+            current = self._posterior_from_clusters(mac, timestamp,
+                                                    candidates, clusters)
+            remaining = neighbors[index + 1:]
+            if not remaining:
+                break
+            if self.use_stop_conditions:
+                if self._all_clusters_zero(mac, clusters, candidates):
+                    stopped = True
+                    break
+                if self._stop_satisfied(current, remaining, neighbor_caps):
+                    stopped = True
+                    break
+        return current, processed, stopped
+
+    def _assign_to_cluster(self, clusters: list[_Cluster],
+                           neighbor: NeighborDevice) -> None:
+        """Place a neighbor into the cluster graph, merging as needed."""
+        touching: list[_Cluster] = []
+        for cluster in clusters:
+            if any(self._device_index.pairwise(neighbor.mac, member.mac) > 0
+                   for member in cluster.members):
+                touching.append(cluster)
+        if not touching:
+            clusters.append(_Cluster(members=[neighbor]))
+            return
+        primary = touching[0]
+        primary.members.append(neighbor)
+        for extra in touching[1:]:
+            primary.members.extend(extra.members)
+            clusters.remove(extra)
+
+    def _cluster_affinities(self, mac: str, cluster: _Cluster,
+                            candidates: Sequence[str]) -> dict[str, float]:
+        """α({D̄nl ∪ d_i}, r, t_q) for every candidate room."""
+        members = [(mac, list(candidates))]
+        members.extend((n.mac, list(n.candidate_rooms))
+                       for n in cluster.members)
+        return {room: self._group_model.group_affinity(members, room)
+                for room in candidates}
+
+    def _posterior_from_clusters(self, mac: str, timestamp: float,
+                                 candidates: Sequence[str],
+                                 clusters: Sequence[_Cluster]
+                                 ) -> RoomPosterior:
+        """Posterior rebuilt from the prior with one factor per cluster.
+
+        Clusters mutate as neighbors join, so the posterior is rebuilt
+        each round rather than folded incrementally.
+        """
+        prior = self._room_model.affinities_at(mac, list(candidates),
+                                               timestamp)
+        fresh = RoomPosterior(prior, affinity_cap=self.affinity_cap)
+        for cluster in clusters:
+            fresh.observe(self._cluster_affinities(mac, cluster,
+                                                   fresh.rooms))
+        return fresh
+
+    def _all_clusters_zero(self, mac: str, clusters: Sequence[_Cluster],
+                           candidates: Sequence[str]) -> bool:
+        """D-FINE termination: every cluster's group affinity is zero."""
+        for cluster in clusters:
+            affs = self._cluster_affinities(mac, cluster, candidates)
+            if any(v > 0 for v in affs.values()):
+                return False
+        return True

@@ -1,0 +1,73 @@
+"""Neighbor device discovery (paper §4.2).
+
+A device d_k is a *neighbor* of the queried device d_i when (i) it is
+online at t_q — some connectivity event of d_k is valid at t_q, placing it
+in a region g_y without any cleaning; (ii) it can contribute non-zero
+group affinity; and (iii) its region's rooms intersect the candidate set
+R(gx).  Neighbors are what fine-grained inference iterates over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events.table import EventTable
+from repro.events.validity import valid_event_at
+from repro.space.building import Building
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborDevice:
+    """One neighbor of the queried device at query time.
+
+    Attributes:
+        mac: The neighbor's MAC address.
+        region_id: The region whose AP the neighbor was connected to at
+            t_q (known directly from the valid event — no cleaning needed).
+        candidate_rooms: R(gy): rooms the neighbor may be in.
+        shared_rooms: R(gx) ∩ R(gy): rooms it shares with the query's
+            candidate set — where co-location is possible.
+    """
+
+    mac: str
+    region_id: int
+    candidate_rooms: tuple[str, ...]
+    shared_rooms: frozenset[str]
+
+
+def find_neighbors(building: Building, table: EventTable, mac: str,
+                   timestamp: float, region_id: int,
+                   max_neighbors: "int | None" = None) -> list[NeighborDevice]:
+    """All neighbors of ``mac`` at ``timestamp`` given its region ``gx``.
+
+    Scans devices with an event valid at t_q (online devices).  Order is
+    deterministic (by MAC); the caching engine re-orders by affinity.
+
+    Args:
+        max_neighbors: Optional cap (the iterative algorithm's early-stop
+            usually makes large neighbor sets unnecessary anyway).
+    """
+    query_region = building.region(region_id)
+    neighbors: list[NeighborDevice] = []
+    for other in sorted(table.macs()):
+        if max_neighbors is not None and len(neighbors) >= max_neighbors:
+            break
+        if other == mac:
+            continue
+        log = table.log(other)
+        if log.is_empty:
+            continue
+        hit = valid_event_at(log, timestamp)
+        if hit is None:
+            continue  # offline at t_q
+        other_region = building.region_of_ap(hit.ap_id)
+        shared = query_region.shared_rooms(other_region)
+        if not shared:
+            continue  # no overlap: cannot influence the room choice
+        neighbors.append(NeighborDevice(
+            mac=other,
+            region_id=other_region.region_id,
+            candidate_rooms=tuple(sorted(other_region.rooms)),
+            shared_rooms=shared,
+        ))
+    return neighbors

@@ -1,0 +1,154 @@
+"""Time-dependent room affinity (the paper's §4.1 suggested extension).
+
+The paper notes: "preferred rooms could be time dependent (e.g., user is
+expected to be in the break room during lunch, while being in office
+during other times).  Such a time dependent model would potentially
+result in more accurate room level localization if such metadata was
+available."  This module implements that model: preferred-room sets that
+vary by time-of-day window, falling back to the base metadata outside
+any window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError, UnknownRoomError
+from repro.fine.affinity import RoomAffinityModel, RoomAffinityWeights
+from repro.space.metadata import SpaceMetadata
+from repro.util.timeutil import SECONDS_PER_DAY, seconds_of_day
+
+
+@dataclass(frozen=True, slots=True)
+class TimeWindowPreference:
+    """Preferred rooms during one daily time-of-day window.
+
+    Attributes:
+        start_second / end_second: Window within the day, half-open, in
+            seconds since midnight.  Must not wrap midnight (split such
+            schedules into two windows).
+        rooms: Preferred rooms during the window.
+    """
+
+    start_second: float
+    end_second: float
+    rooms: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start_second < SECONDS_PER_DAY:
+            raise ConfigurationError(
+                f"window start must be within a day, got {self.start_second}")
+        if not self.start_second < self.end_second <= SECONDS_PER_DAY:
+            raise ConfigurationError(
+                "window must be non-empty, within one day "
+                f"(got [{self.start_second}, {self.end_second}))")
+        if not self.rooms:
+            raise ConfigurationError("window must name at least one room")
+
+    def contains(self, timestamp: float) -> bool:
+        """Whether the timestamp's time-of-day falls in this window."""
+        second = seconds_of_day(timestamp)
+        return self.start_second <= second < self.end_second
+
+
+class TimeDependentRoomAffinityModel(RoomAffinityModel):
+    """Room affinity with per-time-of-day preferred rooms.
+
+    Args:
+        metadata: Base metadata (used outside any window and for room
+            classification).
+        weights: The (w^pf, w^pb, w^pr) triple.
+        schedules: Device id → list of time windows; overlapping windows
+            are rejected.
+
+    Example: a user whose office is 2061 but who is expected in the
+    break room 2002 over lunch::
+
+        model = TimeDependentRoomAffinityModel(metadata, schedules={
+            "7fbh": [TimeWindowPreference(hours(12), hours(13),
+                                          frozenset({"2002"}))],
+        })
+        model.affinities_at("7fbh", candidates, timestamp)
+    """
+
+    def __init__(self, metadata: SpaceMetadata,
+                 weights: RoomAffinityWeights = RoomAffinityWeights(),
+                 schedules: "dict[str, Sequence[TimeWindowPreference]] | None"
+                 = None) -> None:
+        super().__init__(metadata, weights=weights)
+        self._metadata_ref = metadata
+        self._schedules: dict[str, tuple[TimeWindowPreference, ...]] = {}
+        for mac, windows in (schedules or {}).items():
+            self.set_schedule(mac, windows)
+
+    def set_schedule(self, mac: str,
+                     windows: Iterable[TimeWindowPreference]) -> None:
+        """Install (replace) a device's time-of-day preference schedule."""
+        ordered = sorted(windows, key=lambda w: w.start_second)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.start_second < a.end_second:
+                raise ConfigurationError(
+                    f"overlapping windows for {mac!r}: "
+                    f"[{a.start_second},{a.end_second}) and "
+                    f"[{b.start_second},{b.end_second})")
+        building = self._metadata_ref.building
+        for window in ordered:
+            for room in window.rooms:
+                if room not in building.rooms:
+                    raise UnknownRoomError(
+                        f"scheduled room {room!r} not in building "
+                        f"{building.name!r}")
+        self._schedules[mac] = tuple(ordered)
+
+    def active_preferred_rooms(self, mac: str,
+                               timestamp: float) -> frozenset[str]:
+        """The preferred set in force at ``timestamp``.
+
+        Scheduled windows override the base metadata; outside any window
+        the base (static) preferred rooms apply.
+        """
+        for window in self._schedules.get(mac, ()):
+            if window.contains(timestamp):
+                return window.rooms
+        return self._metadata_ref.preferred_rooms(mac)
+
+    def affinities_at(self, mac: str, candidate_rooms: Sequence[str],
+                      timestamp: float) -> dict[str, float]:
+        """α(d, r, t): time-aware room affinities over the candidates.
+
+        Same weight-splitting scheme as the base model, but the preferred
+        bucket is the schedule-resolved set for ``timestamp``.
+        """
+        if not candidate_rooms:
+            return {}
+        preferred = self.active_preferred_rooms(mac, timestamp)
+        building = self._metadata_ref.building
+        pf: list[str] = []
+        pb: list[str] = []
+        pr: list[str] = []
+        for room_id in sorted(candidate_rooms):
+            room = building.room(room_id)
+            if room_id in preferred:
+                pf.append(room_id)
+            elif room.is_public:
+                pb.append(room_id)
+            else:
+                pr.append(room_id)
+        class_rooms = (
+            (self.weights.preferred, pf),
+            (self.weights.public, pb),
+            (self.weights.private, pr),
+        )
+        active_weight = sum(w for w, rooms in class_rooms if rooms)
+        if active_weight <= 0:
+            uniform = 1.0 / len(candidate_rooms)
+            return {room: uniform for room in candidate_rooms}
+        out: dict[str, float] = {}
+        for weight, rooms in class_rooms:
+            if not rooms:
+                continue
+            share = (weight / active_weight) / len(rooms)
+            for room in rooms:
+                out[room] = share
+        return out

@@ -1,0 +1,232 @@
+"""Room posterior with possible-world bounds (paper §4.2, Theorems 1–3).
+
+The iterative localizer maintains, for every candidate room, the posterior
+probability given the *processed* neighbors plus min/max/expected bounds
+over all *possible worlds* — assignments of rooms to the unprocessed
+neighbors.  Theorem 1: the maximum is achieved when every unprocessed
+device sits in the candidate room; Theorem 2: the minimum when they all
+sit in the strongest other room; Theorem 3: the expectation equals the
+posterior on processed devices alone.
+
+The paper derives the posterior (Eq. 3) as a product of per-neighbor
+likelihood factors built from group affinities.  Two clarifications we
+adopt (documented in DESIGN.md):
+
+* Eq. 2's prior P(r) — the room affinity — is kept, so with zero
+  processed neighbors the posterior reduces to the room-affinity argmax
+  (the paper's observed no-history behaviour).
+* Each neighbor's factor is the **mixture likelihood**
+
+      Λ_k(r) = α_k(r) + (1 − m_k) / |R|
+
+  where α_k(r) is the group affinity of room r, m_k = Σ_r α_k(r) is the
+  neighbor's total co-location mass, and |R| is the candidate-set size.
+  With probability mass m_k the neighbor is genuinely co-located (in
+  rooms proportional to α_k); with the remaining mass it carries no
+  information about the queried device, so it contributes a *constant*
+  — i.e. it is neutral and cancels in normalization.  A neighbor with
+  zero affinities leaves the posterior untouched, while a strong
+  companion (large device affinity) pulls the posterior towards the
+  shared rooms.  This keeps the monotonicity that Theorems 1–2 rely on:
+  Λ_k(r) is increasing in α_k(r) and decreasing in mass placed on other
+  rooms.
+
+Posterior: P(r | D̄n) ∝ q(r) · Π_k Λ_k(r), normalized over candidates,
+with q the room-affinity prior.  Bounds for one room use the worst/best
+factor per unprocessed neighbor under an affinity-mass cap c (cached
+estimate or configuration default): max factor c + (1 − c)/|R| (all
+mass in r), min factor (1 − c)/|R| (all mass elsewhere), combined
+adversarially across rooms before normalization so ``min ≤ exp ≤ max``
+always holds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Numerical floor for log-space accumulation.
+_TINY = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class PosteriorBounds:
+    """Bounds of one room's posterior given unprocessed neighbors.
+
+    Attributes:
+        expected: expP(r | D̄n) — equals the current posterior (Theorem 3).
+        minimum: minP(r | D̄n) — all unprocessed placed adversarially
+            (in the strongest competing room, Theorem 2).
+        maximum: maxP(r | D̄n) — all unprocessed placed in r (Theorem 1).
+    """
+
+    expected: float
+    minimum: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if not (self.minimum - 1e-9 <= self.expected <= self.maximum + 1e-9):
+            raise ValueError(
+                f"inconsistent bounds: min={self.minimum} "
+                f"exp={self.expected} max={self.maximum}")
+
+
+class RoomPosterior:
+    """Incremental posterior over candidate rooms (mixture factor model).
+
+    Args:
+        prior: Room-affinity prior per candidate room (positive values;
+            normalized internally).
+        affinity_cap: Default upper bound on an unprocessed neighbor's
+            group-affinity mass when no cached estimate is available
+            (tightens the possible-world bounds).
+    """
+
+    def __init__(self, prior: Mapping[str, float],
+                 affinity_cap: float = 0.1) -> None:
+        if not prior:
+            raise ConfigurationError("posterior needs at least one room")
+        if not 0.0 < affinity_cap < 1.0:
+            raise ConfigurationError(
+                f"affinity_cap must be in (0, 1), got {affinity_cap}")
+        total = sum(prior.values())
+        if total <= 0:
+            raise ConfigurationError("prior must have positive mass")
+        self.rooms: tuple[str, ...] = tuple(prior.keys())
+        self.cap = affinity_cap
+        self._prior: dict[str, float] = {r: max(v / total, _TINY)
+                                         for r, v in prior.items()}
+        # Unnormalized log score per room; starts at the log prior.
+        self._log_score: dict[str, float] = {
+            r: math.log(p) for r, p in self._prior.items()}
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    def factor(self, room_id: str,
+               affinities: Mapping[str, float]) -> float:
+        """Λ_k(r): the mixture likelihood of one neighbor for one room."""
+        mass = sum(affinities.values())
+        mass = min(mass, 1.0)
+        uniform = 1.0 / len(self.rooms)
+        return max(affinities.get(room_id, 0.0)
+                   + (1.0 - mass) * uniform, _TINY)
+
+    def observe(self, affinities: Mapping[str, float]) -> None:
+        """Fold one processed neighbor (or D-FINE cluster) into the score.
+
+        ``affinities[room]`` is α({d_i, d_k}, room, t_q); rooms absent
+        from the mapping count as zero affinity.
+        """
+        for room in self.rooms:
+            self._log_score[room] += math.log(self.factor(room, affinities))
+        self._processed += 1
+
+    # ------------------------------------------------------------------
+    def posterior(self) -> dict[str, float]:
+        """P(r | D̄n) per room, normalized over the candidate set."""
+        peak = max(self._log_score.values())
+        raw = {r: math.exp(s - peak) for r, s in self._log_score.items()}
+        total = sum(raw.values())
+        return {r: v / total for r, v in raw.items()}
+
+    def prior_of(self, room_id: str) -> float:
+        """The normalized prior of one room."""
+        return self._prior[room_id]
+
+    def _factor_bounds(self, room_id: str, cap: float
+                       ) -> "tuple[float, float]":
+        """(min, max) factor one unprocessed neighbor can contribute."""
+        c = min(max(cap, 0.0), 1.0 - 1e-9)
+        uniform = 1.0 / len(self.rooms)
+        fmax = c + (1.0 - c) * uniform    # all affinity mass in this room
+        fmin = (1.0 - c) * uniform        # all affinity mass elsewhere
+        return max(fmin, _TINY), max(fmax, _TINY)
+
+    def bounds(self, room_id: str, unprocessed: int,
+               affinity_caps: "Sequence[float] | None" = None
+               ) -> PosteriorBounds:
+        """Min/expected/max posterior of ``room_id`` (Theorems 1–3).
+
+        Args:
+            unprocessed: |Dn \\ D̄n| — neighbors not yet folded in.
+            affinity_caps: Optional per-unprocessed-device upper bounds on
+                co-location mass (e.g. cached global-graph weights);
+                defaults to the model's ``affinity_cap`` for each.
+
+        The normalized bound places every unprocessed neighbor's factor
+        at its best (worst) value for ``room_id`` while the competing
+        rooms receive their worst (best) values — a conservative envelope
+        of every possible world.
+        """
+        if room_id not in self._log_score:
+            raise ConfigurationError(f"unknown room {room_id!r}")
+        if affinity_caps is not None and len(affinity_caps) != unprocessed:
+            raise ConfigurationError(
+                f"got {len(affinity_caps)} caps for {unprocessed} devices")
+        expected = self.posterior()[room_id]
+        if unprocessed == 0:
+            return PosteriorBounds(expected=expected, minimum=expected,
+                                   maximum=expected)
+        caps = list(affinity_caps) if affinity_caps is not None \
+            else [self.cap] * unprocessed
+
+        log_best = {r: 0.0 for r in self.rooms}
+        log_worst = {r: 0.0 for r in self.rooms}
+        for cap in caps:
+            for room in self.rooms:
+                fmin, fmax = self._factor_bounds(room, cap)
+                log_best[room] += math.log(fmax)
+                log_worst[room] += math.log(fmin)
+
+        maximum = self._normalized(room_id, favoured=room_id,
+                                   log_best=log_best, log_worst=log_worst)
+        minimum = self._normalized(room_id, favoured=None,
+                                   log_best=log_best, log_worst=log_worst)
+        minimum = min(minimum, expected)
+        maximum = max(maximum, expected)
+        return PosteriorBounds(expected=expected, minimum=minimum,
+                               maximum=maximum)
+
+    def _normalized(self, room_id: str, favoured: "str | None",
+                    log_best: Mapping[str, float],
+                    log_worst: Mapping[str, float]) -> float:
+        """Normalized posterior with adversarial unprocessed factors.
+
+        ``favoured=room_id`` yields the maximum for that room (its factors
+        maximized, every other room minimized); ``favoured=None`` yields
+        the minimum (room minimized, others maximized).
+        """
+        scores = {}
+        for room in self.rooms:
+            bonus = log_best[room] if (
+                (favoured is not None and room == favoured)
+                or (favoured is None and room != room_id)) \
+                else log_worst[room]
+            scores[room] = self._log_score[room] + bonus
+        peak = max(scores.values())
+        raw = {r: math.exp(s - peak) for r, s in scores.items()}
+        return raw[room_id] / sum(raw.values())
+
+    @property
+    def processed_count(self) -> int:
+        """Number of neighbors folded in so far."""
+        return self._processed
+
+    def top_two(self) -> "tuple[tuple[str, float], tuple[str, float]]":
+        """The two rooms with the highest posterior (room, probability).
+
+        With a single candidate room, the runner-up is a sentinel with
+        probability 0 so stop conditions trivially hold.
+        """
+        post = self.posterior()
+        ranked = sorted(post.items(), key=lambda kv: (-kv[1], kv[0]))
+        if len(ranked) == 1:
+            return ranked[0], ("", 0.0)
+        return ranked[0], ranked[1]
+
+
+#: Backwards-compatible alias (earlier drafts called this PosteriorOdds).
+PosteriorOdds = RoomPosterior

@@ -1,0 +1,20 @@
+"""Dataset I/O: connectivity-log file formats and MAC anonymization.
+
+Real deployments receive association logs from wireless controllers and
+archive them as flat files; this package reads/writes the two common
+shapes (CSV and JSON-lines) and provides the salted MAC hashing that
+privacy-conscious deployments (like the paper's TIPPERS testbed) apply
+before analysis.
+"""
+
+from repro.io.csvlog import read_csv_events, write_csv_events
+from repro.io.jsonl import read_jsonl_events, write_jsonl_events
+from repro.io.anonymize import MacAnonymizer
+
+__all__ = [
+    "MacAnonymizer",
+    "read_csv_events",
+    "read_jsonl_events",
+    "write_csv_events",
+    "write_jsonl_events",
+]

@@ -1,0 +1,57 @@
+"""One-hot encoding for categorical gap features (day-of-week, regions)."""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class OneHotEncoder:
+    """One-hot encode a single categorical column.
+
+    Categories can be fixed up front (so every device's region feature has
+    the same width regardless of which regions it visited) or learned from
+    the data.  Unseen categories at transform time encode as all zeros.
+    """
+
+    def __init__(self, categories: "Sequence[Hashable] | None" = None) -> None:
+        self._index: "dict[Hashable, int] | None" = None
+        if categories is not None:
+            self._index = {c: i for i, c in enumerate(categories)}
+            if len(self._index) != len(categories):
+                raise TrainingError("duplicate categories supplied")
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._index is not None
+
+    @property
+    def width(self) -> int:
+        """Number of output columns."""
+        if self._index is None:
+            raise TrainingError("encoder used before fit()")
+        return len(self._index)
+
+    def fit(self, values: Sequence[Hashable]) -> "OneHotEncoder":
+        """Learn categories from data (sorted for determinism)."""
+        unique = sorted(set(values), key=repr)
+        self._index = {c: i for i, c in enumerate(unique)}
+        return self
+
+    def transform(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Encode values into an ``(n, width)`` 0/1 matrix."""
+        if self._index is None:
+            raise TrainingError("encoder used before fit()")
+        out = np.zeros((len(values), len(self._index)), dtype=float)
+        for row, value in enumerate(values):
+            col = self._index.get(value)
+            if col is not None:
+                out[row, col] = 1.0
+        return out
+
+    def fit_transform(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(values).transform(values)

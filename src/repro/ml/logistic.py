@@ -1,0 +1,153 @@
+"""Multinomial logistic regression trained by gradient ascent.
+
+Binary problems are handled as the two-class case of the softmax model,
+which keeps one code path.  Supports L2 regularization, early stopping on
+gradient norm, and warm starts — Algorithm 1 of the paper retrains the
+classifier once per promoted gap, so reusing the previous weights cuts the
+self-training loop's cost substantially.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.util.validation import check_non_negative, check_positive
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for numerical stability."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression:
+    """Softmax classifier over arbitrary hashable labels.
+
+    Args:
+        l2: L2 regularization strength (on weights, not intercepts).
+        learning_rate: Gradient-ascent step size.
+        max_iter: Iteration cap per fit.
+        tol: Stop when the gradient's max-norm falls below this.
+        classes: Optional fixed label vocabulary; otherwise learned at fit.
+            Fixing it lets :meth:`predict_proba` keep a stable column order
+            across refits even when a refit's training set lacks a class.
+    """
+
+    def __init__(self, l2: float = 1e-3, learning_rate: float = 0.5,
+                 max_iter: int = 200, tol: float = 1e-4,
+                 classes: "Sequence[Hashable] | None" = None) -> None:
+        check_non_negative("l2", l2)
+        check_positive("learning_rate", learning_rate)
+        check_positive("max_iter", max_iter)
+        self.l2 = l2
+        self.learning_rate = learning_rate
+        self.max_iter = int(max_iter)
+        self.tol = tol
+        self.classes_: "list[Hashable] | None" = (
+            list(classes) if classes is not None else None)
+        self.weights_: "np.ndarray | None" = None  # (features, classes)
+        self.bias_: "np.ndarray | None" = None     # (classes,)
+        self.n_iter_: int = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.weights_ is not None
+
+    # ------------------------------------------------------------------
+    def fit(self, matrix: np.ndarray, labels: Sequence[Hashable],
+            warm_start: bool = False) -> "LogisticRegression":
+        """Train on ``matrix`` (n × f) and ``labels`` (n).
+
+        With ``warm_start=True`` and compatible shapes, optimization
+        resumes from the current weights.
+        """
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2:
+            raise TrainingError(f"matrix must be 2-D, got shape {data.shape}")
+        n, f = data.shape
+        if n == 0:
+            raise TrainingError("cannot fit on an empty training set")
+        if len(labels) != n:
+            raise TrainingError(
+                f"labels length {len(labels)} != rows {n}")
+
+        if self.classes_ is None:
+            self.classes_ = sorted(set(labels), key=repr)
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        try:
+            y = np.array([class_index[label] for label in labels], dtype=int)
+        except KeyError as exc:
+            raise TrainingError(
+                f"label {exc.args[0]!r} not in fixed class set "
+                f"{self.classes_!r}") from None
+        k = len(self.classes_)
+
+        onehot = np.zeros((n, k), dtype=float)
+        onehot[np.arange(n), y] = 1.0
+
+        reuse = (warm_start and self.weights_ is not None
+                 and self.weights_.shape == (f, k))
+        weights = self.weights_.copy() if reuse else np.zeros((f, k))
+        bias = self.bias_.copy() if reuse else np.zeros(k)
+
+        step = self.learning_rate
+        prev_loss = np.inf
+        for iteration in range(self.max_iter):
+            probs = _softmax(data @ weights + bias)
+            error = onehot - probs                      # (n, k)
+            grad_w = data.T @ error / n - self.l2 * weights
+            grad_b = error.mean(axis=0)
+            weights += step * grad_w
+            bias += step * grad_b
+            gnorm = max(float(np.abs(grad_w).max(initial=0.0)),
+                        float(np.abs(grad_b).max(initial=0.0)))
+            if gnorm < self.tol:
+                self.n_iter_ = iteration + 1
+                break
+            # Crude backtracking: if loss increased, halve the step.
+            loss = self._loss(probs, y, weights)
+            if loss > prev_loss + 1e-12:
+                step = max(step * 0.5, 1e-4)
+            prev_loss = loss
+        else:
+            self.n_iter_ = self.max_iter
+
+        self.weights_ = weights
+        self.bias_ = bias
+        return self
+
+    def _loss(self, probs: np.ndarray, y: np.ndarray,
+              weights: np.ndarray) -> float:
+        eps = 1e-12
+        nll = -float(np.log(probs[np.arange(len(y)), y] + eps).mean())
+        return nll + 0.5 * self.l2 * float((weights ** 2).sum())
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, matrix: np.ndarray) -> np.ndarray:
+        """Class-probability matrix (n × classes) in ``classes_`` order."""
+        if self.weights_ is None or self.bias_ is None:
+            raise TrainingError("classifier used before fit()")
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        if data.shape[1] != self.weights_.shape[0]:
+            raise TrainingError(
+                f"feature width {data.shape[1]} != trained width "
+                f"{self.weights_.shape[0]}")
+        return _softmax(data @ self.weights_ + self.bias_)
+
+    def predict(self, matrix: np.ndarray) -> list[Hashable]:
+        """Most likely label per row."""
+        probs = self.predict_proba(matrix)
+        assert self.classes_ is not None
+        return [self.classes_[int(i)] for i in probs.argmax(axis=1)]
+
+    def predict_one(self, features: np.ndarray) -> "tuple[np.ndarray, Hashable]":
+        """The paper's ``Predict``: (probability array, best label)."""
+        probs = self.predict_proba(np.asarray(features, dtype=float))[0]
+        assert self.classes_ is not None
+        return probs, self.classes_[int(probs.argmax())]

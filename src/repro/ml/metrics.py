@@ -1,0 +1,29 @@
+"""Classifier evaluation metrics."""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+
+def accuracy(truth: Sequence[Hashable], predicted: Sequence[Hashable]) -> float:
+    """Fraction of positions where prediction matches truth."""
+    if len(truth) != len(predicted):
+        raise ValueError(
+            f"length mismatch: {len(truth)} truths vs {len(predicted)} predictions")
+    if not truth:
+        return 0.0
+    hits = sum(1 for t, p in zip(truth, predicted) if t == p)
+    return hits / len(truth)
+
+
+def confusion_matrix(truth: Sequence[Hashable], predicted: Sequence[Hashable]
+                     ) -> dict[Hashable, dict[Hashable, int]]:
+    """Nested mapping ``truth_label -> predicted_label -> count``."""
+    if len(truth) != len(predicted):
+        raise ValueError(
+            f"length mismatch: {len(truth)} truths vs {len(predicted)} predictions")
+    matrix: dict[Hashable, dict[Hashable, int]] = {}
+    for t, p in zip(truth, predicted):
+        row = matrix.setdefault(t, {})
+        row[p] = row.get(p, 0) + 1
+    return matrix

@@ -1,0 +1,76 @@
+"""Feature pipeline combining numeric scaling and categorical encoding."""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ml.encoder import OneHotEncoder
+from repro.ml.scaler import StandardScaler
+
+
+class FeaturePipeline:
+    """Assemble a design matrix from numeric and categorical columns.
+
+    Numeric columns are standardized; each categorical column is one-hot
+    encoded against a fixed vocabulary so the design-matrix width is stable
+    across refits (needed by Algorithm 1's warm starts).
+
+    Args:
+        numeric_columns: Names of numeric features, in order.
+        categorical_columns: Mapping-like sequence of (name, vocabulary)
+            pairs for categorical features, in order.
+    """
+
+    def __init__(self, numeric_columns: Sequence[str],
+                 categorical_columns: Sequence[tuple[str, Sequence[Hashable]]]
+                 ) -> None:
+        self.numeric_columns = list(numeric_columns)
+        self.categorical_columns = [(name, list(vocab))
+                                    for name, vocab in categorical_columns]
+        self._scaler = StandardScaler()
+        self._encoders = {name: OneHotEncoder(vocab)
+                          for name, vocab in self.categorical_columns}
+        self._fitted = False
+
+    @property
+    def width(self) -> int:
+        """Total design-matrix width."""
+        return (len(self.numeric_columns)
+                + sum(enc.width for enc in self._encoders.values()))
+
+    def _split(self, rows: Sequence[dict]) -> "tuple[np.ndarray, dict[str, list]]":
+        if not rows:
+            raise TrainingError("no feature rows supplied")
+        numeric = np.array(
+            [[float(row[c]) for c in self.numeric_columns] for row in rows],
+            dtype=float).reshape(len(rows), len(self.numeric_columns))
+        categorical = {name: [row[name] for row in rows]
+                       for name, _ in self.categorical_columns}
+        return numeric, categorical
+
+    def fit(self, rows: Sequence[dict]) -> "FeaturePipeline":
+        """Fit the scaler on numeric columns (encoders have fixed vocab)."""
+        numeric, _ = self._split(rows)
+        if numeric.shape[1]:
+            self._scaler.fit(numeric)
+        self._fitted = True
+        return self
+
+    def transform(self, rows: Sequence[dict]) -> np.ndarray:
+        """Build the design matrix for ``rows``."""
+        if not self._fitted:
+            raise TrainingError("pipeline used before fit()")
+        numeric, categorical = self._split(rows)
+        parts: list[np.ndarray] = []
+        if numeric.shape[1]:
+            parts.append(self._scaler.transform(numeric))
+        for name, _ in self.categorical_columns:
+            parts.append(self._encoders[name].transform(categorical[name]))
+        return np.hstack(parts) if parts else np.zeros((len(rows), 0))
+
+    def fit_transform(self, rows: Sequence[dict]) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(rows).transform(rows)

@@ -1,0 +1,46 @@
+"""Feature standardization (zero mean, unit variance)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class StandardScaler:
+    """Standardize columns to zero mean / unit variance.
+
+    Constant columns keep their mean subtracted but are left unscaled
+    (divide by 1), which keeps one-hot and degenerate features stable.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: "np.ndarray | None" = None
+        self.scale_: "np.ndarray | None" = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, matrix: np.ndarray) -> "StandardScaler":
+        """Learn column means and standard deviations."""
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise TrainingError(
+                f"scaler requires a non-empty 2-D matrix, got shape {data.shape}")
+        self.mean_ = data.mean(axis=0)
+        std = data.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Apply the learned standardization."""
+        if self.mean_ is None or self.scale_ is None:
+            raise TrainingError("scaler used before fit()")
+        data = np.asarray(matrix, dtype=float)
+        return (data - self.mean_) / self.scale_
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(matrix).transform(matrix)

@@ -1,0 +1,134 @@
+"""Connectivity event generation: trajectories → WiFi association logs.
+
+Models the paper's observations about association events (§2): events are
+generated sporadically — on first connection to an AP, on OS-initiated
+probes, and on status changes — so the log does *not* contain an event for
+every instant a device is in coverage.  While a person occupies a room,
+their device emits events at roughly the device's probe period (jittered,
+exponential spacing), each logged by one of the APs covering the room
+(nearer APs more likely), and occasionally no event is emitted at all
+(missed probes), which is what creates the gaps the coarse localizer must
+repair.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.events.event import ConnectivityEvent
+from repro.sim.person import Person
+from repro.sim.schedule import DayPlan
+from repro.space.building import Building
+from repro.util.rng import make_rng
+
+
+class ConnectivityGenerator:
+    """Emits connectivity events from day plans.
+
+    Args:
+        building: Space model (room → covering APs).
+        seed: RNG seed.
+        emission_probability: Chance that a scheduled probe actually
+            produces a logged association event (paper: "connectivity
+            events are not always generated even when the device is in the
+            coverage area of an AP").
+        sticky_ap_probability: Chance the device stays associated with its
+            previous AP when the previous AP also covers the current room
+            (device radios are sticky in practice, which is what makes
+            region-level cleaning non-trivial).
+    """
+
+    def __init__(self, building: Building,
+                 seed: "int | np.random.Generator | None" = 0,
+                 emission_probability: float = 0.65,
+                 sticky_ap_probability: float = 0.35) -> None:
+        if not 0.0 < emission_probability <= 1.0:
+            raise SimulationError(
+                f"emission_probability must be in (0,1], got "
+                f"{emission_probability}")
+        if not 0.0 <= sticky_ap_probability <= 1.0:
+            raise SimulationError(
+                f"sticky_ap_probability must be in [0,1], got "
+                f"{sticky_ap_probability}")
+        self._building = building
+        self._rng = make_rng(seed)
+        self.emission_probability = emission_probability
+        self.sticky_ap_probability = sticky_ap_probability
+
+    # ------------------------------------------------------------------
+    def events_for_plan(self, person: Person,
+                        plan: DayPlan) -> list[ConnectivityEvent]:
+        """Connectivity events for one person-day."""
+        events: list[ConnectivityEvent] = []
+        period = person.profile.connect_period_mean
+        last_ap: "str | None" = None
+        for visit in plan:
+            covering = self._building.regions_of_room(visit.room_id)
+            if not covering:
+                last_ap = None
+                continue  # blind spot: no AP covers the room
+            ap_ids = [region.ap_id for region in covering]
+            weights = self._signal_weights(visit.room_id, ap_ids)
+            cursor = visit.interval.start
+            # Arrival at a new room usually triggers an association.
+            first = True
+            while cursor < visit.interval.end:
+                if first:
+                    timestamp = cursor + float(self._rng.uniform(0, 30))
+                    first = False
+                else:
+                    timestamp = cursor + float(
+                        self._rng.exponential(period))
+                if timestamp >= visit.interval.end:
+                    break
+                cursor = timestamp
+                if self._rng.random() > self.emission_probability:
+                    continue  # probe happened but was not logged
+                ap_id = self._choose_ap(ap_ids, weights, last_ap)
+                last_ap = ap_id
+                events.append(ConnectivityEvent(
+                    timestamp=timestamp, mac=person.mac, ap_id=ap_id))
+        return events
+
+    #: RF falloff scale (metres) for association weighting: the nearest
+    #: covering AP is strongly preferred, decorrelating the AP streams of
+    #: devices sitting in different rooms of the same region.
+    SIGNAL_SIGMA = 3.5
+
+    def _signal_weights(self, room_id: str,
+                        ap_ids: Sequence[str]) -> np.ndarray:
+        """Association likelihood per covering AP (signal ∝ proximity)."""
+        room = self._building.room(room_id)
+        rx, ry = room.position
+        scores = []
+        for ap_id in ap_ids:
+            ap = self._building.access_points[ap_id]
+            ax, ay = ap.position
+            dist2 = (rx - ax) ** 2 + (ry - ay) ** 2
+            scores.append(np.exp(-dist2 / (2.0 * self.SIGNAL_SIGMA ** 2)))
+        arr = np.asarray(scores, dtype=float)
+        total = arr.sum()
+        if total <= 0:
+            return np.full(len(ap_ids), 1.0 / len(ap_ids))
+        return arr / total
+
+    def _choose_ap(self, ap_ids: Sequence[str], weights: np.ndarray,
+                   last_ap: "str | None") -> str:
+        if (last_ap in ap_ids
+                and self._rng.random() < self.sticky_ap_probability):
+            return last_ap
+        return ap_ids[int(self._rng.choice(len(ap_ids), p=weights))]
+
+    # ------------------------------------------------------------------
+    def generate(self, people: Sequence[Person],
+                 plans: dict[str, list[DayPlan]]) -> list[ConnectivityEvent]:
+        """Events for the whole population, chronologically sorted."""
+        events: list[ConnectivityEvent] = []
+        for person in people:
+            for plan in plans.get(person.person_id, ()):
+                events.extend(self.events_for_plan(person, plan))
+        events.sort()
+        return events

@@ -1,0 +1,123 @@
+"""Person profiles: the behavioural templates of the simulator.
+
+A profile controls how predictable a person is — the fraction of in-
+building time spent in their preferred room — plus their daily rhythm
+(arrival/departure), how likely they are to attend semantic events, and
+how chatty their device is.  The paper groups ground-truth users by
+predictability bands ([40,55), [55,70), [70,85), [85,100) percent) and
+reports precision per band, so the simulator must be able to target a
+band precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.util.timeutil import hours, minutes
+
+
+@dataclass(frozen=True, slots=True)
+class PersonProfile:
+    """Behavioural parameters of one class of people.
+
+    Attributes:
+        name: Profile label (e.g. ``"graduate"``, ``"passenger"``).
+        predictability: Target fraction of in-building time spent in the
+            preferred room (0..1).  Drives the paper's user bands.
+        has_preferred_room: Whether people of this profile own a room
+            (office/desk); visitors and passengers do not.
+        attendance_probability: Chance of attending an eligible semantic
+            event (the "constant probability" of the paper's airport
+            generator).
+        arrival_mean / arrival_std: Daily arrival time (seconds from
+            midnight) mean and standard deviation.
+        stay_mean / stay_std: Length of the daily stay in seconds.
+        weekend_probability: Chance of coming in on a weekend day.
+        connect_period_mean: Mean spacing between connectivity events
+            while in coverage (device chattiness; varies per device OS).
+        skip_day_probability: Chance of skipping a weekday entirely.
+        wander_probability: Chance, per free slot, of wandering to a
+            random public room instead of the preferred room.
+    """
+
+    name: str
+    predictability: float = 0.7
+    has_preferred_room: bool = True
+    attendance_probability: float = 0.5
+    arrival_mean: float = hours(9)
+    arrival_std: float = minutes(45)
+    stay_mean: float = hours(8)
+    stay_std: float = hours(1)
+    weekend_probability: float = 0.1
+    connect_period_mean: float = minutes(9)
+    skip_day_probability: float = 0.05
+    wander_probability: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.predictability <= 1.0:
+            raise SimulationError(
+                f"predictability must be in [0,1], got {self.predictability}")
+        if not 0.0 <= self.attendance_probability <= 1.0:
+            raise SimulationError(
+                "attendance_probability must be in [0,1], got "
+                f"{self.attendance_probability}")
+        if self.arrival_mean < 0 or self.stay_mean <= 0:
+            raise SimulationError("arrival/stay times must be sensible")
+        if self.connect_period_mean <= 0:
+            raise SimulationError(
+                f"connect_period_mean must be > 0, got "
+                f"{self.connect_period_mean}")
+
+    def with_predictability(self, value: float) -> "PersonProfile":
+        """Copy with a different predictability target."""
+        from dataclasses import replace
+        return replace(self, predictability=value)
+
+
+# ---------------------------------------------------------------------------
+# Stock profiles used by the scenario builders (paper §6.3 population mixes).
+# ---------------------------------------------------------------------------
+
+def staff_profile(name: str = "staff",
+                  predictability: float = 0.9) -> PersonProfile:
+    """Highly predictable daily workers (staff, receptionists)."""
+    return PersonProfile(
+        name=name, predictability=predictability, has_preferred_room=True,
+        attendance_probability=0.35, arrival_mean=hours(8.5),
+        arrival_std=minutes(20), stay_mean=hours(8.5), stay_std=minutes(45),
+        weekend_probability=0.05, connect_period_mean=minutes(8),
+        skip_day_probability=0.03, wander_probability=0.12)
+
+
+def resident_profile(name: str = "employee",
+                     predictability: float = 0.78) -> PersonProfile:
+    """Employees / graduate students: predictable with meetings."""
+    return PersonProfile(
+        name=name, predictability=predictability, has_preferred_room=True,
+        attendance_probability=0.55, arrival_mean=hours(9.5),
+        arrival_std=minutes(50), stay_mean=hours(8), stay_std=hours(1),
+        weekend_probability=0.15, connect_period_mean=minutes(10),
+        skip_day_probability=0.08, wander_probability=0.2)
+
+
+def roamer_profile(name: str = "undergraduate",
+                   predictability: float = 0.5) -> PersonProfile:
+    """Semi-predictable roamers: undergraduates, regular customers."""
+    return PersonProfile(
+        name=name, predictability=predictability, has_preferred_room=True,
+        attendance_probability=0.7, arrival_mean=hours(10),
+        arrival_std=hours(1.5), stay_mean=hours(5), stay_std=hours(1.5),
+        weekend_probability=0.2, connect_period_mean=minutes(12),
+        skip_day_probability=0.2, wander_probability=0.5)
+
+
+def visitor_profile(name: str = "visitor",
+                    predictability: float = 0.25) -> PersonProfile:
+    """Unpredictable transients: visitors, passengers, random customers."""
+    return PersonProfile(
+        name=name, predictability=predictability, has_preferred_room=False,
+        attendance_probability=0.8, arrival_mean=hours(11),
+        arrival_std=hours(2.5), stay_mean=hours(3), stay_std=hours(1.5),
+        weekend_probability=0.4, connect_period_mean=minutes(14),
+        skip_day_probability=0.45, wander_probability=0.8)

@@ -1,0 +1,315 @@
+"""Scenario specifications: the five evaluation environments (§6.1, §6.3).
+
+Each spec bundles a building blueprint, a population mix (profiles with
+head-counts), and a recurring semantic-event program.  The mixes follow
+the paper: e.g. the airport has 15 restaurant staff, 15 store staff, 20
+airline representatives, 15 TSA staff and 200 passengers attending
+security checks / dining / boarding / shopping events.  Head-counts are
+scaled by ``population_scale`` so tests and benchmarks stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.profile import (
+    PersonProfile,
+    resident_profile,
+    roamer_profile,
+    staff_profile,
+    visitor_profile,
+)
+from repro.sim.semantic_event import SemanticEvent
+from repro.space.blueprints import (
+    airport_blueprint,
+    dbh_blueprint,
+    mall_blueprint,
+    office_blueprint,
+    university_blueprint,
+)
+from repro.space.building import Building
+from repro.util.timeutil import hours, minutes
+
+
+@dataclass(frozen=True, slots=True)
+class PopulationGroup:
+    """A profile with a head-count."""
+
+    profile: PersonProfile
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise SimulationError(f"count must be >= 0, got {self.count}")
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """A complete simulation scenario.
+
+    Attributes:
+        name: Scenario label.
+        building_factory: Zero-arg callable producing the building.
+        groups: Population mix.
+        event_program: Callable building the semantic events for a
+            building (so room ids can be resolved against the blueprint).
+        seed: Base RNG seed; every sub-generator derives from it.
+    """
+
+    name: str
+    building_factory: Callable[[], Building]
+    groups: tuple[PopulationGroup, ...]
+    event_program: Callable[[Building], Sequence[SemanticEvent]]
+    seed: int = 0
+
+    def scaled(self, population_scale: float) -> "ScenarioSpec":
+        """Copy with every head-count multiplied by ``population_scale``."""
+        if population_scale <= 0:
+            raise SimulationError(
+                f"population_scale must be > 0, got {population_scale}")
+        groups = tuple(
+            PopulationGroup(g.profile,
+                            max(1, round(g.count * population_scale)))
+            for g in self.groups if g.count)
+        return ScenarioSpec(name=self.name,
+                            building_factory=self.building_factory,
+                            groups=groups, event_program=self.event_program,
+                            seed=self.seed)
+
+    def total_population(self) -> int:
+        """Head-count across all groups."""
+        return sum(g.count for g in self.groups)
+
+    # ------------------------------------------------------------------
+    # Stock scenarios
+    # ------------------------------------------------------------------
+    @classmethod
+    def dbh_like(cls, seed: int = 0, scale: float = 0.25,
+                 population: int = 60) -> "ScenarioSpec":
+        """The university-building deployment of §6.1 (synthetic stand-in).
+
+        The population spans the paper's four predictability bands.
+        Realized predictability (share of in-building time in the
+        preferred room) undershoots the profile target by however much
+        time semantic events consume, so each band's profile pairs a
+        target with an attendance rate calibrated to land inside the
+        band: faculty → [85,100), postdocs → [70,85), graduates →
+        [55,70), affiliates → [40,55).
+        """
+        from dataclasses import replace
+
+        quarter = max(1, population // 4)
+        faculty = staff_profile("faculty", 0.93)
+        postdoc = replace(resident_profile("postdoc", 0.8),
+                          attendance_probability=0.4,
+                          wander_probability=0.2)
+        graduate = replace(resident_profile("graduate", 0.66),
+                           attendance_probability=0.55,
+                           wander_probability=0.35)
+        affiliate = replace(roamer_profile("affiliate", 0.45),
+                            attendance_probability=0.75,
+                            wander_probability=0.6)
+        groups = (
+            PopulationGroup(faculty, quarter),
+            PopulationGroup(postdoc, quarter),
+            PopulationGroup(graduate, quarter),
+            PopulationGroup(affiliate, population - 3 * quarter),
+        )
+        return cls(name="dbh", building_factory=lambda: dbh_blueprint(scale),
+                   groups=groups, event_program=_university_events,
+                   seed=seed)
+
+    @classmethod
+    def office(cls, seed: int = 0, population: int = 45) -> "ScenarioSpec":
+        """Office building: the paper's most predictable environment."""
+        groups = (
+            PopulationGroup(staff_profile("receptionist", 0.93), 2),
+            PopulationGroup(staff_profile("manager", 0.85),
+                            max(1, population // 9)),
+            PopulationGroup(resident_profile("employee", 0.8),
+                            max(1, population * 5 // 9)),
+            PopulationGroup(roamer_profile("janitorial", 0.45),
+                            max(1, population // 9)),
+            PopulationGroup(visitor_profile("visitor", 0.3),
+                            max(1, population * 2 // 9)),
+        )
+        return cls(name="office", building_factory=office_blueprint,
+                   groups=groups, event_program=_office_events, seed=seed)
+
+    @classmethod
+    def university(cls, seed: int = 0,
+                   population: int = 60) -> "ScenarioSpec":
+        """University building: classes dominate the event program."""
+        groups = (
+            PopulationGroup(staff_profile("staff", 0.9),
+                            max(1, population // 10)),
+            PopulationGroup(resident_profile("graduate", 0.78),
+                            max(1, population // 5)),
+            PopulationGroup(resident_profile("professor", 0.82),
+                            max(1, population // 6)),
+            PopulationGroup(roamer_profile("undergraduate", 0.55),
+                            max(1, population * 2 // 5)),
+            PopulationGroup(visitor_profile("visitor", 0.28),
+                            max(1, population // 10)),
+        )
+        return cls(name="university", building_factory=university_blueprint,
+                   groups=groups, event_program=_university_events,
+                   seed=seed)
+
+    @classmethod
+    def mall(cls, seed: int = 0, population: int = 60) -> "ScenarioSpec":
+        """Mall: mostly unpredictable customers plus store staff."""
+        groups = (
+            PopulationGroup(staff_profile("staff", 0.88),
+                            max(1, population // 8)),
+            PopulationGroup(resident_profile("salesman_restaurant", 0.75),
+                            max(1, population // 8)),
+            PopulationGroup(resident_profile("salesman_shop", 0.72),
+                            max(1, population // 6)),
+            PopulationGroup(roamer_profile("regular_customer", 0.5),
+                            max(1, population // 4)),
+            PopulationGroup(visitor_profile("random_customer", 0.3),
+                            max(1, population // 3)),
+        )
+        return cls(name="mall", building_factory=mall_blueprint,
+                   groups=groups, event_program=_mall_events, seed=seed)
+
+    @classmethod
+    def airport(cls, seed: int = 0, population: int = 80) -> "ScenarioSpec":
+        """Airport terminal per the paper's Santa Ana scenario."""
+        # Paper mix (265 heads) shrunk proportionally to ``population``.
+        base = {"restaurant_staff": 15, "store_staff": 15,
+                "airline_representative": 20, "tsa": 15, "passenger": 200}
+        factor = population / sum(base.values())
+        groups = (
+            PopulationGroup(resident_profile("restaurant_staff", 0.8),
+                            max(1, round(base["restaurant_staff"] * factor))),
+            PopulationGroup(resident_profile("store_staff", 0.78),
+                            max(1, round(base["store_staff"] * factor))),
+            PopulationGroup(resident_profile("airline_representative", 0.7),
+                            max(1, round(base["airline_representative"]
+                                         * factor))),
+            PopulationGroup(staff_profile("tsa", 0.85),
+                            max(1, round(base["tsa"] * factor))),
+            PopulationGroup(visitor_profile("passenger", 0.3),
+                            max(1, round(base["passenger"] * factor))),
+        )
+        return cls(name="airport", building_factory=airport_blueprint,
+                   groups=groups, event_program=_airport_events, seed=seed)
+
+    @classmethod
+    def by_name(cls, name: str, seed: int = 0) -> "ScenarioSpec":
+        """Look up a stock scenario by name."""
+        factory = {
+            "dbh": cls.dbh_like, "office": cls.office,
+            "university": cls.university, "mall": cls.mall,
+            "airport": cls.airport,
+        }.get(name)
+        if factory is None:
+            raise SimulationError(f"unknown scenario {name!r}")
+        return factory(seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Event programs
+# ---------------------------------------------------------------------------
+
+def _pick_public(building: Building, count: int) -> list[str]:
+    rooms = sorted(r.room_id for r in building.public_rooms())
+    if not rooms:
+        rooms = sorted(building.rooms)
+    step = max(1, len(rooms) // max(1, count))
+    return rooms[::step][:count]
+
+
+def _university_events(building: Building) -> list[SemanticEvent]:
+    """Classes, seminars and lunches on weekdays."""
+    rooms = _pick_public(building, 6)
+    events: list[SemanticEvent] = []
+    weekdays = (0, 1, 2, 3, 4)
+    for i, room in enumerate(rooms):
+        events.append(SemanticEvent(
+            event_id=f"class-{i}", room_id=room,
+            start_time=hours(9 + (i % 4) * 2), duration=hours(1.5),
+            days=weekdays, capacity=25,
+            eligible_profiles=("undergraduate", "graduate", "professor",
+                               "affiliate")))
+    if rooms:
+        events.append(SemanticEvent(
+            event_id="seminar", room_id=rooms[0], start_time=hours(15),
+            duration=hours(1), days=(1, 3), capacity=30,
+            eligible_profiles=("graduate", "professor", "faculty",
+                               "staff")))
+        events.append(SemanticEvent(
+            event_id="lunch", room_id=rooms[-1], start_time=hours(12),
+            duration=minutes(45), days=weekdays, capacity=60))
+    return events
+
+
+def _office_events(building: Building) -> list[SemanticEvent]:
+    """Stand-ups, team meetings and lunches."""
+    rooms = _pick_public(building, 4)
+    events: list[SemanticEvent] = []
+    weekdays = (0, 1, 2, 3, 4)
+    for i, room in enumerate(rooms):
+        events.append(SemanticEvent(
+            event_id=f"meeting-{i}", room_id=room,
+            start_time=hours(10 + (i % 3) * 2), duration=hours(1),
+            days=weekdays, capacity=12,
+            eligible_profiles=("employee", "manager")))
+    if rooms:
+        events.append(SemanticEvent(
+            event_id="lunch", room_id=rooms[-1], start_time=hours(12),
+            duration=minutes(45), days=weekdays, capacity=50))
+    return events
+
+
+def _mall_events(building: Building) -> list[SemanticEvent]:
+    """Shifts and dining windows."""
+    rooms = _pick_public(building, 5)
+    events: list[SemanticEvent] = []
+    alldays = tuple(range(7))
+    for i, room in enumerate(rooms[:-1]):
+        events.append(SemanticEvent(
+            event_id=f"shift-{i}", room_id=room, start_time=hours(10),
+            duration=hours(6), days=alldays, capacity=6,
+            eligible_profiles=("staff", "salesman_restaurant",
+                               "salesman_shop")))
+    if rooms:
+        events.append(SemanticEvent(
+            event_id="foodcourt", room_id=rooms[-1], start_time=hours(12),
+            duration=hours(1.5), days=alldays, capacity=80))
+    return events
+
+
+def _airport_events(building: Building) -> list[SemanticEvent]:
+    """Security checks, dining, boarding and shopping (paper §6.3)."""
+    rooms = _pick_public(building, 6)
+    events: list[SemanticEvent] = []
+    alldays = tuple(range(7))
+    if len(rooms) >= 4:
+        events.append(SemanticEvent(
+            event_id="security-am", room_id=rooms[0], start_time=hours(6),
+            duration=hours(4), days=alldays, capacity=10,
+            eligible_profiles=("tsa",)))
+        events.append(SemanticEvent(
+            event_id="security-pm", room_id=rooms[0], start_time=hours(12),
+            duration=hours(6), days=alldays, capacity=10,
+            eligible_profiles=("tsa",)))
+        events.append(SemanticEvent(
+            event_id="dining", room_id=rooms[1], start_time=hours(11.5),
+            duration=hours(2), days=alldays, capacity=60,
+            eligible_profiles=("passenger", "restaurant_staff")))
+        for i, hour in enumerate((9, 13, 17)):
+            events.append(SemanticEvent(
+                event_id=f"boarding-{i}", room_id=rooms[2],
+                start_time=hours(hour), duration=hours(1.2), days=alldays,
+                capacity=50,
+                eligible_profiles=("passenger", "airline_representative")))
+        events.append(SemanticEvent(
+            event_id="shopping", room_id=rooms[3], start_time=hours(14),
+            duration=hours(2), days=alldays, capacity=40,
+            eligible_profiles=("passenger", "store_staff")))
+    return events

@@ -1,0 +1,73 @@
+"""Day plans: the room-level trajectory of one person for one day."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.util.timeutil import TimeInterval
+
+
+@dataclass(frozen=True, slots=True)
+class Visit:
+    """A contiguous stay in one room.
+
+    Attributes:
+        room_id: Where the person was.
+        interval: When (absolute seconds).
+        reason: Why (``"event:<id>"``, ``"preferred"``, ``"wander"``);
+            useful for debugging generated behaviour.
+    """
+
+    room_id: str
+    interval: TimeInterval
+    reason: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.room_id} {self.interval} ({self.reason})"
+
+
+@dataclass(slots=True)
+class DayPlan:
+    """All of one person's visits for one day, chronological and disjoint."""
+
+    person_id: str
+    day: int
+    visits: list[Visit] = field(default_factory=list)
+
+    def append(self, visit: Visit) -> None:
+        """Add a visit; it must start at or after the last one ends."""
+        if self.visits and visit.interval.start < self.visits[-1].interval.end - 1e-9:
+            raise ValueError(
+                f"visit {visit} overlaps previous {self.visits[-1]}")
+        self.visits.append(visit)
+
+    def __iter__(self) -> Iterator[Visit]:
+        return iter(self.visits)
+
+    def __len__(self) -> int:
+        return len(self.visits)
+
+    @property
+    def in_building(self) -> "TimeInterval | None":
+        """Span from first arrival to last departure, or None if absent."""
+        if not self.visits:
+            return None
+        return TimeInterval(self.visits[0].interval.start,
+                            self.visits[-1].interval.end)
+
+    def room_at(self, timestamp: float) -> "str | None":
+        """Room occupied at ``timestamp``, or None (outside)."""
+        for visit in self.visits:
+            if visit.interval.contains(timestamp):
+                return visit.room_id
+        return None
+
+    def time_in_room(self, room_id: str) -> float:
+        """Total seconds spent in ``room_id`` during this day."""
+        return sum(v.interval.duration for v in self.visits
+                   if v.room_id == room_id)
+
+    def total_time(self) -> float:
+        """Total seconds spent inside the building during this day."""
+        return sum(v.interval.duration for v in self.visits)

@@ -1,0 +1,74 @@
+"""Semantic events: the spatio-temporal footprints people attend.
+
+Per the paper's generator description, events "have an associated
+spatio-temporal footprint — they are associated with spaces over time",
+repeat periodically (a class, a meeting, a security-check shift, a
+flight), constrain who may attend (profile eligibility) and how many
+(capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.util.timeutil import SECONDS_PER_DAY
+
+
+@dataclass(frozen=True, slots=True)
+class SemanticEvent:
+    """A recurring event anchored to one room.
+
+    Attributes:
+        event_id: Unique id.
+        room_id: The room hosting the event.
+        start_time: Seconds from midnight when the event starts.
+        duration: Event length in seconds.
+        days: Days of week the event occurs on (0=Mon .. 6=Sun).
+        eligible_profiles: Profile names allowed to attend; empty means
+            everyone is eligible.
+        capacity: Maximum simultaneous attendees (paper: "number of
+            students ... limited to be below a maximum enrollment").
+    """
+
+    event_id: str
+    room_id: str
+    start_time: float
+    duration: float
+    days: tuple[int, ...]
+    eligible_profiles: tuple[str, ...] = ()
+    capacity: int = 30
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start_time < SECONDS_PER_DAY:
+            raise SimulationError(
+                f"event start_time must be within a day, got {self.start_time}")
+        if self.duration <= 0:
+            raise SimulationError(
+                f"event duration must be > 0, got {self.duration}")
+        if self.start_time + self.duration > SECONDS_PER_DAY:
+            raise SimulationError(
+                f"event {self.event_id} spans midnight; split it instead")
+        if not self.days:
+            raise SimulationError(f"event {self.event_id} occurs on no days")
+        if any(not 0 <= d <= 6 for d in self.days):
+            raise SimulationError(
+                f"event {self.event_id} has invalid days {self.days}")
+        if self.capacity < 1:
+            raise SimulationError(
+                f"event {self.event_id} capacity must be >= 1")
+
+    def occurs_on(self, day_of_week: int) -> bool:
+        """Whether the event happens on the given weekday."""
+        return day_of_week in self.days
+
+    def eligible(self, profile_name: str) -> bool:
+        """Whether a profile may attend."""
+        return not self.eligible_profiles or \
+            profile_name in self.eligible_profiles
+
+    def __str__(self) -> str:
+        hh = int(self.start_time // 3600)
+        mm = int((self.start_time % 3600) // 60)
+        return (f"Event {self.event_id} in {self.room_id} at "
+                f"{hh:02d}:{mm:02d} ({self.duration / 60:.0f} min)")

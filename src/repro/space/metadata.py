@@ -1,0 +1,107 @@
+"""Space metadata consumed by the cleaning engine (paper §2, §9.1).
+
+Besides the building topology, LOCATER's fine-grained localizer needs:
+
+* room types (public/private) — carried on :class:`~repro.space.room.Room`;
+* *preferred rooms* per device: the owner's office from space metadata, or
+  the most frequent rooms the owner enters, from background knowledge.
+
+This module holds the per-device metadata and offers the candidate-room
+classification used when assigning room-affinity weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import UnknownRoomError
+from repro.space.building import Building
+
+
+@dataclass(frozen=True, slots=True)
+class RoomClassification:
+    """Partition of a candidate room set from one device's perspective.
+
+    Attributes:
+        preferred: Candidate rooms in the device's preferred set R^pf.
+        public: Remaining public candidates (R(gx) ∩ R^pb) \\ R^pf.
+        private: Remaining private candidates (R(gx) ∩ R^pr) \\ R^pf.
+    """
+
+    preferred: tuple[str, ...]
+    public: tuple[str, ...]
+    private: tuple[str, ...]
+
+
+class SpaceMetadata:
+    """Per-device metadata: preferred rooms and ownership.
+
+    Args:
+        building: The building the metadata describes.
+        preferred_rooms: Mapping from device id to that device's preferred
+            room ids (the paper's R^pf(d)); may be empty for devices whose
+            owners have no preferred room.
+    """
+
+    def __init__(self, building: Building,
+                 preferred_rooms: "Mapping[str, Iterable[str]] | None" = None) -> None:
+        self._building = building
+        self._preferred: dict[str, frozenset[str]] = {}
+        if preferred_rooms:
+            for device_id, rooms in preferred_rooms.items():
+                self.set_preferred_rooms(device_id, rooms)
+
+    @property
+    def building(self) -> Building:
+        """The building this metadata belongs to."""
+        return self._building
+
+    def set_preferred_rooms(self, device_id: str,
+                            rooms: Iterable[str]) -> None:
+        """Register the preferred rooms of ``device_id`` (may be empty).
+
+        The paper notes room-owner metadata "is not a must for LOCATER and
+        can be included at run time", hence this mutator.
+        """
+        room_set = frozenset(rooms)
+        for room_id in room_set:
+            if room_id not in self._building.rooms:
+                raise UnknownRoomError(
+                    f"preferred room {room_id!r} for device {device_id!r} "
+                    f"not in building {self._building.name!r}")
+        self._preferred[device_id] = room_set
+
+    def preferred_rooms(self, device_id: str) -> frozenset[str]:
+        """R^pf(d): the preferred rooms of a device (empty set if none)."""
+        return self._preferred.get(device_id, frozenset())
+
+    def has_metadata(self, device_id: str) -> bool:
+        """Whether any preferred-room metadata exists for the device."""
+        return bool(self._preferred.get(device_id))
+
+    def known_devices(self) -> list[str]:
+        """Devices that have at least one preferred room registered."""
+        return sorted(d for d, rooms in self._preferred.items() if rooms)
+
+    def classify_candidates(self, device_id: str,
+                            candidate_rooms: Iterable[str]) -> RoomClassification:
+        """Partition candidates into preferred / public / private (paper §4.1).
+
+        Preferred rooms win over their public/private type; the remaining
+        candidates split by room type.  Sorting keeps output deterministic.
+        """
+        preferred = self.preferred_rooms(device_id)
+        pf: list[str] = []
+        pb: list[str] = []
+        pr: list[str] = []
+        for room_id in sorted(candidate_rooms):
+            room = self._building.room(room_id)
+            if room_id in preferred:
+                pf.append(room_id)
+            elif room.is_public:
+                pb.append(room_id)
+            else:
+                pr.append(room_id)
+        return RoomClassification(preferred=tuple(pf), public=tuple(pb),
+                                  private=tuple(pr))

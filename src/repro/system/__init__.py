@@ -1,0 +1,28 @@
+"""The LOCATER system (paper §5, Fig. 5): ingestion, storage, cleaning, query.
+
+`Locater` wires the coarse-grained and fine-grained cleaning engines with
+the caching engine behind a single ``locate(mac, t)`` query interface, the
+way the paper's prototype does.  `Baseline1` and `Baseline2` implement the
+comparison systems of §6.1.
+"""
+
+from repro.system.baselines import Baseline1, Baseline2, CoarseBaseline
+from repro.system.config import LocaterConfig
+from repro.system.ingestion import IngestionEngine
+from repro.system.locater import Locater, LocationAnswer
+from repro.system.query import LocationQuery
+from repro.system.storage import InMemoryStorage, SqliteStorage, StorageEngine
+
+__all__ = [
+    "Baseline1",
+    "Baseline2",
+    "CoarseBaseline",
+    "IngestionEngine",
+    "InMemoryStorage",
+    "Locater",
+    "LocaterConfig",
+    "LocationAnswer",
+    "LocationQuery",
+    "SqliteStorage",
+    "StorageEngine",
+]

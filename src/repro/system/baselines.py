@@ -1,0 +1,102 @@
+"""The baseline systems of the paper's evaluation (§6.1).
+
+Coarse-Baseline: a gap of at least one hour means outside; otherwise the
+device stays in the last known region.
+
+Fine-Baseline1: pick a candidate room uniformly at random.
+Fine-Baseline2: pick the room associated with the user in the metadata
+(their office / preferred room) when it is among the candidates, else fall
+back to random.
+
+Baseline1 = Coarse-Baseline + Fine-Baseline1;
+Baseline2 = Coarse-Baseline + Fine-Baseline2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LocalizationError
+from repro.events.gaps import find_gap_at
+from repro.events.table import EventTable
+from repro.events.validity import valid_event_at
+from repro.space.building import Building
+from repro.space.metadata import SpaceMetadata
+from repro.system.query import LocationQuery
+from repro.system.locater import LocationAnswer
+from repro.util.rng import make_rng
+from repro.util.timeutil import hours
+
+
+class CoarseBaseline:
+    """The shared coarse step: >= 1 h gap → outside, else last region."""
+
+    def __init__(self, building: Building, table: EventTable,
+                 outside_threshold: float = hours(1)) -> None:
+        self._building = building
+        self._table = table
+        self.outside_threshold = outside_threshold
+
+    def locate(self, mac: str, timestamp: float
+               ) -> "tuple[bool, int | None, bool]":
+        """Returns (inside, region_id, from_event)."""
+        log = self._table.log(mac)
+        if log.is_empty:
+            return False, None, False
+        hit = valid_event_at(log, timestamp)
+        if hit is not None:
+            region = self._building.region_of_ap(hit.ap_id)
+            return True, region.region_id, True
+        gap = find_gap_at(log, timestamp)
+        if gap is None:
+            return False, None, False
+        if gap.duration >= self.outside_threshold:
+            return False, None, False
+        region = self._building.region_of_ap(gap.ap_before)
+        return True, region.region_id, False
+
+
+class _BaselineSystem:
+    """Common query plumbing for both baselines."""
+
+    def __init__(self, building: Building, metadata: SpaceMetadata,
+                 table: EventTable, seed: "int | None" = 0) -> None:
+        self._building = building
+        self._metadata = metadata
+        self._table = table
+        self._coarse = CoarseBaseline(building, table)
+        self._rng = make_rng(seed)
+
+    def _pick_room(self, mac: str, candidates: list[str]) -> str:
+        raise NotImplementedError
+
+    def locate(self, mac: str, timestamp: float) -> LocationAnswer:
+        """Answer a query with the baseline pipeline."""
+        query = LocationQuery(mac=mac, timestamp=timestamp)
+        inside, region_id, from_event = self._coarse.locate(mac, timestamp)
+        if not inside or region_id is None:
+            return LocationAnswer(query=query, inside=False, region_id=None,
+                                  room_id=None, from_event=from_event,
+                                  fine=None)
+        candidates = sorted(self._building.region(region_id).rooms)
+        room = self._pick_room(mac, candidates)
+        return LocationAnswer(query=query, inside=True, region_id=region_id,
+                              room_id=room, from_event=from_event, fine=None)
+
+
+class Baseline1(_BaselineSystem):
+    """Coarse-Baseline + random candidate room."""
+
+    def _pick_room(self, mac: str, candidates: list[str]) -> str:
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+
+class Baseline2(_BaselineSystem):
+    """Coarse-Baseline + metadata room (user's office) when available."""
+
+    def _pick_room(self, mac: str, candidates: list[str]) -> str:
+        preferred = self._metadata.preferred_rooms(mac)
+        matches = [room for room in candidates if room in preferred]
+        if matches:
+            return matches[0]
+        return candidates[int(self._rng.integers(len(candidates)))]

@@ -1,0 +1,73 @@
+"""Ingestion engine (paper Fig. 5): stream events into table + storage.
+
+Real deployments receive association events from wireless controllers via
+SNMP/NETCONF/Syslog; here any iterable of :class:`ConnectivityEvent`
+plays that role.  The engine assigns event ids, forwards rows to the
+storage engine in batches, and maintains the in-memory
+:class:`~repro.events.table.EventTable` the cleaning engine reads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.events.validity import DeltaEstimator
+from repro.system.storage import StorageEngine
+
+
+class IngestionEngine:
+    """Feeds connectivity events into the system.
+
+    Args:
+        table: Event table the cleaning engine queries.
+        storage: Optional storage engine receiving the raw (dirty) rows.
+        batch_size: Rows per storage write.
+        estimate_deltas: Re-estimate per-device δ after each ingest batch
+            (cheap, and keeps validity windows calibrated as data grows).
+    """
+
+    def __init__(self, table: EventTable,
+                 storage: "StorageEngine | None" = None,
+                 batch_size: int = 1000,
+                 estimate_deltas: bool = True) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._table = table
+        self._storage = storage
+        self._batch_size = batch_size
+        self._estimate_deltas = estimate_deltas
+        self._estimator = DeltaEstimator()
+        self._next_event_id = 0
+
+    @property
+    def table(self) -> EventTable:
+        """The event table maintained by this engine."""
+        return self._table
+
+    def ingest(self, events: Iterable[ConnectivityEvent]) -> int:
+        """Consume a stream of events; returns how many were ingested."""
+        batch: list[ConnectivityEvent] = []
+        count = 0
+        for event in events:
+            stamped = ConnectivityEvent(
+                timestamp=event.timestamp, mac=event.mac, ap_id=event.ap_id,
+                event_id=self._next_event_id)
+            self._next_event_id += 1
+            self._table.append(stamped)
+            batch.append(stamped)
+            count += 1
+            if len(batch) >= self._batch_size:
+                self._flush(batch)
+                batch = []
+        if batch:
+            self._flush(batch)
+        self._table.freeze()
+        if self._estimate_deltas and count:
+            self._estimator.fit_table(self._table)
+        return count
+
+    def _flush(self, batch: list[ConnectivityEvent]) -> None:
+        if self._storage is not None:
+            self._storage.store_events(batch)

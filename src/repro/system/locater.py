@@ -1,0 +1,193 @@
+"""The LOCATER facade: coarse cleaning → fine cleaning → caching (Fig. 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coarse.bootstrap import BootstrapLabeler
+from repro.coarse.localizer import CoarseLocalizer
+from repro.cache.engine import CachingEngine
+from repro.events.table import EventTable
+from repro.fine.affinity import DeviceAffinityIndex, RoomAffinityModel
+from repro.fine.localizer import FineLocalizer, FineResult
+from repro.fine.neighbors import find_neighbors
+from repro.space.building import Building
+from repro.space.metadata import SpaceMetadata
+from repro.system.config import LocaterConfig
+from repro.system.query import LocationQuery
+from repro.system.storage import StorageEngine
+from repro.util.timeutil import SECONDS_PER_DAY, TimeInterval
+
+
+@dataclass(frozen=True, slots=True)
+class LocationAnswer:
+    """The cleaned location of a device at the queried time.
+
+    Attributes:
+        query: The original query.
+        inside: Whether the device was inside the building.
+        region_id: Region when inside, else None.
+        room_id: Room when inside, else None.
+        from_event: Coarse answer came straight from a valid event.
+        fine: The full fine-grained result (None when outside).
+    """
+
+    query: LocationQuery
+    inside: bool
+    region_id: "int | None"
+    room_id: "str | None"
+    from_event: bool
+    fine: "FineResult | None"
+
+    @property
+    def location_label(self) -> str:
+        """Compact label: ``outside`` or the room id."""
+        if not self.inside:
+            return "outside"
+        return self.room_id if self.room_id is not None else "unknown"
+
+    def __str__(self) -> str:
+        if not self.inside:
+            return f"{self.query} → outside"
+        return (f"{self.query} → room {self.room_id} "
+                f"(region g{self.region_id})")
+
+
+class Locater:
+    """The online location cleaning system of the paper.
+
+    Args:
+        building: Space model.
+        metadata: Per-device preferred-room metadata.
+        table: Connectivity events table (already ingested).
+        config: Pipeline configuration; defaults to the paper's best.
+        storage: Optional storage engine; cleaned answers are persisted
+            and exact-repeat queries short-circuit to the stored answer.
+        room_model: Optional room-affinity model override — e.g. a
+            :class:`~repro.fine.time_dependent.TimeDependentRoomAffinityModel`
+            carrying per-time-of-day preference schedules.  Defaults to
+            the static model built from ``metadata`` and the configured
+            weights.
+
+    Example:
+        >>> locater = Locater(building, metadata, table)
+        >>> answer = locater.locate("7fbh", timestamp)
+        >>> answer.room_id
+        '2061'
+    """
+
+    def __init__(self, building: Building, metadata: SpaceMetadata,
+                 table: EventTable,
+                 config: "LocaterConfig | None" = None,
+                 storage: "StorageEngine | None" = None,
+                 room_model: "RoomAffinityModel | None" = None) -> None:
+        self.config = config or LocaterConfig()
+        self._building = building
+        self._metadata = metadata
+        self._table = table
+        self._storage = storage
+
+        history = self._resolve_history()
+        bootstrap = BootstrapLabeler(
+            building,
+            tau_low=self.config.tau_low,
+            tau_high=self.config.tau_high,
+            tau_region_low=self.config.tau_region_low,
+            tau_region_high=self.config.tau_region_high)
+        self.coarse = CoarseLocalizer(
+            building, table, bootstrap=bootstrap, history=history,
+            batch_size=self.config.self_training_batch)
+        self._room_model = room_model if room_model is not None else \
+            RoomAffinityModel(metadata, weights=self.config.room_weights)
+        self._device_index = DeviceAffinityIndex(
+            table, history=history,
+            reuse_cache=self.config.reuse_affinity_cache)
+        self.fine = FineLocalizer(
+            building, table, self._room_model, self._device_index,
+            mode=self.config.fine_mode,
+            use_stop_conditions=self.config.use_stop_conditions,
+            max_neighbors=self.config.max_neighbors,
+            affinity_cap=self.config.affinity_cap,
+            affinity_noise_floor=self.config.affinity_noise_floor)
+        self.cache = CachingEngine(sigma=self.config.cache_sigma) \
+            if self.config.use_caching else None
+
+    def _resolve_history(self) -> "TimeInterval | None":
+        if self.config.history_days is None:
+            return None
+        span = self._table.span()
+        start = max(span.start, span.end -
+                    self.config.history_days * SECONDS_PER_DAY)
+        return TimeInterval(start, span.end)
+
+    # ------------------------------------------------------------------
+    @property
+    def building(self) -> Building:
+        """The space model this system cleans against."""
+        return self._building
+
+    @property
+    def table(self) -> EventTable:
+        """The connectivity events table."""
+        return self._table
+
+    # ------------------------------------------------------------------
+    def locate(self, mac: str, timestamp: float) -> LocationAnswer:
+        """Answer Q = (mac, timestamp) through the full cleaning pipeline."""
+        query = LocationQuery(mac=mac, timestamp=timestamp)
+
+        if self._storage is not None:
+            cached = self._storage.find_answer(mac, timestamp)
+            if cached is not None:
+                return self._answer_from_stored(query, cached)
+
+        coarse = self.coarse.locate(mac, timestamp)
+        if not coarse.inside or coarse.region_id is None:
+            answer = LocationAnswer(query=query, inside=False,
+                                    region_id=None, room_id=None,
+                                    from_event=coarse.from_event, fine=None)
+            self._persist(answer)
+            return answer
+
+        neighbors = find_neighbors(
+            self._building, self._table, mac, timestamp, coarse.region_id,
+            max_neighbors=self.config.max_neighbors)
+        caps = None
+        if self.cache is not None:
+            neighbors = self.cache.order_neighbors(mac, neighbors, timestamp)
+            caps = self.cache.neighbor_caps(mac, neighbors, timestamp)
+
+        fine = self.fine.locate(mac, timestamp, coarse.region_id,
+                                neighbor_order=neighbors,
+                                neighbor_caps=caps)
+
+        if self.cache is not None and fine.edge_weights:
+            self.cache.record(mac, timestamp, fine.edge_weights)
+
+        answer = LocationAnswer(query=query, inside=True,
+                                region_id=coarse.region_id,
+                                room_id=fine.room_id,
+                                from_event=coarse.from_event, fine=fine)
+        self._persist(answer)
+        return answer
+
+    def locate_query(self, query: LocationQuery) -> LocationAnswer:
+        """Answer an explicit :class:`LocationQuery`."""
+        return self.locate(query.mac, query.timestamp)
+
+    # ------------------------------------------------------------------
+    def _persist(self, answer: LocationAnswer) -> None:
+        if self._storage is not None:
+            self._storage.store_answer(answer.query.mac,
+                                       answer.query.timestamp,
+                                       answer.location_label)
+
+    def _answer_from_stored(self, query: LocationQuery,
+                            stored: str) -> LocationAnswer:
+        if stored == "outside":
+            return LocationAnswer(query=query, inside=False, region_id=None,
+                                  room_id=None, from_event=False, fine=None)
+        regions = self._building.regions_of_room(stored)
+        region_id = regions[0].region_id if regions else None
+        return LocationAnswer(query=query, inside=True, region_id=region_id,
+                              room_id=stored, from_event=False, fine=None)

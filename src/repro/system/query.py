@@ -1,0 +1,29 @@
+"""Query types of the LOCATER query engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.timeutil import format_timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class LocationQuery:
+    """Q = (d_i, t_q): where was device ``mac`` at time ``timestamp``?
+
+    ``timestamp`` may be current (real-time tracking) or past (historical
+    analysis) — the cleaning path is identical.
+    """
+
+    mac: str
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if not self.mac:
+            raise ValueError("query mac must be non-empty")
+        if self.timestamp < 0:
+            raise ValueError(
+                f"query timestamp must be >= 0, got {self.timestamp}")
+
+    def __str__(self) -> str:
+        return f"Q({self.mac} @ {format_timestamp(self.timestamp)})"

@@ -1,0 +1,213 @@
+"""Storage engine (paper Fig. 5): dirty data, clean data, metadata.
+
+Two interchangeable backends implement the same interface: an in-memory
+store for tests and benchmarks, and a SQLite store (stdlib ``sqlite3``)
+showing how a deployment persists raw events, cleaned answers and space
+metadata.  All SQL uses parameterized statements.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from repro.errors import StorageError
+from repro.events.event import ConnectivityEvent
+
+
+class StorageEngine(ABC):
+    """Interface shared by storage backends.
+
+    "Dirty" rows are raw connectivity events as ingested; "clean" rows are
+    answered queries (device, time, location) kept for reuse and audit.
+    """
+
+    # -- dirty (raw) events --------------------------------------------
+    @abstractmethod
+    def store_events(self, events: Iterable[ConnectivityEvent]) -> int:
+        """Persist raw events; returns the number stored."""
+
+    @abstractmethod
+    def load_events(self) -> Iterator[ConnectivityEvent]:
+        """Iterate all stored raw events in timestamp order."""
+
+    @abstractmethod
+    def event_count(self) -> int:
+        """Number of raw events stored."""
+
+    # -- clean (answered) locations ------------------------------------
+    @abstractmethod
+    def store_answer(self, mac: str, timestamp: float, location: str) -> None:
+        """Persist one cleaned localization answer."""
+
+    @abstractmethod
+    def find_answer(self, mac: str, timestamp: float) -> "str | None":
+        """Exact-match lookup of a previously cleaned answer."""
+
+    # -- metadata -------------------------------------------------------
+    @abstractmethod
+    def store_metadata(self, key: str, value: dict) -> None:
+        """Persist one metadata document under ``key``."""
+
+    @abstractmethod
+    def load_metadata(self, key: str) -> "dict | None":
+        """Load a metadata document, or None."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release resources; further use raises :class:`StorageError`."""
+
+    def __enter__(self) -> "StorageEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InMemoryStorage(StorageEngine):
+    """Dictionary-backed storage for tests and benchmarks."""
+
+    def __init__(self) -> None:
+        self._events: list[ConnectivityEvent] = []
+        self._answers: dict[tuple[str, float], str] = {}
+        self._metadata: dict[str, dict] = {}
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("storage engine already closed")
+
+    def store_events(self, events: Iterable[ConnectivityEvent]) -> int:
+        self._check_open()
+        count = 0
+        for event in events:
+            self._events.append(event)
+            count += 1
+        return count
+
+    def load_events(self) -> Iterator[ConnectivityEvent]:
+        self._check_open()
+        return iter(sorted(self._events))
+
+    def event_count(self) -> int:
+        self._check_open()
+        return len(self._events)
+
+    def store_answer(self, mac: str, timestamp: float, location: str) -> None:
+        self._check_open()
+        self._answers[(mac, timestamp)] = location
+
+    def find_answer(self, mac: str, timestamp: float) -> "str | None":
+        self._check_open()
+        return self._answers.get((mac, timestamp))
+
+    def store_metadata(self, key: str, value: dict) -> None:
+        self._check_open()
+        # Round-trip through JSON so both backends accept the same values.
+        self._metadata[key] = json.loads(json.dumps(value))
+
+    def load_metadata(self, key: str) -> "dict | None":
+        self._check_open()
+        return self._metadata.get(key)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class SqliteStorage(StorageEngine):
+    """SQLite-backed storage engine.
+
+    Args:
+        path: Database file path, or ``":memory:"`` (default) for an
+            ephemeral database.
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS dirty_events (
+        event_id  INTEGER PRIMARY KEY AUTOINCREMENT,
+        mac       TEXT    NOT NULL,
+        timestamp REAL    NOT NULL,
+        ap_id     TEXT    NOT NULL
+    );
+    CREATE INDEX IF NOT EXISTS idx_dirty_mac_time
+        ON dirty_events (mac, timestamp);
+    CREATE TABLE IF NOT EXISTS clean_answers (
+        mac       TEXT NOT NULL,
+        timestamp REAL NOT NULL,
+        location  TEXT NOT NULL,
+        PRIMARY KEY (mac, timestamp)
+    );
+    CREATE TABLE IF NOT EXISTS metadata (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    );
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(self._SCHEMA)
+        self._conn.commit()
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("storage engine already closed")
+
+    def store_events(self, events: Iterable[ConnectivityEvent]) -> int:
+        self._check_open()
+        rows = [(e.mac, e.timestamp, e.ap_id) for e in events]
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO dirty_events (mac, timestamp, ap_id) "
+                "VALUES (?, ?, ?)", rows)
+        return len(rows)
+
+    def load_events(self) -> Iterator[ConnectivityEvent]:
+        self._check_open()
+        cursor = self._conn.execute(
+            "SELECT event_id, mac, timestamp, ap_id FROM dirty_events "
+            "ORDER BY timestamp, mac, ap_id")
+        for event_id, mac, timestamp, ap_id in cursor:
+            yield ConnectivityEvent(timestamp=timestamp, mac=mac,
+                                    ap_id=ap_id, event_id=event_id)
+
+    def event_count(self) -> int:
+        self._check_open()
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM dirty_events").fetchone()
+        return int(row[0])
+
+    def store_answer(self, mac: str, timestamp: float, location: str) -> None:
+        self._check_open()
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO clean_answers "
+                "(mac, timestamp, location) VALUES (?, ?, ?)",
+                (mac, timestamp, location))
+
+    def find_answer(self, mac: str, timestamp: float) -> "str | None":
+        self._check_open()
+        row = self._conn.execute(
+            "SELECT location FROM clean_answers "
+            "WHERE mac = ? AND timestamp = ?", (mac, timestamp)).fetchone()
+        return None if row is None else str(row[0])
+
+    def store_metadata(self, key: str, value: dict) -> None:
+        self._check_open()
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO metadata (key, value) VALUES (?, ?)",
+                (key, json.dumps(value, sort_keys=True)))
+
+    def load_metadata(self, key: str) -> "dict | None":
+        self._check_open()
+        row = self._conn.execute(
+            "SELECT value FROM metadata WHERE key = ?", (key,)).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def close(self) -> None:
+        if not self._closed:
+            self._conn.close()
+            self._closed = True

@@ -1,0 +1,57 @@
+"""Shared utilities: time arithmetic, RNG plumbing, validation, statistics."""
+
+from repro.util.rng import derive_rng, make_rng, spawn_seeds
+from repro.util.stats import (
+    gaussian_weights,
+    normalize,
+    prediction_confidence,
+    safe_div,
+)
+from repro.util.timeutil import (
+    DAYS_PER_WEEK,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    SECONDS_PER_WEEK,
+    TimeInterval,
+    day_index,
+    day_of_week,
+    format_timestamp,
+    hours,
+    minutes,
+    seconds_of_day,
+    weeks,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "DAYS_PER_WEEK",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_WEEK",
+    "TimeInterval",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability_vector",
+    "day_index",
+    "day_of_week",
+    "derive_rng",
+    "format_timestamp",
+    "gaussian_weights",
+    "hours",
+    "make_rng",
+    "minutes",
+    "normalize",
+    "prediction_confidence",
+    "safe_div",
+    "seconds_of_day",
+    "spawn_seeds",
+    "weeks",
+]

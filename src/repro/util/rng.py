@@ -1,0 +1,51 @@
+"""Seeded random-number plumbing.
+
+Every stochastic component in the library accepts either an integer seed or
+an already-constructed :class:`numpy.random.Generator`; these helpers make
+that pattern uniform and make derived streams reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def make_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, an existing generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, *keys: "int | str") -> np.random.Generator:
+    """Derive an independent child generator keyed by ``keys``.
+
+    The derivation hashes the key material into a fresh seed so the same
+    parent + keys always produce the same child stream, independent of how
+    many values were drawn from the parent.
+    """
+    material = "/".join(str(k) for k in keys)
+    digest = np.frombuffer(material.encode("utf-8"), dtype=np.uint8)
+    base = int(rng.bit_generator.seed_seq.entropy or 0)  # type: ignore[union-attr]
+    child_seed = np.random.SeedSequence([base % (2**63), int(digest.sum()),
+                                         len(material), _fnv1a(material)])
+    return np.random.default_rng(child_seed)
+
+
+def spawn_seeds(seed: int, count: int) -> Sequence[int]:
+    """Deterministically expand one seed into ``count`` independent seeds."""
+    seq = np.random.SeedSequence(seed)
+    return [int(s.generate_state(1)[0]) for s in seq.spawn(count)]
+
+
+def _fnv1a(text: str) -> int:
+    """64-bit FNV-1a hash; stable across processes unlike ``hash``."""
+    value = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x100000001B3) % (2**64)
+    return value

@@ -1,0 +1,43 @@
+"""Small argument-validation helpers used across the configuration surface."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is strictly positive; return it."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate that ``value`` is >= 0; return it."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed unit interval; return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_probability_vector(name: str, values: Sequence[float],
+                             tolerance: float = 1e-9) -> Sequence[float]:
+    """Validate that ``values`` are non-negative and sum to 1; return them."""
+    total = 0.0
+    for v in values:
+        if v < 0:
+            raise ConfigurationError(
+                f"{name} must be non-negative, got {values!r}")
+        total += v
+    if abs(total - 1.0) > tolerance:
+        raise ConfigurationError(
+            f"{name} must sum to 1 (got sum={total!r} from {values!r})")
+    return values

@@ -1,0 +1,93 @@
+"""End-to-end integration tests: simulate → clean → score."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.queries import labeled_query_set
+from repro.eval.runner import evaluate
+from repro.fine.localizer import FineMode
+from repro.system.baselines import Baseline1
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+
+
+@pytest.fixture(scope="module")
+def world(small_dataset_module):
+    return small_dataset_module
+
+
+@pytest.fixture(scope="module")
+def small_dataset_module():
+    from repro.sim.scenarios import ScenarioSpec
+    from repro.sim.simulator import Simulator
+    spec = ScenarioSpec.dbh_like(seed=23, population=12)
+    return Simulator(spec).run(days=6)
+
+
+class TestFullPipeline:
+    def test_every_query_answerable(self, world):
+        locater = Locater(world.building, world.metadata, world.table)
+        queries = labeled_query_set(world, per_device=3, seed=2)
+        for query in queries:
+            answer = locater.locate(query.mac, query.timestamp)
+            if answer.inside:
+                assert answer.room_id in world.building.rooms
+                assert answer.region_id is not None
+                region_rooms = world.building.region(
+                    answer.region_id).rooms
+                assert answer.room_id in region_rooms
+            else:
+                assert answer.room_id is None
+
+    def test_beats_random_baseline(self, world):
+        queries = labeled_query_set(world, per_device=6, seed=3)
+        locater = Locater(world.building, world.metadata, world.table,
+                          config=LocaterConfig(use_caching=False))
+        baseline = Baseline1(world.building, world.metadata, world.table,
+                             seed=3)
+        ours = evaluate(locater, world, queries)
+        theirs = evaluate(baseline, world, queries)
+        assert ours.counts.overall_precision > \
+            theirs.counts.overall_precision
+
+    def test_independent_and_dependent_both_work(self, world):
+        queries = labeled_query_set(world, per_device=3, seed=4)
+        for mode in (FineMode.INDEPENDENT, FineMode.DEPENDENT):
+            config = LocaterConfig(fine_mode=mode, use_caching=False)
+            locater = Locater(world.building, world.metadata, world.table,
+                              config=config)
+            result = evaluate(locater, world, queries)
+            assert result.counts.total == len(queries)
+            assert result.counts.overall_precision > 0.2
+
+    def test_caching_changes_little_precision(self, world):
+        queries = labeled_query_set(world, per_device=5, seed=5)
+        plain = Locater(world.building, world.metadata, world.table,
+                        config=LocaterConfig(use_caching=False))
+        cached = Locater(world.building, world.metadata, world.table,
+                         config=LocaterConfig(use_caching=True))
+        p = evaluate(plain, world, queries).counts.overall_precision
+        c = evaluate(cached, world, queries).counts.overall_precision
+        # Paper Fig. 9: caching costs at most ~5-10% precision.
+        assert abs(p - c) < 0.15
+
+    def test_cache_warms_up(self, world):
+        locater = Locater(world.building, world.metadata, world.table,
+                          config=LocaterConfig(use_caching=True))
+        queries = labeled_query_set(world, per_device=4, seed=6)
+        evaluate(locater, world, queries)
+        stats = locater.cache.stats()
+        assert stats["edges"] > 0
+        assert stats["hits"] > 0
+
+    def test_determinism_of_answers(self, world):
+        config = LocaterConfig(use_caching=False)
+        a = Locater(world.building, world.metadata, world.table,
+                    config=config)
+        b = Locater(world.building, world.metadata, world.table,
+                    config=config)
+        queries = labeled_query_set(world, per_device=2, seed=7)
+        for query in queries:
+            assert a.locate(query.mac, query.timestamp).location_label \
+                == b.locate(query.mac, query.timestamp).location_label

@@ -1,0 +1,56 @@
+"""Integration tests: ingestion + SQLite storage + cleaning."""
+
+from __future__ import annotations
+
+from repro.events.table import EventTable
+from repro.system.config import LocaterConfig
+from repro.system.ingestion import IngestionEngine
+from repro.system.locater import Locater
+from repro.system.storage import SqliteStorage
+
+
+class TestSqlitePipeline:
+    def test_ingest_store_reload_clean(self, small_dataset, tmp_path):
+        db_path = str(tmp_path / "wifi.db")
+        # Phase 1: ingest the simulated stream into SQLite.
+        with SqliteStorage(db_path) as storage:
+            table = EventTable()
+            engine = IngestionEngine(table, storage=storage)
+            for mac in small_dataset.table.macs():
+                engine.ingest(small_dataset.table.events_of(mac))
+            stored = storage.event_count()
+        assert stored == small_dataset.event_count()
+
+        # Phase 2: reload from SQLite into a fresh table and clean.
+        with SqliteStorage(db_path) as storage:
+            reloaded = EventTable()
+            engine = IngestionEngine(reloaded)
+            engine.ingest(storage.load_events())
+            assert len(reloaded) == stored
+            locater = Locater(small_dataset.building,
+                              small_dataset.metadata, reloaded,
+                              config=LocaterConfig(use_caching=False))
+            mac = next(m for m in small_dataset.macs()
+                       if len(reloaded.log(m)) > 20)
+            t = float(reloaded.log(mac).times[5]) + 30.0
+            answer = locater.locate(mac, t)
+            assert answer.inside
+
+    def test_answers_persisted_and_reused(self, small_dataset, tmp_path):
+        db_path = str(tmp_path / "answers.db")
+        mac = next(m for m in small_dataset.macs()
+                   if len(small_dataset.table.log(m)) > 20)
+        t = float(small_dataset.table.log(mac).times[3]) + 10.0
+        with SqliteStorage(db_path) as storage:
+            locater = Locater(small_dataset.building,
+                              small_dataset.metadata,
+                              small_dataset.table, storage=storage)
+            first = locater.locate(mac, t)
+            assert storage.find_answer(mac, t) == first.location_label
+        # A brand-new system over the same store reuses the clean answer.
+        with SqliteStorage(db_path) as storage:
+            locater = Locater(small_dataset.building,
+                              small_dataset.metadata,
+                              small_dataset.table, storage=storage)
+            again = locater.locate(mac, t)
+            assert again.location_label == first.location_label

@@ -1,0 +1,81 @@
+"""Property-based tests for affinity models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.fine.affinity import DeviceAffinityIndex, RoomAffinityModel
+from repro.space.builder import BuildingBuilder
+from repro.space.metadata import SpaceMetadata
+
+
+def _simple_building(room_ids):
+    builder = BuildingBuilder("prop")
+    for i, room_id in enumerate(room_ids):
+        if i % 3 == 0:
+            builder.add_public_room(room_id)
+        else:
+            builder.add_private_room(room_id)
+    builder.add_access_point("wap1", list(room_ids))
+    return builder.build()
+
+
+room_sets = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+    min_size=2, max_size=8, unique=True)
+
+
+@given(room_sets, st.data())
+@settings(max_examples=60)
+def test_room_affinity_is_distribution(room_ids, data):
+    building = _simple_building(room_ids)
+    preferred = data.draw(st.sets(st.sampled_from(room_ids), max_size=2))
+    metadata = SpaceMetadata(building, preferred_rooms={"d": preferred})
+    model = RoomAffinityModel(metadata)
+    affinities = model.affinities("d", room_ids)
+    assert sum(affinities.values()) == pytest.approx(1.0)
+    assert set(affinities) == set(room_ids)
+    assert all(v > 0 for v in affinities.values())
+
+
+@given(room_sets, st.data())
+@settings(max_examples=60)
+def test_preferred_room_dominates(room_ids, data):
+    building = _simple_building(room_ids)
+    preferred = data.draw(st.sampled_from(room_ids))
+    metadata = SpaceMetadata(building, preferred_rooms={"d": [preferred]})
+    model = RoomAffinityModel(metadata)
+    affinities = model.affinities("d", room_ids)
+    assert affinities[preferred] == max(affinities.values())
+
+
+event_streams = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=50000),
+              st.sampled_from(["wap1", "wap2"])),
+    min_size=1, max_size=30)
+
+
+@given(event_streams, event_streams)
+@settings(max_examples=40)
+def test_device_affinity_bounded_and_symmetric(stream_a, stream_b):
+    events = [ConnectivityEvent(t, "a", ap) for t, ap in stream_a]
+    events += [ConnectivityEvent(t, "b", ap) for t, ap in stream_b]
+    table = EventTable.from_events(events)
+    index = DeviceAffinityIndex(table)
+    value = index.pairwise("a", "b")
+    assert 0.0 <= value <= 1.0
+    assert value == index.pairwise("b", "a")
+
+
+@given(event_streams)
+@settings(max_examples=40)
+def test_identical_streams_have_high_affinity(stream):
+    events = [ConnectivityEvent(t, "a", ap) for t, ap in stream]
+    events += [ConnectivityEvent(t, "b", ap) for t, ap in stream]
+    table = EventTable.from_events(events)
+    index = DeviceAffinityIndex(table)
+    # Same times, same APs: every event of each device matches.
+    assert index.pairwise("a", "b") == pytest.approx(1.0)

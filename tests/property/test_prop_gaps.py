@@ -1,0 +1,114 @@
+"""Property-based tests: validity windows and gaps tile the timeline.
+
+Core invariant from paper §2: between the first and last event of a
+device, every instant is either inside some event's validity interval or
+inside exactly one gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.events.event import ConnectivityEvent
+from repro.events.gaps import extract_gaps, find_gap_at
+from repro.events.table import EventTable
+from repro.events.validity import valid_event_at, validity_intervals
+
+
+event_times = st.lists(
+    st.floats(min_value=0.0, max_value=200000.0, allow_nan=False),
+    min_size=2, max_size=40, unique=True).map(sorted)
+
+deltas = st.floats(min_value=30.0, max_value=1200.0)
+
+
+def _log(times, delta):
+    table = EventTable.from_events(
+        [ConnectivityEvent(t, "m", "wap1") for t in times])
+    table.registry.get("m").delta = delta
+    return table.log("m")
+
+
+@given(event_times, deltas)
+@settings(max_examples=60)
+def test_gap_or_validity_covers_interior(times, delta):
+    log = _log(times, delta)
+    rng = np.random.default_rng(0)
+    for t in rng.uniform(times[0], times[-1], size=12):
+        t = float(t)
+        in_validity = valid_event_at(log, t, delta=delta) is not None
+        in_gap = find_gap_at(log, t, delta=delta) is not None
+        assert in_validity or in_gap, (
+            f"instant {t} neither valid nor in a gap")
+
+
+@given(event_times, deltas)
+@settings(max_examples=60)
+def test_gaps_never_overlap_validity(times, delta):
+    log = _log(times, delta)
+    gaps = extract_gaps(log, delta=delta)
+    intervals = validity_intervals(log, delta=delta)
+    for gap in gaps:
+        for vi in intervals:
+            overlap = min(gap.interval.end, vi.interval.end) - \
+                max(gap.interval.start, vi.interval.start)
+            assert overlap <= 1e-6, (gap, vi)
+
+
+@given(event_times, deltas)
+@settings(max_examples=60)
+def test_gaps_are_disjoint_and_ordered(times, delta):
+    gaps = extract_gaps(_log(times, delta), delta=delta)
+    for a, b in zip(gaps, gaps[1:]):
+        assert a.interval.end <= b.interval.start + 1e-9
+
+
+@given(event_times, deltas)
+@settings(max_examples=60)
+def test_gap_duration_formula(times, delta):
+    log = _log(times, delta)
+    gaps = extract_gaps(log, delta=delta)
+    for gap in gaps:
+        spacing = log.time_at(gap.after_position) - \
+            log.time_at(gap.before_position)
+        assert gap.duration == pytest_approx(spacing - 2 * delta)
+        assert spacing > 2 * delta
+
+
+def pytest_approx(value):
+    import pytest
+    return pytest.approx(value, abs=1e-6)
+
+
+@given(event_times, deltas)
+@settings(max_examples=60)
+def test_validity_window_boundaries_follow_paper(times, delta):
+    """Start is always t − δ (clamped at 0); end is t + δ or, when the
+    next window overlaps, exactly the next event's timestamp."""
+    log = _log(times, delta)
+    intervals = validity_intervals(log, delta=delta)
+    for i, vi in enumerate(intervals):
+        t = log.time_at(vi.event_position)
+        assert vi.interval.start == pytest_approx(max(t - delta, 0.0))
+        if i + 1 < len(intervals):
+            next_t = log.time_at(i + 1)
+            expected_end = t + delta if next_t - delta >= t + delta \
+                else next_t
+            assert vi.interval.end == pytest_approx(
+                max(expected_end, vi.interval.start))
+        else:
+            assert vi.interval.end == pytest_approx(t + delta)
+
+
+@given(event_times, deltas)
+@settings(max_examples=60)
+def test_validity_windows_tile_close_events(times, delta):
+    """Consecutive events closer than 2δ leave no uncovered instant."""
+    log = _log(times, delta)
+    intervals = validity_intervals(log, delta=delta)
+    for i in range(len(intervals) - 1):
+        spacing = log.time_at(i + 1) - log.time_at(i)
+        if spacing <= 2 * delta:
+            assert intervals[i].interval.end >= \
+                intervals[i + 1].interval.start - 1e-9

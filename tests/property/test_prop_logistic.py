@@ -1,0 +1,66 @@
+"""Property-based tests for the logistic-regression substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.scaler import StandardScaler
+
+
+matrices = st.integers(min_value=2, max_value=20).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.lists(st.floats(min_value=-100, max_value=100),
+                          min_size=3, max_size=3),
+                 min_size=n, max_size=n),
+        st.lists(st.sampled_from(["x", "y"]), min_size=n, max_size=n)))
+
+
+@given(matrices)
+@settings(max_examples=40, deadline=None)
+def test_predict_proba_always_distribution(data):
+    rows, labels = data
+    if len(set(labels)) < 2:
+        labels = ["x", "y"] * (len(labels) // 2 + 1)
+        labels = labels[: len(rows)]
+        if len(set(labels)) < 2:
+            return
+    x = np.asarray(rows)
+    model = LogisticRegression(max_iter=50).fit(x, labels)
+    probs = model.predict_proba(x)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    assert (probs >= 0).all()
+
+
+@given(st.integers(min_value=10, max_value=40),
+       st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_separable_data_always_learned(n, seed):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(-3.0, 0.3, size=(n, 2))
+    x1 = rng.normal(+3.0, 0.3, size=(n, 2))
+    x = np.vstack([x0, x1])
+    y = ["a"] * n + ["b"] * n
+    model = LogisticRegression().fit(x, y)
+    predictions = model.predict(x)
+    accuracy = sum(p == t for p, t in zip(predictions, y)) / len(y)
+    assert accuracy > 0.9
+
+
+@given(st.lists(st.lists(st.floats(min_value=-1e4, max_value=1e4),
+                         min_size=2, max_size=2),
+                min_size=2, max_size=30))
+@settings(max_examples=50)
+def test_scaler_roundtrip_properties(rows):
+    data = np.asarray(rows)
+    scaler = StandardScaler().fit(data)
+    out = scaler.transform(data)
+    assert out.shape == data.shape
+    assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+    # Columns are either unit variance or were constant (scale 1).
+    stds = out.std(axis=0)
+    for j, s in enumerate(stds):
+        assert s == pytest.approx(1.0, abs=1e-6) or \
+            np.allclose(data[:, j], data[0, j])

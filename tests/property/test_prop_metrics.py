@@ -1,0 +1,74 @@
+"""Property-based tests for precision metrics and the cache graph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.global_graph import GlobalAffinityGraph
+from repro.eval.metrics import PrecisionCounts
+
+
+outcomes = st.lists(
+    st.tuples(st.booleans(), st.booleans(), st.booleans(), st.booleans()),
+    max_size=60)
+
+
+def _legal(truth_outside, predicted_outside, region_correct, room_correct):
+    """Constrain to outcomes the runner can actually produce."""
+    if truth_outside or predicted_outside:
+        region_correct = False
+        room_correct = False
+    if not region_correct:
+        room_correct = False
+    return truth_outside, predicted_outside, region_correct, room_correct
+
+
+@given(outcomes)
+@settings(max_examples=80)
+def test_precisions_bounded(rows):
+    counts = PrecisionCounts()
+    for row in rows:
+        counts.record(*_legal(*row))
+    assert 0.0 <= counts.coarse_precision <= 1.0
+    assert 0.0 <= counts.fine_precision <= 1.0
+    assert 0.0 <= counts.overall_precision <= 1.0
+    # Po can never exceed Pc: every Po hit is also a Pc hit.
+    assert counts.overall_precision <= counts.coarse_precision + 1e-12
+
+
+@given(outcomes, outcomes)
+@settings(max_examples=60)
+def test_merge_equals_concatenation(rows_a, rows_b):
+    separate = PrecisionCounts()
+    for row in rows_a + rows_b:
+        separate.record(*_legal(*row))
+    a = PrecisionCounts()
+    for row in rows_a:
+        a.record(*_legal(*row))
+    b = PrecisionCounts()
+    for row in rows_b:
+        b.record(*_legal(*row))
+    merged = a.merge(b)
+    assert merged.total == separate.total
+    assert merged.correct_room == separate.correct_room
+    assert merged.correct_region == separate.correct_region
+    assert merged.correct_outside == separate.correct_outside
+
+
+weights_and_times = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=1.0),
+              st.floats(min_value=0.0, max_value=1e6)),
+    min_size=1, max_size=20)
+
+
+@given(weights_and_times, st.floats(min_value=0.0, max_value=1e6))
+@settings(max_examples=60)
+def test_temporal_affinity_is_convex_combination(observations, query_time):
+    graph = GlobalAffinityGraph()
+    for weight, t in observations:
+        graph.add_observation("a", "b", weight, t)
+    value = graph.affinity_at("a", "b", query_time)
+    lo = min(w for w, _ in observations)
+    hi = max(w for w, _ in observations)
+    assert lo - 1e-9 <= value <= hi + 1e-9

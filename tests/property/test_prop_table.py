@@ -1,0 +1,80 @@
+"""Property-based tests for the event table."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.util.timeutil import TimeInterval
+
+
+raw_events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.sampled_from(["m1", "m2", "m3"]),
+        st.sampled_from(["wap1", "wap2", "wap3"])),
+    min_size=1, max_size=60)
+
+
+@given(raw_events)
+@settings(max_examples=60)
+def test_logs_sorted_and_complete(rows):
+    table = EventTable.from_events(
+        ConnectivityEvent(t, mac, ap) for t, mac, ap in rows)
+    assert len(table) == len(rows)
+    total = 0
+    for mac in table.macs():
+        log = table.log(mac)
+        total += len(log)
+        assert (np.diff(log.times) >= 0).all()
+    assert total == len(rows)
+
+
+@given(raw_events, st.floats(min_value=0.0, max_value=1e6),
+       st.floats(min_value=0.0, max_value=1e6))
+@settings(max_examples=60)
+def test_slice_matches_linear_scan(rows, a, b):
+    lo, hi = min(a, b), max(a, b)
+    table = EventTable.from_events(
+        ConnectivityEvent(t, mac, ap) for t, mac, ap in rows)
+    window = TimeInterval(lo, hi)
+    for mac in table.macs():
+        expected = sorted(t for t, m, _ in rows
+                          if m == mac and lo <= t < hi)
+        times, _ = table.log(mac).slice_interval(window)
+        assert list(times) == expected
+        assert table.log(mac).count_in(window) == len(expected)
+
+
+@given(raw_events)
+@settings(max_examples=60)
+def test_incremental_equals_batch(rows):
+    batch = EventTable.from_events(
+        ConnectivityEvent(t, mac, ap) for t, mac, ap in rows)
+    incremental = EventTable()
+    half = len(rows) // 2
+    incremental.extend(ConnectivityEvent(t, mac, ap)
+                       for t, mac, ap in rows[:half])
+    incremental.freeze()
+    incremental.extend(ConnectivityEvent(t, mac, ap)
+                       for t, mac, ap in rows[half:])
+    incremental.freeze()
+    for mac in batch.macs():
+        assert list(batch.log(mac).times) == \
+            list(incremental.log(mac).times)
+
+
+@given(raw_events, st.floats(min_value=0.0, max_value=1e6),
+       st.floats(min_value=0.0, max_value=1e6))
+@settings(max_examples=40)
+def test_restrict_then_span_within_window(rows, a, b):
+    lo, hi = min(a, b), max(a, b)
+    table = EventTable.from_events(
+        ConnectivityEvent(t, mac, ap) for t, mac, ap in rows)
+    clipped = table.restrict(TimeInterval(lo, hi))
+    if len(clipped):
+        span = clipped.span()
+        assert span.start >= lo
+        assert span.end <= hi + 1e-6

@@ -1,0 +1,80 @@
+"""Property-based tests for time utilities."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.util.timeutil import (
+    SECONDS_PER_DAY,
+    TimeInterval,
+    day_index,
+    day_of_week,
+    seconds_of_day,
+)
+
+timestamps = st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                       allow_infinity=False)
+
+
+@given(timestamps)
+def test_decomposition_reconstructs_timestamp(t):
+    assert day_index(t) * SECONDS_PER_DAY + seconds_of_day(t) == \
+        pytest_approx(t)
+
+
+def pytest_approx(value):
+    import pytest
+    return pytest.approx(value, abs=1e-6)
+
+
+@given(timestamps)
+def test_seconds_of_day_in_range(t):
+    assert 0.0 <= seconds_of_day(t) < SECONDS_PER_DAY
+
+
+@given(timestamps)
+def test_day_of_week_in_range(t):
+    assert 0 <= day_of_week(t) <= 6
+
+
+@given(timestamps, st.integers(min_value=0, max_value=30))
+def test_day_of_week_periodic_in_weeks(t, k):
+    assert day_of_week(t) == day_of_week(t + k * 7 * SECONDS_PER_DAY)
+
+
+interval_pairs = st.tuples(timestamps, timestamps).map(
+    lambda pair: TimeInterval(min(pair), max(pair)))
+
+
+@given(interval_pairs, interval_pairs)
+def test_overlap_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@given(interval_pairs, interval_pairs)
+def test_intersect_consistent_with_overlaps(a, b):
+    inter = a.intersect(b)
+    if a.overlaps(b):
+        assert inter is not None
+        assert inter.duration > 0
+        assert inter.start >= max(a.start, b.start) - 1e-9
+        assert inter.end <= min(a.end, b.end) + 1e-9
+    else:
+        assert inter is None
+
+
+@given(interval_pairs)
+def test_split_by_day_preserves_duration(interval):
+    pieces = list(interval.split_by_day())
+    assert sum(p.duration for p in pieces) == pytest_approx(
+        interval.duration)
+    for piece in pieces:
+        # Each piece stays within the day containing its start.
+        day_end = (day_index(piece.start) + 1) * SECONDS_PER_DAY
+        assert piece.end <= day_end + 1e-6
+
+
+@given(interval_pairs, timestamps)
+def test_contains_within_bounds(interval, t):
+    if interval.contains(t):
+        assert interval.start <= t < interval.end

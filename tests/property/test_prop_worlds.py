@@ -1,0 +1,105 @@
+"""Property-based tests for the room posterior and its bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fine.worlds import RoomPosterior
+
+
+rooms = st.lists(st.sampled_from(["a", "b", "c", "d", "e"]),
+                 min_size=2, max_size=5, unique=True)
+
+priors = rooms.flatmap(
+    lambda rs: st.lists(st.floats(min_value=0.01, max_value=1.0),
+                        min_size=len(rs), max_size=len(rs)).map(
+        lambda vs: dict(zip(rs, vs))))
+
+
+def affinity_maps(room_ids: "list[str]", cap: float = 0.6):
+    """Affinity dicts over a subset of rooms with total mass <= cap."""
+    return st.lists(st.floats(min_value=0.0, max_value=cap / 5),
+                    min_size=len(room_ids), max_size=len(room_ids)).map(
+        lambda vs: {r: v for r, v in zip(room_ids, vs) if v > 0})
+
+
+@given(priors)
+@settings(max_examples=80)
+def test_posterior_is_distribution(prior):
+    post = RoomPosterior(prior)
+    dist = post.posterior()
+    assert sum(dist.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in dist.values())
+
+
+@given(priors, st.data())
+@settings(max_examples=80)
+def test_posterior_stays_distribution_after_updates(prior, data):
+    post = RoomPosterior(prior)
+    room_ids = list(prior.keys())
+    for _ in range(data.draw(st.integers(0, 5))):
+        post.observe(data.draw(affinity_maps(room_ids)))
+    dist = post.posterior()
+    assert sum(dist.values()) == pytest.approx(1.0)
+
+
+@given(priors, st.data())
+@settings(max_examples=80)
+def test_bounds_envelope_holds(prior, data):
+    """min <= expected <= max for every room and unprocessed count."""
+    post = RoomPosterior(prior)
+    room_ids = list(prior.keys())
+    for _ in range(data.draw(st.integers(0, 3))):
+        post.observe(data.draw(affinity_maps(room_ids)))
+    unprocessed = data.draw(st.integers(0, 4))
+    for room in room_ids:
+        bounds = post.bounds(room, unprocessed)
+        assert bounds.minimum <= bounds.expected + 1e-9
+        assert bounds.expected <= bounds.maximum + 1e-9
+        assert 0.0 <= bounds.minimum
+        assert bounds.maximum <= 1.0
+
+
+@given(priors, st.data())
+@settings(max_examples=60)
+def test_bounds_sound_under_future_observations(prior, data):
+    """Any realizable future observation lands inside the envelope."""
+    post = RoomPosterior(prior, affinity_cap=0.6)
+    room_ids = list(prior.keys())
+    post.observe(data.draw(affinity_maps(room_ids)))
+    target = room_ids[0]
+    bounds = post.bounds(target, unprocessed=1)
+    post.observe(data.draw(affinity_maps(room_ids)))
+    realized = post.posterior()[target]
+    assert bounds.minimum - 1e-9 <= realized <= bounds.maximum + 1e-9
+
+
+@given(priors)
+@settings(max_examples=80)
+def test_neutral_observation_is_identity(prior):
+    post = RoomPosterior(prior)
+    before = post.posterior()
+    post.observe({})
+    after = post.posterior()
+    for room in prior:
+        assert after[room] == pytest.approx(before[room])
+
+
+@given(priors, st.sampled_from(["a", "b"]))
+@settings(max_examples=80)
+def test_concentrated_evidence_increases_room(prior, boosted):
+    if boosted not in prior:
+        return
+    post = RoomPosterior(prior)
+    before = post.posterior()[boosted]
+    post.observe({boosted: 0.5})
+    assert post.posterior()[boosted] >= before - 1e-9
+
+
+@given(priors)
+@settings(max_examples=40)
+def test_top_two_ordered(prior):
+    post = RoomPosterior(prior)
+    (_, pa), (_, pb) = post.top_two()
+    assert pa >= pb

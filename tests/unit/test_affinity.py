@@ -1,0 +1,185 @@
+"""Unit tests for room / device / group affinity (paper §4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.fine.affinity import (
+    DeviceAffinityIndex,
+    GroupAffinityModel,
+    RoomAffinityModel,
+    RoomAffinityWeights,
+    TABLE2_COMBINATIONS,
+)
+from repro.util.timeutil import minutes
+
+
+CANDIDATES = ["2059", "2061", "2065", "2069", "2099"]
+
+
+class TestRoomAffinityWeights:
+    def test_defaults_are_c2(self):
+        weights = RoomAffinityWeights()
+        assert (weights.preferred, weights.public, weights.private) == \
+            (0.6, 0.3, 0.1)
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            RoomAffinityWeights(0.5, 0.4, 0.3)
+
+    def test_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            RoomAffinityWeights(0.4, 0.5, 0.1)
+
+    def test_table2_combinations_all_valid(self):
+        assert set(TABLE2_COMBINATIONS) == {"C1", "C2", "C3", "C4"}
+
+
+class TestRoomAffinityModel:
+    def test_paper_example_assignment(self, fig1_metadata):
+        # Paper §4.1: d1's office 2061 takes w_pf, public 2065 takes w_pb,
+        # the three other private rooms share w_pr/3.
+        model = RoomAffinityModel(fig1_metadata,
+                                  RoomAffinityWeights(0.5, 0.3, 0.2))
+        affinities = model.affinities("d1", CANDIDATES)
+        assert affinities["2061"] == pytest.approx(0.5)
+        assert affinities["2065"] == pytest.approx(0.3)
+        for room in ("2059", "2069", "2099"):
+            assert affinities[room] == pytest.approx(0.2 / 3)
+
+    def test_sums_to_one(self, fig1_metadata):
+        model = RoomAffinityModel(fig1_metadata)
+        affinities = model.affinities("d1", CANDIDATES)
+        assert sum(affinities.values()) == pytest.approx(1.0)
+
+    def test_no_preferred_room_redistributes(self, fig1_metadata):
+        model = RoomAffinityModel(fig1_metadata)
+        affinities = model.affinities("d3", CANDIDATES)
+        assert sum(affinities.values()) == pytest.approx(1.0)
+        # Public room still beats each private room.
+        assert affinities["2065"] > affinities["2059"]
+
+    def test_empty_candidates(self, fig1_metadata):
+        model = RoomAffinityModel(fig1_metadata)
+        assert model.affinities("d1", []) == {}
+
+    def test_all_private_no_preferred_uniform(self, fig1_metadata):
+        model = RoomAffinityModel(fig1_metadata)
+        affinities = model.affinities("d3", ["2059", "2069"])
+        assert affinities["2059"] == pytest.approx(affinities["2069"])
+
+
+class TestDeviceAffinityIndex:
+    def test_companions_have_high_affinity(self, fig1_table):
+        index = DeviceAffinityIndex(fig1_table)
+        assert index.pairwise("d1", "d2") > 0.8
+
+    def test_strangers_have_zero_affinity(self, fig1_table):
+        index = DeviceAffinityIndex(fig1_table)
+        assert index.pairwise("d1", "d3") == 0.0
+
+    def test_symmetric(self, fig1_table):
+        index = DeviceAffinityIndex(fig1_table)
+        assert index.pairwise("d1", "d2") == index.pairwise("d2", "d1")
+
+    def test_cached(self, fig1_table):
+        index = DeviceAffinityIndex(fig1_table)
+        first = index.pairwise("d1", "d2")
+        assert index.pairwise("d1", "d2") == first
+        index.clear()
+        assert index.pairwise("d1", "d2") == first
+
+    def test_triple_group(self, fig1_table):
+        index = DeviceAffinityIndex(fig1_table)
+        triple = index.group({"d1", "d2", "d3"})
+        assert 0.0 <= triple <= index.pairwise("d1", "d2")
+
+    def test_requires_two_devices(self, fig1_table):
+        index = DeviceAffinityIndex(fig1_table)
+        with pytest.raises(ConfigurationError):
+            index.group({"d1"})
+
+    def test_requires_same_ap(self):
+        # Same times, different APs: no co-occurrence.
+        events = []
+        for i in range(10):
+            events.append(ConnectivityEvent(i * 600.0, "a", "wap1"))
+            events.append(ConnectivityEvent(i * 600.0 + 30, "b", "wap2"))
+        table = EventTable.from_events(events)
+        for mac in ("a", "b"):
+            table.registry.get(mac).delta = minutes(10)
+        assert DeviceAffinityIndex(table).pairwise("a", "b") == 0.0
+
+    def test_requires_temporal_proximity(self):
+        # Same AP but hours apart: no co-occurrence.
+        events = []
+        for i in range(5):
+            events.append(ConnectivityEvent(i * 600.0, "a", "wap1"))
+            events.append(ConnectivityEvent(50000.0 + i * 600.0, "b",
+                                            "wap1"))
+        table = EventTable.from_events(events)
+        for mac in ("a", "b"):
+            table.registry.get(mac).delta = minutes(10)
+        assert DeviceAffinityIndex(table).pairwise("a", "b") == 0.0
+
+
+class TestGroupAffinityModel:
+    def test_paper_worked_example(self, fig1_building, fig1_metadata):
+        """Reproduce the numeric example of §4.1 with a stub affinity."""
+        model = RoomAffinityModel(fig1_metadata,
+                                  RoomAffinityWeights(0.5, 0.3, 0.2))
+
+        class StubIndex:
+            def group(self, macs):
+                return 0.4
+
+        # d1: affinities .5 (2061), .3 (2065), .2/3 each for the rest.
+        # d2 candidates: R_is = {2065, 2069, 2099}; d2 owns 2069.
+        group_model = GroupAffinityModel(model, StubIndex(), fig1_building)
+        members = [("d1", CANDIDATES), ("d2", ["2065", "2069", "2099"])]
+        affinity = group_model.group_affinity(members, "2065")
+        # d1 conditional: .3/(.3+.0667+.0667) = .6923
+        # d2 over {2065,2069,2099}: 2065 public -> w_pb=.3... d2 owns 2069
+        # so d2: 2069=.5, 2065=.3, 2099=.2 → conditional .3
+        assert affinity == pytest.approx(0.4 * 0.6923 * 0.3, abs=1e-3)
+
+    def test_room_outside_intersection_is_zero(self, fig1_building,
+                                               fig1_metadata):
+        model = RoomAffinityModel(fig1_metadata)
+
+        class StubIndex:
+            def group(self, macs):
+                return 0.4
+
+        group_model = GroupAffinityModel(model, StubIndex(), fig1_building)
+        members = [("d1", CANDIDATES), ("d2", ["2065", "2069", "2099"])]
+        assert group_model.group_affinity(members, "2061") == 0.0
+
+    def test_zero_device_affinity_zeroes_group(self, fig1_building,
+                                               fig1_metadata, fig1_table):
+        model = RoomAffinityModel(fig1_metadata)
+        index = DeviceAffinityIndex(fig1_table)
+        group_model = GroupAffinityModel(model, index, fig1_building)
+        members = [("d1", CANDIDATES), ("d3", ["2002", "2004", "2019"])]
+        # d1 and d3 never co-occur; also candidate sets are disjoint.
+        assert group_model.group_affinity(members, "2065") == 0.0
+
+    def test_intersecting_rooms(self, fig1_building, fig1_metadata,
+                                fig1_table):
+        model = RoomAffinityModel(fig1_metadata)
+        index = DeviceAffinityIndex(fig1_table)
+        group_model = GroupAffinityModel(model, index, fig1_building)
+        r_is = group_model.intersecting_rooms(
+            [["a", "b", "c"], ["b", "c", "d"]])
+        assert r_is == frozenset({"b", "c"})
+
+    def test_single_member_rejected(self, fig1_building, fig1_metadata,
+                                    fig1_table):
+        model = RoomAffinityModel(fig1_metadata)
+        index = DeviceAffinityIndex(fig1_table)
+        group_model = GroupAffinityModel(model, index, fig1_building)
+        with pytest.raises(ConfigurationError):
+            group_model.group_affinity([("d1", CANDIDATES)], "2065")

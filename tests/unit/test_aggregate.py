@@ -1,0 +1,75 @@
+"""Unit tests for the population aggregate fallback (paper §3 fn. 5)."""
+
+from __future__ import annotations
+
+from repro.coarse.aggregate import PopulationAggregate
+from repro.coarse.localizer import CoarseLocalizer
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.util.timeutil import SECONDS_PER_DAY, minutes
+
+
+def _population_table() -> EventTable:
+    """Three devices with daily 09:00-17:00 presence at wap3 and a
+    recurring 25-minute silence at 12:00 (a 5-minute, bootstrap-inside
+    gap given δ=10min), absent overnight."""
+    events = []
+    session_minutes = list(range(0, 180, 12)) + list(range(205, 480, 12))
+    for mac in ("a", "b", "c"):
+        for day in range(4):
+            base = day * SECONDS_PER_DAY + 9 * 3600
+            for m in session_minutes:
+                events.append(ConnectivityEvent(base + m * 60, mac, "wap3"))
+    table = EventTable.from_events(events)
+    for mac in ("a", "b", "c"):
+        table.registry.get(mac).delta = minutes(10)
+    return table
+
+
+class TestPopulationAggregate:
+    def test_daytime_modal_inside(self, fig1_building):
+        aggregate = PopulationAggregate(fig1_building, _population_table())
+        # The recurring ~12:05 silences are short gaps → inside.
+        assert aggregate.modal_inside(2 * SECONDS_PER_DAY + 12.1 * 3600)
+
+    def test_overnight_modal_outside(self, fig1_building):
+        aggregate = PopulationAggregate(fig1_building, _population_table())
+        # 17:00 → 09:00 next day is a long gap → outside at 02:00.
+        assert not aggregate.modal_inside(2 * SECONDS_PER_DAY + 2 * 3600)
+
+    def test_modal_region_matches_population(self, fig1_building):
+        aggregate = PopulationAggregate(fig1_building, _population_table())
+        region = aggregate.modal_region(2 * SECONDS_PER_DAY + 12.1 * 3600)
+        assert region == fig1_building.region_of_ap("wap3").region_id
+
+    def test_empty_table_is_flat(self, fig1_building):
+        aggregate = PopulationAggregate(fig1_building, EventTable())
+        assert aggregate.modal_region(1000.0) is None
+        assert aggregate.modal_inside(1000.0)  # tie → inside
+
+    def test_invalidate_rebuilds(self, fig1_building):
+        table = _population_table()
+        aggregate = PopulationAggregate(fig1_building, table)
+        aggregate.modal_inside(1000.0)  # force build
+        aggregate.invalidate()
+        assert aggregate._hours is None
+
+
+class TestAggregateFallbackInLocalizer:
+    def test_gapless_device_uses_population_label(self, fig1_building):
+        """A device with a dense log (no gap history) queried inside one
+        of its (nonexistent) gaps never happens; but a device with gaps
+        yet no trainable labels falls through to the aggregate."""
+        table = _population_table()
+        # Device d-new: just two events, 40 minutes apart, on day 2 —
+        # one gap, but a single gap cannot train anything useful.
+        t0 = 2 * SECONDS_PER_DAY + 12 * 3600
+        table.append(ConnectivityEvent(t0, "d-new", "wap3"))
+        table.append(ConnectivityEvent(t0 + 40 * 60, "d-new", "wap3"))
+        table.freeze()
+        table.registry.get("d-new").delta = minutes(10)
+        localizer = CoarseLocalizer(fig1_building, table)
+        result = localizer.locate("d-new", t0 + 20 * 60)
+        # The population is inside at 12:20, so the new device is too.
+        assert result.inside
+        assert result.region_id is not None

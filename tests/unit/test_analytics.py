@@ -1,0 +1,126 @@
+"""Unit tests for the analytics layer (occupancy, trajectory, co-location)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.colocation import exposure_report
+from repro.analytics.occupancy import occupancy_series
+from repro.analytics.trajectory import reconstruct_trajectory
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+from repro.util.timeutil import TimeInterval, hours
+
+
+@pytest.fixture
+def fig1_locater(fig1_building, fig1_metadata, fig1_table) -> Locater:
+    return Locater(fig1_building, fig1_metadata, fig1_table,
+                   config=LocaterConfig(use_caching=False))
+
+
+class TestOccupancySeries:
+    def test_counts_inside_devices(self, fig1_locater):
+        # At 09:00 all three devices are online (d3 arrives at 08:30).
+        window = TimeInterval(hours(9), hours(10))
+        series = occupancy_series(fig1_locater, ["d1", "d2", "d3"],
+                                  window, step=hours(1))
+        assert len(series.slots) == 1
+        assert series.inside_total[0] == 3
+
+    def test_region_counts_match_devices(self, fig1_locater,
+                                         fig1_building):
+        window = TimeInterval(hours(8), hours(9))
+        series = occupancy_series(fig1_locater, ["d1", "d2", "d3"],
+                                  window, step=hours(1))
+        region_total = sum(series.by_region[0].values())
+        assert region_total == series.inside_total[0]
+
+    def test_peak_slot(self, fig1_locater):
+        window = TimeInterval(hours(8), hours(23))
+        series = occupancy_series(fig1_locater, ["d1", "d2", "d3"],
+                                  window, step=hours(5))
+        slot, count = series.peak_slot()
+        assert count == max(series.inside_total)
+        assert slot in series.slots
+
+    def test_room_utilization_bounds(self, fig1_locater):
+        window = TimeInterval(hours(8), hours(12))
+        series = occupancy_series(fig1_locater, ["d1", "d2"],
+                                  window, step=hours(2))
+        for room in ("2061", "2065", "2002"):
+            assert 0.0 <= series.room_utilization(room) <= 1.0
+
+    def test_rejects_bad_step(self, fig1_locater):
+        with pytest.raises(Exception):
+            occupancy_series(fig1_locater, ["d1"],
+                             TimeInterval(0, 10), step=0.0)
+
+
+class TestTrajectoryReconstruction:
+    def test_segments_cover_window_in_order(self, fig1_locater):
+        window = TimeInterval(hours(7), hours(15))
+        trajectory = reconstruct_trajectory(fig1_locater, "d1", window,
+                                            step=hours(1))
+        assert len(trajectory) >= 1
+        cursor = window.start
+        for segment in trajectory:
+            assert segment.interval.start == pytest.approx(cursor)
+            cursor = segment.interval.end
+        assert cursor == pytest.approx(window.end)
+
+    def test_run_length_encoding_merges(self, fig1_locater):
+        window = TimeInterval(hours(8), hours(10))
+        trajectory = reconstruct_trajectory(fig1_locater, "d1", window,
+                                            step=hours(0.5))
+        # Four samples of the same morning location collapse into runs.
+        total_samples = sum(s.samples for s in trajectory)
+        assert total_samples == 4
+        assert len(trajectory) <= 4
+
+    def test_rooms_visited_and_time_inside(self, fig1_locater):
+        window = TimeInterval(hours(7), hours(16))
+        trajectory = reconstruct_trajectory(fig1_locater, "d1", window,
+                                            step=hours(1))
+        for room in trajectory.rooms_visited():
+            assert room != "outside"
+        assert 0.0 <= trajectory.time_inside() <= window.duration
+
+    def test_location_at(self, fig1_locater):
+        window = TimeInterval(hours(8), hours(10))
+        trajectory = reconstruct_trajectory(fig1_locater, "d1", window,
+                                            step=hours(1))
+        assert trajectory.location_at(hours(8.2)) is not None
+        assert trajectory.location_at(hours(23)) is None
+
+
+class TestExposureReport:
+    def test_companions_exposed(self, fig1_locater):
+        window = TimeInterval(hours(8), hours(10))
+        exposures = exposure_report(fig1_locater, "d1", ["d2", "d3"],
+                                    window, step=hours(0.5))
+        macs = [e.mac for e in exposures]
+        # d2 shares d1's region/room; d3 lives in a disjoint region.
+        assert "d3" not in macs
+
+    def test_excludes_index_device(self, fig1_locater):
+        window = TimeInterval(hours(8), hours(9))
+        exposures = exposure_report(fig1_locater, "d1", ["d1", "d2"],
+                                    window, step=hours(0.5))
+        assert all(e.mac != "d1" for e in exposures)
+
+    def test_min_shared_filter(self, fig1_locater):
+        window = TimeInterval(hours(8), hours(10))
+        all_exposures = exposure_report(fig1_locater, "d1", ["d2"],
+                                        window, step=hours(0.5))
+        filtered = exposure_report(fig1_locater, "d1", ["d2"], window,
+                                   step=hours(0.5),
+                                   min_shared_seconds=hours(100))
+        assert len(filtered) <= len(all_exposures)
+        assert filtered == []
+
+    def test_sorted_by_shared_time(self, fig1_locater):
+        window = TimeInterval(hours(8), hours(12))
+        exposures = exposure_report(fig1_locater, "d1", ["d2", "d3"],
+                                    window, step=hours(1))
+        times = [e.shared_seconds for e in exposures]
+        assert times == sorted(times, reverse=True)

@@ -1,0 +1,101 @@
+"""Unit tests for the parametric building blueprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpaceModelError
+from repro.space.blueprints import (
+    GridSpec,
+    airport_blueprint,
+    dbh_blueprint,
+    grid_building,
+    mall_blueprint,
+    office_blueprint,
+    university_blueprint,
+)
+
+
+class TestGridBuilding:
+    def test_shape_matches_spec(self):
+        building = grid_building(GridSpec(name="t", rooms=20,
+                                          access_points=4))
+        assert len(building.rooms) == 20
+        assert len(building.regions) == 4
+
+    def test_coverage_overlap_exists(self):
+        building = grid_building(GridSpec(name="t", rooms=30,
+                                          access_points=6))
+        overlapping = building.stats()["rooms_in_multiple_regions"]
+        assert overlapping > 0
+
+    def test_every_ap_nonempty(self):
+        building = grid_building(GridSpec(name="t", rooms=10,
+                                          access_points=8,
+                                          coverage_radius=1.0))
+        for region in building.regions:
+            assert len(region) >= 1
+
+    def test_public_fraction_zero(self):
+        building = grid_building(GridSpec(name="t", rooms=10,
+                                          access_points=2,
+                                          public_fraction=0.0))
+        assert building.public_rooms() == []
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(SpaceModelError):
+            GridSpec(name="t", rooms=1, access_points=1)
+        with pytest.raises(SpaceModelError):
+            GridSpec(name="t", rooms=10, access_points=0)
+        with pytest.raises(SpaceModelError):
+            GridSpec(name="t", rooms=10, access_points=1,
+                     public_fraction=1.5)
+
+    def test_rooms_have_positions(self):
+        building = grid_building(GridSpec(name="t", rooms=6,
+                                          access_points=2))
+        positions = {room.position for room in building.rooms.values()}
+        assert len(positions) == 6  # all distinct
+
+
+class TestStockBlueprints:
+    def test_dbh_quarter_scale(self):
+        building = dbh_blueprint(0.25)
+        stats = building.stats()
+        assert stats["access_points"] == 16
+        assert 8 <= stats["mean_rooms_per_ap"] <= 13  # paper: ~11
+
+    def test_dbh_full_scale_matches_paper(self):
+        building = dbh_blueprint(1.0)
+        stats = building.stats()
+        assert stats["access_points"] == 64
+        assert stats["rooms"] >= 300
+        assert 8 <= stats["mean_rooms_per_ap"] <= 14
+
+    def test_dbh_rejects_bad_scale(self):
+        with pytest.raises(SpaceModelError):
+            dbh_blueprint(0.0)
+
+    @pytest.mark.parametrize("factory", [office_blueprint,
+                                         university_blueprint,
+                                         mall_blueprint, airport_blueprint])
+    def test_scenario_blueprints_valid(self, factory):
+        building = factory()
+        stats = building.stats()
+        assert stats["rooms"] > 10
+        assert stats["access_points"] >= 4
+        assert stats["rooms_in_multiple_regions"] > 0
+
+    def test_mall_mostly_public(self):
+        building = mall_blueprint()
+        assert len(building.public_rooms()) > len(building.private_rooms())
+
+    def test_office_mostly_private(self):
+        building = office_blueprint()
+        assert len(building.private_rooms()) > len(building.public_rooms())
+
+    def test_blueprints_deterministic(self):
+        a = dbh_blueprint(0.25)
+        b = dbh_blueprint(0.25)
+        assert sorted(a.rooms) == sorted(b.rooms)
+        assert [r.rooms for r in a.regions] == [r.rooms for r in b.regions]

@@ -1,0 +1,133 @@
+"""Unit tests for the bootstrap labeler (paper §3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coarse.bootstrap import (
+    BootstrapLabeler,
+    LABEL_INSIDE,
+    LABEL_OUTSIDE,
+)
+from repro.events.event import ConnectivityEvent
+from repro.events.gaps import Gap, extract_gaps
+from repro.events.table import EventTable
+from repro.util.timeutil import SECONDS_PER_DAY, TimeInterval, minutes
+
+
+def _gap(duration: float, ap_before: str = "wap1",
+         ap_after: str = "wap1", start: float = 10000.0) -> Gap:
+    return Gap(mac="m1", interval=TimeInterval(start, start + duration),
+               before_position=0, after_position=1,
+               ap_before=ap_before, ap_after=ap_after)
+
+
+class TestBuildingLevel:
+    def test_short_gap_inside(self, fig1_building):
+        labeler = BootstrapLabeler(fig1_building, tau_low=minutes(20),
+                                   tau_high=minutes(170))
+        result = labeler.label_building_level([_gap(minutes(10))])
+        assert result.labeled == [(_gap(minutes(10)), LABEL_INSIDE)] or \
+            result.labeled[0][1] == LABEL_INSIDE
+
+    def test_long_gap_outside(self, fig1_building):
+        labeler = BootstrapLabeler(fig1_building)
+        result = labeler.label_building_level([_gap(minutes(200))])
+        assert result.labeled[0][1] == LABEL_OUTSIDE
+
+    def test_middle_gap_unlabeled(self, fig1_building):
+        labeler = BootstrapLabeler(fig1_building)
+        result = labeler.label_building_level([_gap(minutes(60))])
+        assert result.labeled == []
+        assert len(result.unlabeled) == 1
+
+    def test_boundaries_inclusive(self, fig1_building):
+        labeler = BootstrapLabeler(fig1_building, tau_low=minutes(20),
+                                   tau_high=minutes(170))
+        at_low = labeler.label_building_level([_gap(minutes(20))])
+        assert at_low.labeled[0][1] == LABEL_INSIDE
+        at_high = labeler.label_building_level([_gap(minutes(170))])
+        assert at_high.labeled[0][1] == LABEL_OUTSIDE
+
+    def test_rejects_inverted_thresholds(self, fig1_building):
+        with pytest.raises(ValueError):
+            BootstrapLabeler(fig1_building, tau_low=minutes(100),
+                             tau_high=minutes(50))
+
+
+class TestRegionHeuristic:
+    def _table_with_history(self) -> EventTable:
+        # Device mostly at wap3 during the 10:00-12:00 window across days.
+        h = 3600.0
+        events = []
+        for day in range(3):
+            base = day * SECONDS_PER_DAY
+            for i in range(6):
+                events.append(ConnectivityEvent(
+                    base + 10 * h + i * 1000, "m1", "wap3"))
+            events.append(ConnectivityEvent(base + 13 * h, "m1", "wap1"))
+        return EventTable.from_events(events)
+
+    def test_same_endpoints_take_that_region(self, fig1_building):
+        labeler = BootstrapLabeler(fig1_building)
+        table = self._table_with_history()
+        gap = _gap(minutes(30), "wap2", "wap2")
+        history = TimeInterval(0.0, 3 * SECONDS_PER_DAY)
+        region = labeler.region_heuristic(gap, table.log("m1"), history)
+        assert region == fig1_building.region_of_ap("wap2").region_id
+
+    def test_different_endpoints_take_most_visited(self, fig1_building):
+        labeler = BootstrapLabeler(fig1_building)
+        table = self._table_with_history()
+        # Gap spanning the 10:00-12:00 window where wap3 dominates.
+        h = 3600.0
+        gap = Gap(mac="m1",
+                  interval=TimeInterval(10 * h, 12 * h),
+                  before_position=0, after_position=1,
+                  ap_before="wap1", ap_after="wap2")
+        history = TimeInterval(0.0, 3 * SECONDS_PER_DAY)
+        region = labeler.region_heuristic(gap, table.log("m1"), history)
+        assert region == fig1_building.region_of_ap("wap3").region_id
+
+    def test_no_history_falls_back_to_start(self, fig1_building):
+        labeler = BootstrapLabeler(fig1_building)
+        table = EventTable.from_events(
+            [ConnectivityEvent(1.0, "m1", "wap1")])
+        gap = _gap(minutes(30), "wap4", "wap2", start=50000.0)
+        history = TimeInterval(0.0, SECONDS_PER_DAY)
+        region = labeler.region_heuristic(gap, table.log("m1"), history)
+        assert region == fig1_building.region_of_ap("wap4").region_id
+
+
+class TestRegionLevel:
+    def test_agreeing_endpoints_always_labeled(self, fig1_building):
+        labeler = BootstrapLabeler(fig1_building)
+        table = EventTable.from_events(
+            [ConnectivityEvent(1.0, "m1", "wap1")])
+        history = TimeInterval(0.0, SECONDS_PER_DAY)
+        gaps = [_gap(minutes(120), "wap3", "wap3")]
+        result = labeler.label_region_level(gaps, table.log("m1"), history)
+        assert len(result.labeled) == 1
+        region_id = int(result.labeled[0][1])
+        assert region_id == fig1_building.region_of_ap("wap3").region_id
+
+    def test_long_disagreeing_gap_unlabeled(self, fig1_building):
+        labeler = BootstrapLabeler(fig1_building,
+                                   tau_region_low=minutes(20),
+                                   tau_region_high=minutes(40))
+        table = EventTable.from_events(
+            [ConnectivityEvent(1.0, "m1", "wap1")])
+        history = TimeInterval(0.0, SECONDS_PER_DAY)
+        gaps = [_gap(minutes(90), "wap1", "wap3")]
+        result = labeler.label_region_level(gaps, table.log("m1"), history)
+        assert result.labeled == []
+        assert len(result.unlabeled) == 1
+
+    def test_short_disagreeing_gap_labeled(self, fig1_building):
+        labeler = BootstrapLabeler(fig1_building)
+        table = EventTable.from_events(
+            [ConnectivityEvent(1.0, "m1", "wap1")])
+        history = TimeInterval(0.0, SECONDS_PER_DAY)
+        gaps = [_gap(minutes(10), "wap1", "wap3")]
+        result = labeler.label_region_level(gaps, table.log("m1"), history)
+        assert len(result.labeled) == 1

@@ -1,0 +1,137 @@
+"""Unit tests for the caching engine (paper §5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.engine import CachingEngine
+from repro.cache.global_graph import GlobalAffinityGraph
+from repro.cache.local_graph import LocalAffinityGraph
+from repro.fine.neighbors import NeighborDevice
+from repro.util.timeutil import SECONDS_PER_DAY
+
+
+def _neighbor(mac: str) -> NeighborDevice:
+    return NeighborDevice(mac=mac, region_id=0,
+                          candidate_rooms=("a", "b"),
+                          shared_rooms=frozenset({"a"}))
+
+
+class TestLocalAffinityGraph:
+    def test_add_and_iterate(self):
+        local = LocalAffinityGraph(center="d1", timestamp=100.0)
+        local.add_edge("d2", 0.4)
+        local.add_edge("d3", 0.7)
+        assert len(local) == 2
+        assert dict(local) == {"d2": 0.4, "d3": 0.7}
+
+    def test_self_edge_rejected(self):
+        local = LocalAffinityGraph(center="d1", timestamp=100.0)
+        with pytest.raises(ValueError):
+            local.add_edge("d1", 0.5)
+
+    def test_negative_weight_rejected(self):
+        local = LocalAffinityGraph(center="d1", timestamp=100.0)
+        with pytest.raises(ValueError):
+            local.add_edge("d2", -0.1)
+
+    def test_edge_weight_formula(self):
+        # w = sum of per-room group affinities / |R(gx)| (paper §5).
+        weight = LocalAffinityGraph.edge_weight(
+            {"a": 0.4, "b": 0.2}, ["a", "b", "c"])
+        assert weight == pytest.approx(0.6 / 3)
+
+    def test_edge_weight_empty_candidates(self):
+        assert LocalAffinityGraph.edge_weight({}, []) == 0.0
+
+
+class TestGlobalAffinityGraph:
+    def test_merge_and_lookup(self):
+        graph = GlobalAffinityGraph()
+        local = LocalAffinityGraph(center="d1", timestamp=100.0)
+        local.add_edge("d2", 0.4)
+        graph.merge_local(local)
+        assert graph.affinity_at("d1", "d2", 100.0) == pytest.approx(0.4)
+        assert graph.affinity_at("d2", "d1", 100.0) == pytest.approx(0.4)
+
+    def test_unseen_edge_returns_none(self):
+        graph = GlobalAffinityGraph()
+        assert graph.affinity_at("x", "y", 0.0) is None
+
+    def test_vector_of_observations_kept(self):
+        # Paper Fig. 6: the d1-d2 edge stores (.4,t1),(.3,t2),(.5,t3).
+        graph = GlobalAffinityGraph()
+        for weight, t in ((0.4, 1.0), (0.3, 2.0), (0.5, 3.0)):
+            graph.add_observation("d1", "d2", weight, t)
+        observations = graph.observations("d1", "d2")
+        assert [(o.weight, o.timestamp) for o in observations] == \
+            [(0.4, 1.0), (0.3, 2.0), (0.5, 3.0)]
+
+    def test_temporal_weighting_prefers_near_observations(self):
+        graph = GlobalAffinityGraph(sigma=SECONDS_PER_DAY)
+        graph.add_observation("d1", "d2", 1.0, 0.0)
+        graph.add_observation("d1", "d2", 0.0, 10 * SECONDS_PER_DAY)
+        near_first = graph.affinity_at("d1", "d2", 0.0)
+        near_second = graph.affinity_at("d1", "d2", 10 * SECONDS_PER_DAY)
+        assert near_first > 0.9
+        assert near_second < 0.1
+
+    def test_rank_orders_by_affinity(self):
+        graph = GlobalAffinityGraph()
+        graph.add_observation("d1", "d2", 0.2, 0.0)
+        graph.add_observation("d1", "d3", 0.8, 0.0)
+        ranked = graph.rank("d1", ["d2", "d3", "d4"], 0.0)
+        assert [mac for mac, _ in ranked] == ["d3", "d2", "d4"]
+        assert ranked[2][1] == 0.0  # unseen device ranks last
+
+    def test_observation_cap_fifo(self):
+        graph = GlobalAffinityGraph(max_observations_per_edge=3)
+        for i in range(5):
+            graph.add_observation("a", "b", float(i), float(i))
+        observations = graph.observations("a", "b")
+        assert len(observations) == 3
+        assert observations[0].weight == 2.0
+
+    def test_self_edge_rejected(self):
+        graph = GlobalAffinityGraph()
+        with pytest.raises(ValueError):
+            graph.add_observation("a", "a", 0.5, 0.0)
+
+    def test_counts_and_clear(self):
+        graph = GlobalAffinityGraph()
+        graph.add_observation("a", "b", 0.5, 0.0)
+        graph.add_observation("a", "c", 0.5, 0.0)
+        assert graph.edge_count == 2
+        assert graph.node_count == 3
+        assert graph.neighbors_of("a") == {"b", "c"}
+        graph.clear()
+        assert graph.edge_count == 0
+
+
+class TestCachingEngine:
+    def test_cold_cache_keeps_order_and_counts_miss(self):
+        engine = CachingEngine()
+        neighbors = [_neighbor("d2"), _neighbor("d3")]
+        ordered = engine.order_neighbors("d1", neighbors, 0.0)
+        assert [n.mac for n in ordered] == ["d2", "d3"]
+        assert engine.stats()["misses"] == 1
+
+    def test_warm_cache_reorders_and_counts_hit(self):
+        engine = CachingEngine()
+        engine.record("d1", 0.0, {"d3": 0.9, "d2": 0.1})
+        neighbors = [_neighbor("d2"), _neighbor("d3")]
+        ordered = engine.order_neighbors("d1", neighbors, 0.0)
+        assert [n.mac for n in ordered] == ["d3", "d2"]
+        assert engine.stats()["hits"] == 1
+
+    def test_neighbor_caps_only_for_cached(self):
+        engine = CachingEngine()
+        engine.record("d1", 0.0, {"d2": 0.2})
+        caps = engine.neighbor_caps("d1", [_neighbor("d2"),
+                                           _neighbor("d3")], 0.0)
+        assert "d2" in caps and "d3" not in caps
+        assert 0.0 < caps["d2"] <= 0.95
+
+    def test_empty_neighbors(self):
+        engine = CachingEngine()
+        assert engine.order_neighbors("d1", [], 0.0) == []

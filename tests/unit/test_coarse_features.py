@@ -1,0 +1,73 @@
+"""Unit tests for gap feature extraction (paper §3 features)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coarse.features import GapFeatureExtractor, gap_feature_row
+from repro.events.gaps import extract_gaps
+from repro.util.timeutil import SECONDS_PER_DAY, TimeInterval
+
+
+class TestGapFeatureRow:
+    def test_basic_features(self, fig1_building, fig1_table):
+        log = fig1_table.log("d1")
+        gaps = extract_gaps(log)
+        assert gaps, "fixture must contain the 10:00-12:00 gap"
+        gap = gaps[0]
+        history = TimeInterval(0.0, SECONDS_PER_DAY)
+        row = gap_feature_row(gap, fig1_building, log, history)
+        assert row["duration"] == pytest.approx(gap.duration)
+        assert row["start_day"] == 0  # day 0 is a Monday
+        assert row["end_day"] == 0
+        wap3_region = fig1_building.region_of_ap("wap3").region_id
+        assert row["start_region"] == wap3_region
+        assert row["end_region"] == wap3_region
+
+    def test_start_end_times_are_seconds_of_day(self, fig1_building,
+                                                fig1_table):
+        log = fig1_table.log("d1")
+        gap = extract_gaps(log)[0]
+        history = TimeInterval(0.0, SECONDS_PER_DAY)
+        row = gap_feature_row(gap, fig1_building, log, history)
+        assert 0 <= row["start_time"] < SECONDS_PER_DAY
+        assert 0 <= row["end_time"] < SECONDS_PER_DAY
+
+    def test_density_counts_window_events(self, fig1_building, fig1_table):
+        # d1 has no events between 10:00 and 12:00 on the single history
+        # day, so the density over that exact window is 0.
+        log = fig1_table.log("d1")
+        gap = extract_gaps(log)[0]
+        history = TimeInterval(0.0, SECONDS_PER_DAY)
+        row = gap_feature_row(gap, fig1_building, log, history)
+        assert row["density"] == 0.0
+
+    def test_density_averages_over_days(self, fig1_building, fig1_table):
+        # With a two-day history window the same absolute event count
+        # halves the density.
+        log = fig1_table.log("d1")
+        gap = extract_gaps(log)[0]
+        one_day = gap_feature_row(
+            gap, fig1_building, log, TimeInterval(0.0, SECONDS_PER_DAY))
+        two_days = gap_feature_row(
+            gap, fig1_building, log,
+            TimeInterval(0.0, 2 * SECONDS_PER_DAY))
+        assert two_days["density"] == pytest.approx(
+            one_day["density"] / 2.0)
+
+
+class TestGapFeatureExtractor:
+    def test_vocabularies_fixed_by_building(self, fig1_building):
+        extractor = GapFeatureExtractor(fig1_building)
+        vocab = dict(extractor.categorical_vocab)
+        assert vocab["start_day"] == list(range(7))
+        assert vocab["start_region"] == [0, 1, 2, 3]
+
+    def test_rows_batch(self, fig1_building, fig1_table):
+        extractor = GapFeatureExtractor(fig1_building)
+        log = fig1_table.log("d1")
+        gaps = extract_gaps(log)
+        history = TimeInterval(0.0, SECONDS_PER_DAY)
+        rows = extractor.rows(gaps, log, history)
+        assert len(rows) == len(gaps)
+        assert all("duration" in row for row in rows)

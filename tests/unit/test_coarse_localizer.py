@@ -1,0 +1,128 @@
+"""Unit tests for the coarse-grained localizer (paper §3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coarse.localizer import CoarseLocalizer
+from repro.errors import LocalizationError
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.util.timeutil import SECONDS_PER_DAY, minutes
+
+
+class TestValidityHits:
+    def test_query_inside_validity_uses_event_region(self, fig1_building,
+                                                     fig1_table):
+        localizer = CoarseLocalizer(fig1_building, fig1_table)
+        # 08:30 is inside d1's morning session at wap3.
+        result = localizer.locate("d1", 8.5 * 3600)
+        assert result.inside
+        assert result.from_event
+        assert result.region_id == \
+            fig1_building.region_of_ap("wap3").region_id
+
+    def test_unknown_device_raises(self, fig1_building, fig1_table):
+        localizer = CoarseLocalizer(fig1_building, fig1_table)
+        with pytest.raises(Exception):
+            localizer.locate("ghost", 1000.0)
+
+    def test_empty_history_device_is_outside(self, fig1_building,
+                                             fig1_table):
+        # Registered but event-less: no evidence of presence → outside.
+        fig1_table.registry.intern("dx")
+        localizer = CoarseLocalizer(fig1_building, fig1_table)
+        result = localizer.locate("dx", 1000.0)
+        assert not result.inside
+
+
+class TestGapClassification:
+    def test_query_in_gap_returns_gap_answer(self, fig1_building,
+                                             fig1_table):
+        localizer = CoarseLocalizer(fig1_building, fig1_table)
+        # 11:00 falls in d1's 10:00-12:00 gap.
+        result = localizer.locate("d1", 11 * 3600)
+        assert not result.from_event
+        # A two-hour gap with matching endpoint regions and history at
+        # wap3 should be classified inside region wap3 (or outside if the
+        # classifier is uncertain; the label must at least be consistent).
+        if result.inside:
+            assert result.region_id is not None
+
+    def test_before_first_event_is_outside(self, fig1_building,
+                                           fig1_table):
+        localizer = CoarseLocalizer(fig1_building, fig1_table)
+        result = localizer.locate("d1", 100.0)
+        assert not result.inside
+        assert result.region_id is None
+
+    def test_after_last_event_is_outside(self, fig1_building, fig1_table):
+        localizer = CoarseLocalizer(fig1_building, fig1_table)
+        result = localizer.locate("d1", 23 * 3600)
+        assert not result.inside
+
+
+class TestTrainingOverHistory:
+    def _rich_table(self) -> EventTable:
+        """Five days of regular behaviour with daily 2h lunch gaps at the
+        same time, always returning to wap3 — clearly inside gaps.
+
+        Each session also contains one ~35-minute silence, producing
+        short (≤ τl) gaps that bootstrap labels *inside*, so the
+        building-level classifier sees both classes.
+        """
+        events = []
+        session_minutes = [0, 10, 20, 30, 65, 75, 85, 95, 105, 115]
+        for day in range(5):
+            base = day * SECONDS_PER_DAY
+            for start_hour in (8, 12):
+                for m in session_minutes:
+                    events.append(ConnectivityEvent(
+                        base + start_hour * 3600 + m * 60, "m1", "wap3"))
+        table = EventTable.from_events(events)
+        table.registry.get("m1").delta = minutes(10)
+        return table
+
+    def test_recurring_gap_classified_inside_same_region(self,
+                                                         fig1_building):
+        table = self._rich_table()
+        localizer = CoarseLocalizer(fig1_building, table)
+        result = localizer.locate("m1", 3 * SECONDS_PER_DAY + 11 * 3600)
+        assert result.inside
+        assert result.region_id == \
+            fig1_building.region_of_ap("wap3").region_id
+
+    def test_models_cached_per_device(self, fig1_building):
+        table = self._rich_table()
+        localizer = CoarseLocalizer(fig1_building, table)
+        first = localizer.models_for("m1")
+        second = localizer.models_for("m1")
+        assert first is second
+
+    def test_invalidate_drops_cache(self, fig1_building):
+        table = self._rich_table()
+        localizer = CoarseLocalizer(fig1_building, table)
+        first = localizer.models_for("m1")
+        localizer.invalidate()
+        assert localizer.models_for("m1") is not first
+
+    def test_set_history_retrains(self, fig1_building):
+        from repro.util.timeutil import TimeInterval
+        table = self._rich_table()
+        localizer = CoarseLocalizer(fig1_building, table)
+        localizer.models_for("m1")
+        localizer.set_history(TimeInterval(0.0, SECONDS_PER_DAY))
+        assert localizer.history.duration == SECONDS_PER_DAY
+
+    def test_device_without_gaps_uses_fallback(self, fig1_building):
+        # Dense log: no gaps at all; queries in validity answer directly,
+        # and the trained model object must exist with fallbacks.
+        events = [ConnectivityEvent(8 * 3600 + i * 60, "m2", "wap1")
+                  for i in range(200)]
+        table = EventTable.from_events(events)
+        table.registry.get("m2").delta = minutes(10)
+        localizer = CoarseLocalizer(fig1_building, table)
+        models = localizer.models_for("m2")
+        assert models.building_clf is None
+        assert models.fallback_region == \
+            fig1_building.region_of_ap("wap1").region_id

@@ -1,0 +1,104 @@
+"""Unit tests for the experiment result objects (rendering + accessors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS
+from repro.eval.experiments.fig7_thresholds import ThresholdSweepResult
+from repro.eval.experiments.fig8_history import HistorySweepResult
+from repro.eval.experiments.fig9_caching import CachingPrecisionResult
+from repro.eval.experiments.fig10_efficiency import EfficiencyResult
+from repro.eval.experiments.fig11_stopcond import StopConditionResult
+from repro.eval.experiments.fig12_scalability import ScalabilityResult
+from repro.eval.experiments.table2_weights import WeightSweepResult
+from repro.eval.experiments.table3_baselines import BaselineComparisonResult
+from repro.eval.experiments.table4_scenarios import ScenarioProfileResult
+
+
+class TestResultObjects:
+    def test_threshold_sweep_best_values(self):
+        result = ThresholdSweepResult(
+            tau_low_minutes=[10, 20, 30], pc_by_tau_low=[80.0, 85.0, 82.0],
+            tau_high_minutes=[60, 120], pc_by_tau_high=[75.0, 83.0])
+        assert result.best_tau_low() == 20
+        assert result.best_tau_high() == 120
+        assert "20min" in result.render()
+
+    def test_weight_sweep_accessors(self):
+        result = WeightSweepResult(
+            combinations=["C1", "C2"],
+            pf_independent={"C1": 80.0, "C2": 82.0},
+            pf_dependent={"C1": 86.0, "C2": 88.0})
+        assert result.best_combination("D-FINE") == "C2"
+        assert result.best_combination("I-FINE") == "C2"
+        assert result.mean_gap_dependent_minus_independent() == \
+            pytest.approx(6.0)
+
+    def test_history_sweep_series(self):
+        result = HistorySweepResult(weeks=[0, 1], bands=[(40, 55)])
+        result.pc[(40, 55)] = [70.0, 80.0]
+        result.pf[(40, 55)] = [50.0, 75.0]
+        result.po[(40, 55)] = [40.0, 65.0]
+        assert result.series("Pf", (40, 55)) == [50.0, 75.0]
+        assert "Fig 8" in result.render()
+
+    def test_caching_precision_loss(self):
+        result = CachingPrecisionResult(po={"D-LOCATER": 88.0,
+                                            "D-LOCATER+C": 84.0})
+        assert result.loss("D-LOCATER", "D-LOCATER+C") == pytest.approx(4.0)
+
+    def test_baseline_comparison_cells(self):
+        bands = [(40, 55)]
+        result = BaselineComparisonResult(
+            systems=["Baseline1"], bands=bands,
+            cells={("Baseline1", (40, 55)): (56.0, 10.0, 24.0)},
+            band_sizes={(40, 55): 3})
+        assert result.triple("Baseline1", (40, 55)) == (56.0, 10.0, 24.0)
+        assert "56|10|24" in result.render()
+
+    def test_scenario_profile_margins(self):
+        result = ScenarioProfileResult(
+            scenarios=["office"], profiles={"office": ["employee"]},
+            cells={("office", "employee"): (92.0, 85.0, 81.0)},
+            margins={("office", "employee"): 21.0})
+        assert result.margin("office", "employee") == 21.0
+        assert "(+21)" in result.render()
+
+    def test_efficiency_warmup_ratio(self):
+        result = EfficiencyResult(
+            checkpoints=[10, 20],
+            series={("D-LOCATER+C", "generated"): [10.0, 5.0]})
+        assert result.warmup_ratio("D-LOCATER+C", "generated") == \
+            pytest.approx(2.0)
+
+    def test_stop_condition_speedup(self):
+        result = StopConditionResult(
+            mean_ms={("stop", "university"): 5.0,
+                     ("no-stop", "university"): 10.0},
+            po={"stop": 80.0, "no-stop": 80.0},
+            neighbors_processed={"stop": 3.0, "no-stop": 6.0})
+        assert result.speedup("university") == pytest.approx(2.0)
+
+    def test_scalability_speedup(self):
+        result = ScalabilityResult(
+            mean_ms={("D-LOCATER", "generated"): 10.0,
+                     ("D-LOCATER+C", "generated"): 2.0},
+            warmup_ms={("D-LOCATER", "generated"): (11.0, 9.0),
+                       ("D-LOCATER+C", "generated"): (3.0, 1.0)})
+        assert result.cache_speedup("generated") == pytest.approx(5.0)
+        assert result.warmup_ratio("D-LOCATER+C", "generated") == \
+            pytest.approx(3.0)
+
+
+class TestCliRegistry:
+    def test_every_experiment_module_importable(self):
+        import importlib
+        for name, module_path in EXPERIMENTS.items():
+            module = importlib.import_module(module_path)
+            assert hasattr(module, "run"), f"{name} lacks run()"
+
+    def test_registry_covers_every_paper_artifact(self):
+        expected = {"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                    "table2", "table3", "table4"}
+        assert set(EXPERIMENTS) == expected

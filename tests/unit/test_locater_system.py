@@ -1,0 +1,134 @@
+"""Unit tests for the Locater facade and the baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LocalizationError
+from repro.system.baselines import Baseline1, Baseline2, CoarseBaseline
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+from repro.system.storage import InMemoryStorage
+from repro.util.timeutil import hours
+
+
+class TestLocaterFacade:
+    def test_locate_inside(self, fig1_building, fig1_metadata, fig1_table):
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          config=LocaterConfig(use_caching=False))
+        answer = locater.locate("d1", 8.5 * 3600)
+        assert answer.inside
+        assert answer.room_id in \
+            fig1_building.region_of_ap("wap3").rooms
+        assert answer.fine is not None
+        assert answer.location_label == answer.room_id
+
+    def test_locate_outside(self, fig1_building, fig1_metadata,
+                            fig1_table):
+        locater = Locater(fig1_building, fig1_metadata, fig1_table)
+        answer = locater.locate("d1", 100.0)  # before first event
+        assert not answer.inside
+        assert answer.room_id is None
+        assert answer.location_label == "outside"
+        assert answer.fine is None
+
+    def test_caching_records_edges(self, fig1_building, fig1_metadata,
+                                   fig1_table):
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          config=LocaterConfig(use_caching=True))
+        assert locater.cache is not None
+        locater.locate("d1", 8.5 * 3600)
+        assert locater.cache.graph.edge_count >= 1
+
+    def test_no_caching_configured(self, fig1_building, fig1_metadata,
+                                   fig1_table):
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          config=LocaterConfig(use_caching=False))
+        assert locater.cache is None
+        locater.locate("d1", 8.5 * 3600)
+
+    def test_storage_short_circuits_repeat_query(self, fig1_building,
+                                                 fig1_metadata,
+                                                 fig1_table):
+        storage = InMemoryStorage()
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          storage=storage)
+        first = locater.locate("d1", 8.5 * 3600)
+        second = locater.locate("d1", 8.5 * 3600)
+        assert second.room_id == first.room_id
+        assert second.fine is None  # served from the clean store
+
+    def test_history_days_limits_training_window(self, fig1_building,
+                                                 fig1_metadata,
+                                                 fig1_table):
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          config=LocaterConfig(history_days=1))
+        span = locater.coarse.history
+        assert span.duration <= 86400.0 + 1.0
+
+    def test_locate_query_object(self, fig1_building, fig1_metadata,
+                                 fig1_table):
+        from repro.system.query import LocationQuery
+        locater = Locater(fig1_building, fig1_metadata, fig1_table)
+        answer = locater.locate_query(LocationQuery("d1", 8.5 * 3600))
+        assert answer.query.mac == "d1"
+
+
+class TestCoarseBaseline:
+    def test_event_hit(self, fig1_building, fig1_table):
+        baseline = CoarseBaseline(fig1_building, fig1_table)
+        inside, region_id, from_event = baseline.locate("d1", 8.5 * 3600)
+        assert inside and from_event
+        assert region_id == fig1_building.region_of_ap("wap3").region_id
+
+    def test_short_gap_stays_in_last_region(self, fig1_building,
+                                            fig1_table):
+        baseline = CoarseBaseline(fig1_building, fig1_table,
+                                  outside_threshold=hours(3))
+        inside, region_id, from_event = baseline.locate("d1", 11 * 3600)
+        assert inside and not from_event
+        assert region_id == fig1_building.region_of_ap("wap3").region_id
+
+    def test_long_gap_is_outside(self, fig1_building, fig1_table):
+        baseline = CoarseBaseline(fig1_building, fig1_table,
+                                  outside_threshold=hours(1))
+        inside, region_id, _ = baseline.locate("d1", 11 * 3600)
+        assert not inside and region_id is None
+
+    def test_eventless_device_is_outside(self, fig1_building, fig1_table):
+        fig1_table.registry.intern("dx")
+        baseline = CoarseBaseline(fig1_building, fig1_table)
+        inside, region_id, from_event = baseline.locate("dx", 1000.0)
+        assert (inside, region_id, from_event) == (False, None, False)
+
+
+class TestBaselines:
+    def test_baseline1_random_candidate(self, fig1_building, fig1_metadata,
+                                        fig1_table):
+        baseline = Baseline1(fig1_building, fig1_metadata, fig1_table,
+                             seed=0)
+        answer = baseline.locate("d1", 8.5 * 3600)
+        assert answer.inside
+        assert answer.room_id in fig1_building.region_of_ap("wap3").rooms
+
+    def test_baseline2_prefers_metadata_room(self, fig1_building,
+                                             fig1_metadata, fig1_table):
+        baseline = Baseline2(fig1_building, fig1_metadata, fig1_table,
+                             seed=0)
+        answer = baseline.locate("d1", 8.5 * 3600)
+        assert answer.room_id == "2061"  # d1's office
+
+    def test_baseline2_falls_back_to_random(self, fig1_building,
+                                            fig1_metadata, fig1_table):
+        # d3 has no metadata: must still answer with some candidate.
+        baseline = Baseline2(fig1_building, fig1_metadata, fig1_table,
+                             seed=0)
+        answer = baseline.locate("d3", 9 * 3600)
+        assert answer.inside
+        assert answer.room_id in fig1_building.region_of_ap("wap1").rooms
+
+    def test_baseline_outside(self, fig1_building, fig1_metadata,
+                              fig1_table):
+        baseline = Baseline1(fig1_building, fig1_metadata, fig1_table)
+        answer = baseline.locate("d1", 100.0)
+        assert not answer.inside

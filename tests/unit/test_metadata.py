@@ -1,0 +1,69 @@
+"""Unit tests for repro.space.metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownRoomError
+from repro.space.metadata import SpaceMetadata
+
+
+class TestSpaceMetadata:
+    def test_preferred_rooms_roundtrip(self, fig1_building):
+        meta = SpaceMetadata(fig1_building)
+        meta.set_preferred_rooms("d1", ["2061"])
+        assert meta.preferred_rooms("d1") == frozenset({"2061"})
+
+    def test_unknown_device_has_empty_set(self, fig1_building):
+        meta = SpaceMetadata(fig1_building)
+        assert meta.preferred_rooms("ghost") == frozenset()
+        assert not meta.has_metadata("ghost")
+
+    def test_rejects_unknown_room(self, fig1_building):
+        meta = SpaceMetadata(fig1_building)
+        with pytest.raises(UnknownRoomError):
+            meta.set_preferred_rooms("d1", ["nope"])
+
+    def test_constructor_mapping(self, fig1_building):
+        meta = SpaceMetadata(fig1_building,
+                             preferred_rooms={"d1": ["2061"]})
+        assert meta.has_metadata("d1")
+        assert meta.known_devices() == ["d1"]
+
+    def test_empty_preferred_rooms_allowed(self, fig1_building):
+        meta = SpaceMetadata(fig1_building)
+        meta.set_preferred_rooms("d9", [])
+        assert meta.preferred_rooms("d9") == frozenset()
+        assert not meta.has_metadata("d9")
+        assert "d9" not in meta.known_devices()
+
+
+class TestClassifyCandidates:
+    CANDIDATES = ["2059", "2061", "2065", "2069", "2099"]
+
+    def test_owner_gets_preferred_bucket(self, fig1_metadata):
+        split = fig1_metadata.classify_candidates("d1", self.CANDIDATES)
+        assert split.preferred == ("2061",)
+        assert split.public == ("2065",)
+        assert set(split.private) == {"2059", "2069", "2099"}
+
+    def test_preferred_wins_over_type(self, fig1_building):
+        # Mark the public conference room as preferred: it must land in
+        # the preferred bucket, not the public one.
+        meta = SpaceMetadata(fig1_building,
+                             preferred_rooms={"dx": ["2065"]})
+        split = meta.classify_candidates("dx", self.CANDIDATES)
+        assert split.preferred == ("2065",)
+        assert split.public == ()
+
+    def test_no_metadata_device(self, fig1_metadata):
+        split = fig1_metadata.classify_candidates("d3", self.CANDIDATES)
+        assert split.preferred == ()
+        assert split.public == ("2065",)
+        assert len(split.private) == 4
+
+    def test_deterministic_ordering(self, fig1_metadata):
+        a = fig1_metadata.classify_candidates("d1", self.CANDIDATES)
+        b = fig1_metadata.classify_candidates(
+            "d1", list(reversed(self.CANDIDATES)))
+        assert a == b

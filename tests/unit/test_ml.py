@@ -1,0 +1,174 @@
+"""Unit tests for the ML substrate (scaler, encoder, logistic, pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.encoder import OneHotEncoder
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import accuracy, confusion_matrix
+from repro.ml.pipeline import FeaturePipeline
+from repro.ml.scaler import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        data = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+        out = StandardScaler().fit_transform(data)
+        assert np.allclose(out.mean(axis=0), 0.0)
+        assert np.allclose(out.std(axis=0), 1.0)
+
+    def test_constant_column_not_scaled(self):
+        data = np.array([[5.0], [5.0], [5.0]])
+        out = StandardScaler().fit_transform(data)
+        assert np.allclose(out, 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(TrainingError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(TrainingError):
+            StandardScaler().fit(np.zeros((0, 3)))
+
+
+class TestOneHotEncoder:
+    def test_fixed_vocabulary(self):
+        enc = OneHotEncoder(categories=[0, 1, 2])
+        out = enc.transform([2, 0])
+        assert out.tolist() == [[0, 0, 1], [1, 0, 0]]
+
+    def test_unseen_category_all_zero(self):
+        enc = OneHotEncoder(categories=["a", "b"])
+        assert enc.transform(["z"]).tolist() == [[0, 0]]
+
+    def test_learned_vocabulary_sorted(self):
+        enc = OneHotEncoder().fit(["b", "a", "b"])
+        assert enc.width == 2
+        assert enc.transform(["a"]).tolist() == [[1, 0]]
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(TrainingError):
+            OneHotEncoder(categories=["a", "a"])
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(TrainingError):
+            OneHotEncoder().transform(["a"])
+
+
+class TestLogisticRegression:
+    def _separable(self, n: int = 60, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        x0 = rng.normal(-2.0, 0.5, size=(n, 2))
+        x1 = rng.normal(+2.0, 0.5, size=(n, 2))
+        x = np.vstack([x0, x1])
+        y = ["neg"] * n + ["pos"] * n
+        return x, y
+
+    def test_learns_separable_binary(self):
+        x, y = self._separable()
+        model = LogisticRegression().fit(x, y)
+        assert accuracy(y, model.predict(x)) > 0.95
+
+    def test_probabilities_sum_to_one(self):
+        x, y = self._separable()
+        probs = LogisticRegression().fit(x, y).predict_proba(x)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        centers = {"a": (-3, 0), "b": (3, 0), "c": (0, 4)}
+        xs, ys = [], []
+        for label, (cx, cy) in centers.items():
+            xs.append(rng.normal((cx, cy), 0.5, size=(40, 2)))
+            ys += [label] * 40
+        x = np.vstack(xs)
+        model = LogisticRegression().fit(x, ys)
+        assert accuracy(ys, model.predict(x)) > 0.9
+
+    def test_fixed_classes_keep_column_order(self):
+        x, y = self._separable()
+        model = LogisticRegression(classes=["pos", "neg"]).fit(x, y)
+        assert model.classes_ == ["pos", "neg"]
+        probs, label = model.predict_one(x[0])
+        assert label == "neg"
+        assert probs[1] > probs[0]
+
+    def test_label_outside_fixed_classes_rejected(self):
+        with pytest.raises(TrainingError):
+            LogisticRegression(classes=["a"]).fit(
+                np.zeros((2, 1)), ["a", "b"])
+
+    def test_warm_start_resumes(self):
+        x, y = self._separable()
+        model = LogisticRegression(max_iter=30)
+        model.fit(x, y)
+        w_before = model.weights_.copy()
+        model.fit(x, y, warm_start=True)
+        # Warm start must not reset weights to zero before optimizing.
+        assert not np.allclose(model.weights_, 0.0)
+        assert np.linalg.norm(model.weights_) >= \
+            np.linalg.norm(w_before) * 0.5
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(TrainingError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_feature_width_mismatch_raises(self):
+        x, y = self._separable()
+        model = LogisticRegression().fit(x, y)
+        with pytest.raises(TrainingError):
+            model.predict(np.zeros((1, 5)))
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(TrainingError):
+            LogisticRegression().fit(np.zeros((0, 2)), [])
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(["a", "b"], ["a", "a"]) == 0.5
+
+    def test_accuracy_empty(self):
+        assert accuracy([], []) == 0.0
+
+    def test_accuracy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(["a"], [])
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert matrix == {"a": {"a": 1, "b": 1}, "b": {"b": 1}}
+
+
+class TestFeaturePipeline:
+    ROWS = [
+        {"x": 1.0, "day": 0},
+        {"x": 3.0, "day": 2},
+    ]
+
+    def _pipeline(self) -> FeaturePipeline:
+        return FeaturePipeline(["x"], [("day", [0, 1, 2])])
+
+    def test_width(self):
+        assert self._pipeline().fit(self.ROWS).width == 4
+
+    def test_transform_shape_and_encoding(self):
+        out = self._pipeline().fit_transform(self.ROWS)
+        assert out.shape == (2, 4)
+        assert out[0, 1:].tolist() == [1, 0, 0]
+        assert out[1, 1:].tolist() == [0, 0, 1]
+
+    def test_numeric_standardized(self):
+        out = self._pipeline().fit_transform(self.ROWS)
+        assert out[:, 0].mean() == pytest.approx(0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(TrainingError):
+            self._pipeline().transform(self.ROWS)
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(TrainingError):
+            self._pipeline().fit([])

@@ -1,0 +1,59 @@
+"""Unit tests for neighbor discovery (paper §4.2)."""
+
+from __future__ import annotations
+
+from repro.fine.neighbors import find_neighbors
+
+
+class TestFindNeighbors:
+    def test_companion_found(self, fig1_building, fig1_table):
+        # At 08:30 both d1 and d2 are online at wap3.
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        neighbors = find_neighbors(fig1_building, fig1_table, "d1",
+                                   8.5 * 3600, wap3)
+        macs = [n.mac for n in neighbors]
+        assert "d2" in macs
+
+    def test_non_overlapping_region_excluded(self, fig1_building,
+                                             fig1_table):
+        # d3 is online at wap1 whose rooms don't intersect wap3's.
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        neighbors = find_neighbors(fig1_building, fig1_table, "d1",
+                                   8.5 * 3600, wap3)
+        assert "d3" not in [n.mac for n in neighbors]
+
+    def test_offline_device_excluded(self, fig1_building, fig1_table):
+        # At 11:00 d1 is in its gap; query for d2's neighbors should not
+        # include d1 (both share the gap window by construction).
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        neighbors = find_neighbors(fig1_building, fig1_table, "d2",
+                                   11 * 3600, wap3)
+        assert "d1" not in [n.mac for n in neighbors]
+
+    def test_self_excluded(self, fig1_building, fig1_table):
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        neighbors = find_neighbors(fig1_building, fig1_table, "d1",
+                                   8.5 * 3600, wap3)
+        assert "d1" not in [n.mac for n in neighbors]
+
+    def test_shared_rooms_computed(self, fig1_building, fig1_table):
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        neighbors = find_neighbors(fig1_building, fig1_table, "d1",
+                                   8.5 * 3600, wap3)
+        d2 = next(n for n in neighbors if n.mac == "d2")
+        assert d2.shared_rooms == \
+            fig1_building.region_of_ap("wap3").rooms
+
+    def test_max_neighbors_cap(self, fig1_building, fig1_table):
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        neighbors = find_neighbors(fig1_building, fig1_table, "d1",
+                                   8.5 * 3600, wap3, max_neighbors=0)
+        assert neighbors == []
+
+    def test_deterministic_order(self, fig1_building, fig1_table):
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        a = find_neighbors(fig1_building, fig1_table, "d1", 8.5 * 3600,
+                           wap3)
+        b = find_neighbors(fig1_building, fig1_table, "d1", 8.5 * 3600,
+                           wap3)
+        assert [n.mac for n in a] == [n.mac for n in b]

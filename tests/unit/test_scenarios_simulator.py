@@ -1,0 +1,123 @@
+"""Unit tests for scenario specs, the simulator facade and datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.scenarios import PopulationGroup, ScenarioSpec
+from repro.sim.simulator import Simulator
+
+
+class TestScenarioSpec:
+    def test_stock_scenarios_by_name(self):
+        for name in ("dbh", "office", "university", "mall", "airport"):
+            spec = ScenarioSpec.by_name(name, seed=1)
+            assert spec.total_population() > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SimulationError):
+            ScenarioSpec.by_name("casino")
+
+    def test_scaled_population(self):
+        spec = ScenarioSpec.airport(population=80)
+        scaled = spec.scaled(0.5)
+        assert scaled.total_population() < spec.total_population()
+        assert scaled.total_population() >= len(scaled.groups)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            ScenarioSpec.office().scaled(0.0)
+
+    def test_airport_mix_mostly_passengers(self):
+        spec = ScenarioSpec.airport(population=80)
+        by_name = {g.profile.name: g.count for g in spec.groups}
+        assert by_name["passenger"] == max(by_name.values())
+
+    def test_population_group_rejects_negative(self):
+        from repro.sim.profile import staff_profile
+        with pytest.raises(SimulationError):
+            PopulationGroup(staff_profile(), -1)
+
+    def test_dbh_spans_predictability_bands(self):
+        spec = ScenarioSpec.dbh_like(population=40)
+        targets = sorted({g.profile.predictability for g in spec.groups})
+        assert targets[0] < 0.55
+        assert targets[-1] > 0.85
+
+
+class TestSimulator:
+    def test_run_produces_dataset(self, small_dataset):
+        assert small_dataset.event_count() > 100
+        assert len(small_dataset.macs()) == 10
+        assert small_dataset.span.duration == 4 * 86400
+
+    def test_deterministic_given_seed(self):
+        spec = ScenarioSpec.dbh_like(seed=21, population=4)
+        a = Simulator(spec).run(days=2)
+        b = Simulator(spec).run(days=2)
+        assert a.event_count() == b.event_count()
+        mac = a.macs()[0]
+        assert list(a.table.log(mac).times) == list(b.table.log(mac).times)
+
+    def test_different_seeds_differ(self):
+        a = Simulator(ScenarioSpec.dbh_like(seed=1, population=4)).run(2)
+        b = Simulator(ScenarioSpec.dbh_like(seed=2, population=4)).run(2)
+        assert a.event_count() != b.event_count()
+
+    def test_rejects_zero_days(self):
+        with pytest.raises(SimulationError):
+            Simulator(ScenarioSpec.dbh_like(population=4)).run(days=0)
+
+    def test_metadata_has_preferred_rooms(self, small_dataset):
+        owners = [p for p in small_dataset.people
+                  if p.preferred_room is not None]
+        assert owners
+        for person in owners:
+            assert small_dataset.metadata.preferred_rooms(person.mac) == \
+                frozenset({person.preferred_room})
+
+    def test_all_people_registered(self, small_dataset):
+        for mac in small_dataset.macs():
+            assert mac in small_dataset.table.registry
+
+    def test_deltas_estimated(self, small_dataset):
+        deltas = {small_dataset.table.registry.get(mac).delta
+                  for mac in small_dataset.macs()
+                  if len(small_dataset.table.log(mac)) > 10}
+        assert len(deltas) > 1  # per-device estimation, not one default
+
+
+class TestDataset:
+    def test_true_room_at_matches_plans(self, small_dataset):
+        person = small_dataset.people[0]
+        plans = small_dataset.plans[person.person_id]
+        for plan in plans:
+            for visit in plan:
+                middle = (visit.interval.start + visit.interval.end) / 2
+                assert small_dataset.true_room_at(person.mac, middle) == \
+                    visit.room_id
+
+    def test_true_room_outside_plan_is_none(self, small_dataset):
+        person = small_dataset.people[0]
+        assert small_dataset.true_room_at(person.mac, 3 * 3600.0) in \
+            (None, small_dataset.plans[person.person_id][0].room_at(
+                3 * 3600.0))
+
+    def test_realized_predictability_in_unit_interval(self, small_dataset):
+        for mac in small_dataset.macs():
+            share = small_dataset.realized_predictability(mac)
+            assert 0.0 <= share <= 1.0
+
+    def test_predictable_people_realize_high_share(self, small_dataset):
+        shares = []
+        for person in small_dataset.people:
+            if person.predictability > 0.85 and person.preferred_room:
+                shares.append(
+                    small_dataset.realized_predictability(person.mac))
+        if shares:  # population is small; band may be empty
+            assert max(shares) > 0.5
+
+    def test_person_of(self, small_dataset):
+        person = small_dataset.people[0]
+        assert small_dataset.person_of(person.mac) is person

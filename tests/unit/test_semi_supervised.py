@@ -1,0 +1,101 @@
+"""Unit tests for Algorithm 1 (self-training)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coarse.semi_supervised import SelfTrainingClassifier
+from repro.errors import TrainingError
+
+
+def _clusters(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    neg = rng.normal(-2.0, 0.4, size=(30, 2))
+    pos = rng.normal(+2.0, 0.4, size=(30, 2))
+    return neg, pos
+
+
+class TestSelfTraining:
+    def test_labels_all_unlabeled(self):
+        neg, pos = _clusters()
+        labeled = np.vstack([neg[:5], pos[:5]])
+        labels = ["in"] * 5 + ["out"] * 5
+        unlabeled = np.vstack([neg[5:], pos[5:]])
+        clf = SelfTrainingClassifier(classes=["in", "out"])
+        clf.fit(labeled, labels, unlabeled)
+        assert len(clf.promotions_) == unlabeled.shape[0]
+
+    def test_promoted_labels_correct_on_separable_data(self):
+        neg, pos = _clusters()
+        labeled = np.vstack([neg[:5], pos[:5]])
+        labels = ["in"] * 5 + ["out"] * 5
+        unlabeled = np.vstack([neg[5:], pos[5:]])
+        clf = SelfTrainingClassifier(classes=["in", "out"])
+        clf.fit(labeled, labels, unlabeled)
+        truth = ["in"] * 25 + ["out"] * 25
+        correct = sum(1 for row, label, _ in clf.promotions_
+                      if label == truth[row])
+        assert correct / len(clf.promotions_) > 0.9
+
+    def test_rounds_counted(self):
+        neg, pos = _clusters()
+        labeled = np.vstack([neg[:5], pos[:5]])
+        labels = ["in"] * 5 + ["out"] * 5
+        unlabeled = np.vstack([neg[5:9], pos[5:9]])
+        clf = SelfTrainingClassifier(classes=["in", "out"], batch_size=1)
+        clf.fit(labeled, labels, unlabeled)
+        # One initial fit + one refit per promotion.
+        assert clf.rounds_ == 1 + unlabeled.shape[0]
+
+    def test_batch_size_reduces_rounds(self):
+        neg, pos = _clusters()
+        labeled = np.vstack([neg[:5], pos[:5]])
+        labels = ["in"] * 5 + ["out"] * 5
+        unlabeled = np.vstack([neg[5:15], pos[5:15]])
+        slow = SelfTrainingClassifier(classes=["in", "out"], batch_size=1)
+        slow.fit(labeled, labels, unlabeled)
+        fast = SelfTrainingClassifier(classes=["in", "out"], batch_size=5)
+        fast.fit(labeled, labels, unlabeled)
+        assert fast.rounds_ < slow.rounds_
+
+    def test_no_unlabeled_is_plain_fit(self):
+        neg, pos = _clusters()
+        labeled = np.vstack([neg[:10], pos[:10]])
+        labels = ["in"] * 10 + ["out"] * 10
+        clf = SelfTrainingClassifier(classes=["in", "out"])
+        clf.fit(labeled, labels, np.zeros((0, 2)))
+        assert clf.rounds_ == 1
+        assert clf.predict(neg[:3]) == ["in"] * 3
+
+    def test_single_class_degenerates_to_constant(self):
+        neg, _ = _clusters()
+        clf = SelfTrainingClassifier(classes=["in", "out"])
+        clf.fit(neg[:5], ["in"] * 5, neg[5:10])
+        probs, label = clf.predict_one(neg[0])
+        assert label == "in"
+        assert probs.tolist() == [1.0, 0.0]
+        assert clf.predict(neg[:4]) == ["in"] * 4
+
+    def test_empty_labeled_rejected(self):
+        clf = SelfTrainingClassifier(classes=["in", "out"])
+        with pytest.raises(TrainingError):
+            clf.fit(np.zeros((0, 2)), [], np.zeros((3, 2)))
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(TrainingError):
+            SelfTrainingClassifier(classes=[])
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(TrainingError):
+            SelfTrainingClassifier(classes=["a", "b"], batch_size=0)
+
+    def test_predict_one_returns_distribution(self):
+        neg, pos = _clusters()
+        labeled = np.vstack([neg[:10], pos[:10]])
+        labels = ["in"] * 10 + ["out"] * 10
+        clf = SelfTrainingClassifier(classes=["in", "out"])
+        clf.fit(labeled, labels, np.zeros((0, 2)))
+        probs, label = clf.predict_one(pos[0])
+        assert probs.sum() == pytest.approx(1.0)
+        assert label == "out"

@@ -1,0 +1,211 @@
+"""Unit tests for the simulator components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.connectivity import ConnectivityGenerator
+from repro.sim.person import Person
+from repro.sim.profile import (
+    PersonProfile,
+    resident_profile,
+    roamer_profile,
+    staff_profile,
+    visitor_profile,
+)
+from repro.sim.schedule import DayPlan, Visit
+from repro.sim.semantic_event import SemanticEvent
+from repro.sim.trajectory import TrajectoryGenerator
+from repro.util.timeutil import TimeInterval, hours
+
+
+class TestPersonProfile:
+    def test_stock_profiles_valid(self):
+        for factory in (staff_profile, resident_profile, roamer_profile,
+                        visitor_profile):
+            profile = factory()
+            assert 0.0 <= profile.predictability <= 1.0
+
+    def test_rejects_bad_predictability(self):
+        with pytest.raises(SimulationError):
+            PersonProfile(name="x", predictability=1.5)
+
+    def test_with_predictability(self):
+        profile = staff_profile().with_predictability(0.42)
+        assert profile.predictability == 0.42
+
+    def test_visitor_has_no_preferred_room(self):
+        assert not visitor_profile().has_preferred_room
+
+
+class TestPerson:
+    def test_fields(self):
+        person = Person(person_id="p1", mac="m1",
+                        profile=staff_profile(), preferred_room="101",
+                        predictability=0.8)
+        assert "p1" in str(person)
+
+    def test_rejects_empty_ids(self):
+        with pytest.raises(ValueError):
+            Person(person_id="", mac="m", profile=staff_profile(),
+                   preferred_room=None, predictability=0.5)
+
+
+class TestSemanticEvent:
+    def test_occurs_and_eligible(self):
+        event = SemanticEvent(event_id="e", room_id="r",
+                              start_time=hours(9), duration=hours(1),
+                              days=(0, 2), eligible_profiles=("staff",))
+        assert event.occurs_on(0) and not event.occurs_on(1)
+        assert event.eligible("staff") and not event.eligible("visitor")
+
+    def test_empty_eligibility_means_everyone(self):
+        event = SemanticEvent(event_id="e", room_id="r",
+                              start_time=hours(9), duration=hours(1),
+                              days=(0,))
+        assert event.eligible("anyone")
+
+    def test_rejects_midnight_spanning(self):
+        with pytest.raises(SimulationError):
+            SemanticEvent(event_id="e", room_id="r",
+                          start_time=hours(23), duration=hours(2),
+                          days=(0,))
+
+    def test_rejects_bad_days(self):
+        with pytest.raises(SimulationError):
+            SemanticEvent(event_id="e", room_id="r", start_time=0.0,
+                          duration=1.0, days=(9,))
+
+
+class TestDayPlan:
+    def test_append_and_query(self):
+        plan = DayPlan(person_id="p", day=0)
+        plan.append(Visit("a", TimeInterval(100, 200)))
+        plan.append(Visit("b", TimeInterval(200, 300)))
+        assert plan.room_at(150) == "a"
+        assert plan.room_at(250) == "b"
+        assert plan.room_at(500) is None
+        assert plan.total_time() == 200
+        assert plan.time_in_room("a") == 100
+
+    def test_rejects_overlapping_visits(self):
+        plan = DayPlan(person_id="p", day=0)
+        plan.append(Visit("a", TimeInterval(100, 200)))
+        with pytest.raises(ValueError):
+            plan.append(Visit("b", TimeInterval(150, 300)))
+
+    def test_in_building_span(self):
+        plan = DayPlan(person_id="p", day=0)
+        assert plan.in_building is None
+        plan.append(Visit("a", TimeInterval(100, 200)))
+        assert plan.in_building == TimeInterval(100, 200)
+
+
+class TestTrajectoryGenerator:
+    def _generator(self, building, seed=0):
+        events = [SemanticEvent(event_id="meet", room_id="2065",
+                                start_time=hours(10), duration=hours(1),
+                                days=(0, 1, 2, 3, 4))]
+        return TrajectoryGenerator(building, events, seed=seed)
+
+    def _person(self, predictability=0.8):
+        return Person(person_id="p1", mac="m1",
+                      profile=resident_profile(), preferred_room="2061",
+                      predictability=predictability)
+
+    def test_day_plan_chronological(self, fig1_building):
+        generator = self._generator(fig1_building)
+        plan = generator.generate_day(self._person(), day=0)
+        previous_end = 0.0
+        for visit in plan:
+            assert visit.interval.start >= previous_end - 1e-9
+            previous_end = visit.interval.end
+
+    def test_rooms_exist(self, fig1_building):
+        generator = self._generator(fig1_building)
+        for day in range(5):
+            plan = generator.generate_day(self._person(), day=day)
+            for visit in plan:
+                assert visit.room_id in fig1_building.rooms
+
+    def test_predictable_person_mostly_in_office(self, fig1_building):
+        generator = self._generator(fig1_building)
+        person = self._person(predictability=0.9)
+        total, in_office = 0.0, 0.0
+        for day in range(10):
+            plan = generator.generate_day(person, day)
+            total += plan.total_time()
+            in_office += plan.time_in_room("2061")
+        assert total > 0
+        assert in_office / total > 0.6
+
+    def test_event_in_unknown_room_rejected(self, fig1_building):
+        events = [SemanticEvent(event_id="x", room_id="ghost",
+                                start_time=0.0, duration=1.0, days=(0,))]
+        with pytest.raises(SimulationError):
+            TrajectoryGenerator(fig1_building, events)
+
+    def test_generate_whole_population(self, fig1_building):
+        generator = self._generator(fig1_building)
+        plans = generator.generate([self._person()], days=3)
+        assert len(plans["p1"]) == 3
+
+    def test_deterministic_given_seed(self, fig1_building):
+        a = self._generator(fig1_building, seed=5).generate_day(
+            self._person(), 0)
+        b = self._generator(fig1_building, seed=5).generate_day(
+            self._person(), 0)
+        assert [(v.room_id, v.interval) for v in a] == \
+            [(v.room_id, v.interval) for v in b]
+
+
+class TestConnectivityGenerator:
+    def _plan(self) -> DayPlan:
+        plan = DayPlan(person_id="p1", day=0)
+        plan.append(Visit("2061", TimeInterval(hours(9), hours(12))))
+        return plan
+
+    def _person(self) -> Person:
+        return Person(person_id="p1", mac="m1",
+                      profile=resident_profile(), preferred_room="2061",
+                      predictability=0.8)
+
+    def test_events_within_visits(self, fig1_building):
+        generator = ConnectivityGenerator(fig1_building, seed=0)
+        events = generator.events_for_plan(self._person(), self._plan())
+        assert events, "a 3-hour visit must emit some events"
+        for event in events:
+            assert hours(9) <= event.timestamp <= hours(12)
+            assert event.mac == "m1"
+
+    def test_aps_cover_the_room(self, fig1_building):
+        generator = ConnectivityGenerator(fig1_building, seed=0)
+        covering = {r.ap_id
+                    for r in fig1_building.regions_of_room("2061")}
+        events = generator.events_for_plan(self._person(), self._plan())
+        assert {e.ap_id for e in events} <= covering
+
+    def test_emission_probability_thins_events(self, fig1_building):
+        dense = ConnectivityGenerator(fig1_building, seed=0,
+                                      emission_probability=1.0)
+        sparse = ConnectivityGenerator(fig1_building, seed=0,
+                                       emission_probability=0.2)
+        n_dense = len(dense.events_for_plan(self._person(), self._plan()))
+        n_sparse = len(sparse.events_for_plan(self._person(),
+                                              self._plan()))
+        assert n_sparse < n_dense
+
+    def test_rejects_bad_probabilities(self, fig1_building):
+        with pytest.raises(SimulationError):
+            ConnectivityGenerator(fig1_building, emission_probability=0.0)
+        with pytest.raises(SimulationError):
+            ConnectivityGenerator(fig1_building,
+                                  sticky_ap_probability=1.5)
+
+    def test_generate_sorted(self, fig1_building):
+        generator = ConnectivityGenerator(fig1_building, seed=0)
+        events = generator.generate([self._person()],
+                                    {"p1": [self._plan()]})
+        times = [e.timestamp for e in events]
+        assert times == sorted(times)

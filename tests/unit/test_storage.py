@@ -1,0 +1,78 @@
+"""Unit tests for the storage engines (in-memory and SQLite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.events.event import ConnectivityEvent
+from repro.system.storage import InMemoryStorage, SqliteStorage
+
+
+EVENTS = [
+    ConnectivityEvent(30.0, "m1", "wap2"),
+    ConnectivityEvent(10.0, "m1", "wap1"),
+    ConnectivityEvent(20.0, "m2", "wap1"),
+]
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def storage(request):
+    engine = (InMemoryStorage() if request.param == "memory"
+              else SqliteStorage(":memory:"))
+    yield engine
+    engine.close()
+
+
+class TestStorageEngines:
+    def test_store_and_count(self, storage):
+        assert storage.store_events(EVENTS) == 3
+        assert storage.event_count() == 3
+
+    def test_load_events_sorted(self, storage):
+        storage.store_events(EVENTS)
+        loaded = list(storage.load_events())
+        assert [e.timestamp for e in loaded] == [10.0, 20.0, 30.0]
+        assert loaded[0].mac == "m1"
+
+    def test_answers_roundtrip(self, storage):
+        storage.store_answer("m1", 100.0, "2061")
+        assert storage.find_answer("m1", 100.0) == "2061"
+        assert storage.find_answer("m1", 200.0) is None
+
+    def test_answer_overwrite(self, storage):
+        storage.store_answer("m1", 100.0, "2061")
+        storage.store_answer("m1", 100.0, "outside")
+        assert storage.find_answer("m1", 100.0) == "outside"
+
+    def test_metadata_roundtrip(self, storage):
+        doc = {"rooms": ["a", "b"], "count": 2}
+        storage.store_metadata("building", doc)
+        assert storage.load_metadata("building") == doc
+        assert storage.load_metadata("ghost") is None
+
+    def test_use_after_close_raises(self, storage):
+        storage.close()
+        with pytest.raises(StorageError):
+            storage.event_count()
+
+    def test_context_manager(self):
+        with InMemoryStorage() as engine:
+            engine.store_answer("m", 1.0, "r")
+        with pytest.raises(StorageError):
+            engine.find_answer("m", 1.0)
+
+
+class TestSqliteSpecifics:
+    def test_event_ids_assigned(self):
+        with SqliteStorage(":memory:") as engine:
+            engine.store_events(EVENTS)
+            loaded = list(engine.load_events())
+            assert all(e.event_id > 0 for e in loaded)
+
+    def test_file_persistence(self, tmp_path):
+        path = str(tmp_path / "events.db")
+        with SqliteStorage(path) as engine:
+            engine.store_events(EVENTS)
+        with SqliteStorage(path) as engine:
+            assert engine.event_count() == 3

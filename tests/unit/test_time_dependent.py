@@ -1,0 +1,99 @@
+"""Unit tests for the time-dependent room-affinity extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownRoomError
+from repro.fine.time_dependent import (
+    TimeDependentRoomAffinityModel,
+    TimeWindowPreference,
+)
+from repro.util.timeutil import hours
+
+
+CANDIDATES = ["2059", "2061", "2065", "2069", "2099"]
+
+
+def _lunch_window(rooms={"2065"}):
+    return TimeWindowPreference(start_second=hours(12),
+                                end_second=hours(13),
+                                rooms=frozenset(rooms))
+
+
+class TestTimeWindowPreference:
+    def test_contains_time_of_day(self):
+        window = _lunch_window()
+        assert window.contains(hours(12.5))
+        assert window.contains(86400 + hours(12.5))  # any day
+        assert not window.contains(hours(13))
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ConfigurationError):
+            TimeWindowPreference(hours(13), hours(12), frozenset({"a"}))
+
+    def test_rejects_no_rooms(self):
+        with pytest.raises(ConfigurationError):
+            TimeWindowPreference(hours(1), hours(2), frozenset())
+
+    def test_rejects_out_of_day(self):
+        with pytest.raises(ConfigurationError):
+            TimeWindowPreference(hours(23), hours(25), frozenset({"a"}))
+
+
+class TestTimeDependentModel:
+    def _model(self, fig1_metadata):
+        return TimeDependentRoomAffinityModel(
+            fig1_metadata,
+            schedules={"d1": [_lunch_window()]})
+
+    def test_outside_window_uses_base_metadata(self, fig1_metadata):
+        model = self._model(fig1_metadata)
+        affinities = model.affinities_at("d1", CANDIDATES, hours(9))
+        assert max(affinities, key=affinities.get) == "2061"  # office
+
+    def test_inside_window_prefers_scheduled_room(self, fig1_metadata):
+        model = self._model(fig1_metadata)
+        affinities = model.affinities_at("d1", CANDIDATES, hours(12.5))
+        assert max(affinities, key=affinities.get) == "2065"  # lunch room
+
+    def test_distribution_property(self, fig1_metadata):
+        model = self._model(fig1_metadata)
+        for t in (hours(9), hours(12.5), hours(20)):
+            affinities = model.affinities_at("d1", CANDIDATES, t)
+            assert sum(affinities.values()) == pytest.approx(1.0)
+
+    def test_unscheduled_device_matches_base_model(self, fig1_metadata):
+        model = self._model(fig1_metadata)
+        timed = model.affinities_at("d2", CANDIDATES, hours(12.5))
+        static = model.affinities("d2", CANDIDATES)
+        assert timed == static
+
+    def test_overlapping_windows_rejected(self, fig1_metadata):
+        model = self._model(fig1_metadata)
+        with pytest.raises(ConfigurationError):
+            model.set_schedule("d1", [
+                TimeWindowPreference(hours(12), hours(14),
+                                     frozenset({"2065"})),
+                TimeWindowPreference(hours(13), hours(15),
+                                     frozenset({"2061"})),
+            ])
+
+    def test_unknown_room_in_schedule_rejected(self, fig1_metadata):
+        model = self._model(fig1_metadata)
+        with pytest.raises(UnknownRoomError):
+            model.set_schedule("d1", [
+                TimeWindowPreference(hours(1), hours(2),
+                                     frozenset({"ghost"}))])
+
+    def test_active_preferred_rooms(self, fig1_metadata):
+        model = self._model(fig1_metadata)
+        assert model.active_preferred_rooms("d1", hours(12.5)) == \
+            frozenset({"2065"})
+        assert model.active_preferred_rooms("d1", hours(9)) == \
+            frozenset({"2061"})
+
+    def test_base_class_interface_still_works(self, fig1_metadata):
+        model = self._model(fig1_metadata)
+        static = model.affinities("d1", CANDIDATES)
+        assert max(static, key=static.get) == "2061"

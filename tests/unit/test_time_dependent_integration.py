@@ -1,0 +1,85 @@
+"""Integration of the time-dependent affinity model with Algorithm 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fine.affinity import DeviceAffinityIndex
+from repro.fine.localizer import FineLocalizer, FineMode
+from repro.fine.time_dependent import (
+    TimeDependentRoomAffinityModel,
+    TimeWindowPreference,
+)
+from repro.util.timeutil import hours
+
+
+@pytest.fixture
+def timed_localizer(fig1_building, fig1_metadata, fig1_table):
+    """D-FINE localizer whose prior sends d1 to the conference room at
+    noon and to the office otherwise."""
+    model = TimeDependentRoomAffinityModel(fig1_metadata, schedules={
+        "d1": [TimeWindowPreference(hours(12), hours(13),
+                                    frozenset({"2065"}))],
+    })
+    return FineLocalizer(fig1_building, fig1_table, model,
+                         DeviceAffinityIndex(fig1_table),
+                         mode=FineMode.DEPENDENT)
+
+
+class TestTimeDependentLocalization:
+    def test_noon_query_prefers_scheduled_room(self, timed_localizer,
+                                               fig1_building):
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        # 17:00: no neighbors online, outside the lunch window → office.
+        evening = timed_localizer.locate("d1", 17 * 3600, wap3)
+        assert evening.room_id == "2061"
+        # 12:30: the schedule shifts the prior to the conference room.
+        # No events exist at 12:30 for other devices... d1/d2 have events
+        # 12:00-14:00, so neighbors may pull too — the scheduled prior
+        # must at least raise 2065's posterior.
+        noon = timed_localizer.locate("d1", 12.5 * 3600, wap3)
+        assert noon.posterior["2065"] > evening.posterior["2065"]
+
+    def test_neighbor_free_noon_query_lands_in_lunch_room(
+            self, fig1_building, fig1_metadata, fig1_table):
+        model = TimeDependentRoomAffinityModel(fig1_metadata, schedules={
+            "d1": [TimeWindowPreference(hours(17), hours(18),
+                                        frozenset({"2065"}))],
+        })
+        localizer = FineLocalizer(fig1_building, fig1_table, model,
+                                  DeviceAffinityIndex(fig1_table),
+                                  mode=FineMode.INDEPENDENT)
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        # 17:30: nobody online, scheduled window active → lunch room wins.
+        result = localizer.locate("d1", 17.5 * 3600, wap3)
+        assert result.neighbors_total == 0
+        assert result.room_id == "2065"
+
+    def test_static_model_unaffected(self, fig1_building, fig1_metadata,
+                                     fig1_table):
+        """The base model's affinities_at ignores the timestamp."""
+        from repro.fine.affinity import RoomAffinityModel
+        model = RoomAffinityModel(fig1_metadata)
+        a = model.affinities_at("d1", ["2061", "2065"], hours(9))
+        b = model.affinities_at("d1", ["2061", "2065"], hours(12.5))
+        assert a == b
+
+    def test_locater_facade_accepts_room_model_override(
+            self, fig1_building, fig1_metadata, fig1_table):
+        """The full system respects an injected time-dependent model."""
+        from repro.system.config import LocaterConfig
+        from repro.system.locater import Locater
+        model = TimeDependentRoomAffinityModel(fig1_metadata, schedules={
+            "d1": [TimeWindowPreference(hours(17), hours(18),
+                                        frozenset({"2065"}))],
+        })
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          config=LocaterConfig(use_caching=False),
+                          room_model=model)
+        # 17:30 falls in d1's 14:00→end-of-log boundary... the coarse
+        # level answers via gap/boundary rules; only check that when the
+        # answer is inside region wap3, the scheduled room wins.
+        answer = locater.fine.locate(
+            "d1", 17.5 * 3600,
+            fig1_building.region_of_ap("wap3").region_id)
+        assert answer.room_id == "2065"

@@ -1,0 +1,99 @@
+"""Unit tests for repro.util.timeutil."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.timeutil import (
+    DAYS_PER_WEEK,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_WEEK,
+    TimeInterval,
+    day_index,
+    day_of_week,
+    format_timestamp,
+    hours,
+    minutes,
+    seconds_of_day,
+    weeks,
+)
+
+
+class TestConversions:
+    def test_minutes(self):
+        assert minutes(2) == 120.0
+
+    def test_hours(self):
+        assert hours(1.5) == 5400.0
+
+    def test_weeks(self):
+        assert weeks(1) == SECONDS_PER_WEEK == 7 * SECONDS_PER_DAY
+
+    def test_day_index(self):
+        assert day_index(0.0) == 0
+        assert day_index(SECONDS_PER_DAY - 1) == 0
+        assert day_index(SECONDS_PER_DAY) == 1
+
+    def test_day_of_week_wraps_weekly(self):
+        assert day_of_week(0.0) == 0  # epoch is a Monday
+        assert day_of_week(SECONDS_PER_DAY * DAYS_PER_WEEK) == 0
+        assert day_of_week(SECONDS_PER_DAY * 5) == 5  # Saturday
+
+    def test_seconds_of_day(self):
+        assert seconds_of_day(SECONDS_PER_DAY + 42.0) == 42.0
+
+    def test_format_timestamp_readable(self):
+        text = format_timestamp(SECONDS_PER_DAY + 2 * SECONDS_PER_HOUR)
+        assert "day 1" in text
+        assert "02:00:00" in text
+
+
+class TestTimeInterval:
+    def test_duration(self):
+        assert TimeInterval(10, 25).duration == 15
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            TimeInterval(10, 5)
+
+    def test_zero_length_allowed(self):
+        interval = TimeInterval(5, 5)
+        assert interval.duration == 0
+        assert not interval.contains(5)
+
+    def test_contains_half_open(self):
+        interval = TimeInterval(10, 20)
+        assert interval.contains(10)
+        assert interval.contains(19.999)
+        assert not interval.contains(20)
+        assert not interval.contains(9.999)
+
+    def test_overlaps(self):
+        a = TimeInterval(0, 10)
+        assert a.overlaps(TimeInterval(5, 15))
+        assert not a.overlaps(TimeInterval(10, 15))  # touching is disjoint
+        assert not a.overlaps(TimeInterval(20, 30))
+
+    def test_intersect(self):
+        a = TimeInterval(0, 10)
+        b = TimeInterval(5, 15)
+        inter = a.intersect(b)
+        assert inter == TimeInterval(5, 10)
+        assert a.intersect(TimeInterval(10, 20)) is None
+
+    def test_shift(self):
+        assert TimeInterval(1, 2).shift(10) == TimeInterval(11, 12)
+
+    def test_split_by_day_within_one_day(self):
+        pieces = list(TimeInterval(100, 200).split_by_day())
+        assert pieces == [TimeInterval(100, 200)]
+
+    def test_split_by_day_across_boundary(self):
+        interval = TimeInterval(SECONDS_PER_DAY - 100,
+                                SECONDS_PER_DAY + 100)
+        pieces = list(interval.split_by_day())
+        assert len(pieces) == 2
+        assert pieces[0].end == SECONDS_PER_DAY
+        assert pieces[1].start == SECONDS_PER_DAY
+        assert sum(p.duration for p in pieces) == interval.duration

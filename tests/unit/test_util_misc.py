@@ -1,0 +1,108 @@
+"""Unit tests for repro.util.rng, repro.util.stats, repro.util.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.rng import make_rng, spawn_seeds
+from repro.util.stats import (
+    gaussian_weights,
+    normalize,
+    normalize_mapping,
+    prediction_confidence,
+    safe_div,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestRng:
+    def test_make_rng_from_seed_is_deterministic(self):
+        a = make_rng(42).random(3)
+        b = make_rng(42).random(3)
+        assert np.allclose(a, b)
+
+    def test_make_rng_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_spawn_seeds_deterministic_and_distinct(self):
+        seeds = spawn_seeds(7, 5)
+        assert seeds == spawn_seeds(7, 5)
+        assert len(set(seeds)) == 5
+
+    def test_spawn_seeds_different_parents_differ(self):
+        assert spawn_seeds(1, 3) != spawn_seeds(2, 3)
+
+
+class TestStats:
+    def test_safe_div_normal(self):
+        assert safe_div(6, 3) == 2.0
+
+    def test_safe_div_zero_denominator(self):
+        assert safe_div(6, 0) == 0.0
+        assert safe_div(6, 0, default=-1.0) == -1.0
+
+    def test_normalize_sums_to_one(self):
+        out = normalize([1, 3])
+        assert out == [0.25, 0.75]
+
+    def test_normalize_all_zero_is_uniform(self):
+        assert normalize([0, 0, 0, 0]) == [0.25] * 4
+
+    def test_normalize_empty(self):
+        assert normalize([]) == []
+
+    def test_normalize_mapping(self):
+        out = normalize_mapping({"a": 2.0, "b": 2.0})
+        assert out == {"a": 0.5, "b": 0.5}
+
+    def test_prediction_confidence_spiky_beats_flat(self):
+        spiky = prediction_confidence([0.9, 0.05, 0.05])
+        flat = prediction_confidence([0.34, 0.33, 0.33])
+        assert spiky > flat
+
+    def test_prediction_confidence_empty(self):
+        assert prediction_confidence([]) == 0.0
+
+    def test_gaussian_weights_normalized_and_peaked(self):
+        weights = gaussian_weights(0.0, [-10.0, 0.0, 10.0], sigma=5.0)
+        assert pytest.approx(sum(weights)) == 1.0
+        assert weights[1] > weights[0]
+        assert weights[0] == pytest.approx(weights[2])
+
+    def test_gaussian_weights_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_weights(0.0, [1.0], sigma=0.0)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0.0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -0.1)
+
+    def test_check_fraction(self):
+        assert check_fraction("x", 0.5) == 0.5
+        with pytest.raises(ConfigurationError):
+            check_fraction("x", 1.01)
+
+    def test_check_probability_vector(self):
+        check_probability_vector("w", (0.6, 0.3, 0.1))
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("w", (0.6, 0.6))
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("w", (-0.1, 1.1))

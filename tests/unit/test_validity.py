@@ -1,0 +1,115 @@
+"""Unit tests for validity intervals and δ estimation (paper §2 + appendix)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events.device import DEFAULT_DELTA_SECONDS
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.events.validity import (
+    DeltaEstimator,
+    valid_event_at,
+    validity_intervals,
+)
+from repro.util.timeutil import minutes
+
+
+def _log(times: list[float], mac: str = "m1", ap: str = "wap1",
+         delta: float = 60.0):
+    table = EventTable.from_events(
+        [ConnectivityEvent(t, mac, ap) for t in times])
+    table.registry.get(mac).delta = delta
+    return table.log(mac)
+
+
+class TestValidityIntervals:
+    def test_isolated_event_full_window(self):
+        intervals = validity_intervals(_log([1000.0]), delta=60.0)
+        assert intervals[0].interval.start == 940.0
+        assert intervals[0].interval.end == 1060.0
+
+    def test_overlapping_windows_clip_end_to_neighbor_timestamp(self):
+        # Paper Fig. 2: e0 becomes valid in (t0 - δ, t1) when the windows
+        # overlap; e1's start stays at t1 - δ.
+        intervals = validity_intervals(_log([1000.0, 1080.0]), delta=60.0)
+        assert intervals[0].interval.end == 1080.0
+        assert intervals[1].interval.start == 1020.0
+
+    def test_non_overlapping_windows_untouched(self):
+        intervals = validity_intervals(_log([1000.0, 2000.0]), delta=60.0)
+        assert intervals[0].interval.end == 1060.0
+        assert intervals[1].interval.start == 1940.0
+
+    def test_clamped_at_zero(self):
+        intervals = validity_intervals(_log([10.0]), delta=60.0)
+        assert intervals[0].interval.start == 0.0
+
+    def test_uses_device_delta_by_default(self):
+        log = _log([1000.0], delta=30.0)
+        intervals = validity_intervals(log)
+        assert intervals[0].interval.start == 970.0
+
+
+class TestValidEventAt:
+    def test_hit_inside_window(self):
+        log = _log([1000.0], delta=60.0)
+        hit = valid_event_at(log, 1050.0)
+        assert hit is not None
+        assert hit.ap_id == "wap1"
+
+    def test_miss_in_gap(self):
+        log = _log([1000.0, 5000.0], delta=60.0)
+        assert valid_event_at(log, 3000.0) is None
+
+    def test_hit_at_boundaries(self):
+        log = _log([1000.0], delta=60.0)
+        assert valid_event_at(log, 940.0) is not None
+        assert valid_event_at(log, 1060.0) is not None
+
+    def test_empty_log(self):
+        table = EventTable()
+        table.registry.intern("mx")
+        assert valid_event_at(table.log("mx"), 100.0) is None
+
+    def test_between_clipped_windows_no_gap(self):
+        # Events 80s apart with δ=60: windows tile, every instant valid.
+        log = _log([1000.0, 1080.0], delta=60.0)
+        for t in np.linspace(941.0, 1139.0, 20):
+            assert valid_event_at(log, float(t)) is not None
+
+
+class TestDeltaEstimator:
+    def test_regular_probing_estimated_near_percentile(self):
+        times = [float(i * 300) for i in range(50)]  # 5-minute probes
+        estimate = DeltaEstimator().estimate(_log(times))
+        assert minutes(2) <= estimate <= minutes(15)
+        assert estimate == pytest.approx(300.0, abs=60.0)
+
+    def test_too_few_events_fall_back(self):
+        assert DeltaEstimator().estimate(_log([0.0])) == \
+            DEFAULT_DELTA_SECONDS
+
+    def test_session_breaks_excluded(self):
+        # Two tight sessions separated by 3 hours: the long spacing must
+        # not inflate delta.
+        times = ([float(i * 200) for i in range(10)]
+                 + [float(3 * 3600 + i * 200) for i in range(10)])
+        estimate = DeltaEstimator().estimate(_log(times))
+        assert estimate <= minutes(15)
+
+    def test_clamping(self):
+        times = [float(i * 10) for i in range(50)]  # hyper-chatty device
+        estimator = DeltaEstimator(minimum=minutes(2), maximum=minutes(15))
+        assert estimator.estimate(_log(times)) == minutes(2)
+
+    def test_fit_table_installs_deltas(self):
+        table = EventTable.from_events(
+            [ConnectivityEvent(float(i * 300), "m1", "w") for i in range(40)])
+        estimates = DeltaEstimator().fit_table(table)
+        assert table.registry.get("m1").delta == estimates["m1"]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DeltaEstimator(minimum=minutes(10), maximum=minutes(5))

@@ -1,0 +1,144 @@
+"""Unit tests for the room posterior and possible-world bounds (§4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fine.worlds import PosteriorBounds, RoomPosterior
+
+
+PRIOR = {"a": 0.5, "b": 0.3, "c": 0.2}
+
+
+class TestRoomPosterior:
+    def test_initial_posterior_is_prior(self):
+        post = RoomPosterior(PRIOR)
+        result = post.posterior()
+        assert result["a"] == pytest.approx(0.5)
+        assert result["b"] == pytest.approx(0.3)
+        assert result["c"] == pytest.approx(0.2)
+
+    def test_prior_normalized(self):
+        post = RoomPosterior({"a": 5.0, "b": 5.0})
+        assert post.posterior() == {"a": 0.5, "b": 0.5}
+
+    def test_zero_affinity_neighbor_is_neutral(self):
+        post = RoomPosterior(PRIOR)
+        before = post.posterior()
+        post.observe({})  # a neighbor with no co-location evidence
+        after = post.posterior()
+        for room in PRIOR:
+            assert after[room] == pytest.approx(before[room])
+
+    def test_strong_companion_pulls_posterior(self):
+        post = RoomPosterior(PRIOR)
+        post.observe({"c": 0.8})  # heavily co-located in room c
+        result = post.posterior()
+        assert result["c"] > 0.5
+        assert max(result, key=result.get) == "c"
+
+    def test_repeated_weak_evidence_accumulates(self):
+        post = RoomPosterior(PRIOR)
+        for _ in range(8):
+            post.observe({"b": 0.3})
+        assert max(post.posterior(), key=post.posterior().get) == "b"
+
+    def test_processed_count(self):
+        post = RoomPosterior(PRIOR)
+        post.observe({"a": 0.1})
+        post.observe({"b": 0.1})
+        assert post.processed_count == 2
+
+    def test_top_two(self):
+        post = RoomPosterior(PRIOR)
+        (room_a, pa), (room_b, pb) = post.top_two()
+        assert (room_a, room_b) == ("a", "b")
+        assert pa >= pb
+
+    def test_top_two_single_room(self):
+        post = RoomPosterior({"only": 1.0})
+        (top, p), (runner, pr) = post.top_two()
+        assert top == "only"
+        assert runner == "" and pr == 0.0
+
+    def test_rejects_empty_prior(self):
+        with pytest.raises(ConfigurationError):
+            RoomPosterior({})
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ConfigurationError):
+            RoomPosterior(PRIOR, affinity_cap=1.5)
+
+    def test_posterior_sums_to_one_after_updates(self):
+        post = RoomPosterior(PRIOR)
+        post.observe({"a": 0.4, "b": 0.1})
+        post.observe({"c": 0.2})
+        assert sum(post.posterior().values()) == pytest.approx(1.0)
+
+
+class TestBounds:
+    def test_bounds_without_unprocessed_collapse(self):
+        post = RoomPosterior(PRIOR)
+        bounds = post.bounds("a", unprocessed=0)
+        assert bounds.minimum == bounds.expected == bounds.maximum
+
+    def test_envelope_contains_expectation(self):
+        post = RoomPosterior(PRIOR)
+        post.observe({"a": 0.3})
+        for room in PRIOR:
+            bounds = post.bounds(room, unprocessed=3)
+            assert bounds.minimum <= bounds.expected <= bounds.maximum
+
+    def test_bounds_tighten_with_fewer_unprocessed(self):
+        post = RoomPosterior(PRIOR)
+        wide = post.bounds("a", unprocessed=5)
+        narrow = post.bounds("a", unprocessed=1)
+        assert narrow.maximum <= wide.maximum + 1e-12
+        assert narrow.minimum >= wide.minimum - 1e-12
+
+    def test_bounds_sound_against_actual_updates(self):
+        """Whatever a future neighbor reports (within cap), the realized
+        posterior stays inside the pre-computed envelope."""
+        scenarios = [{"a": 0.5}, {"b": 0.5}, {"c": 0.5}, {},
+                     {"a": 0.2, "b": 0.2}]
+        for observation in scenarios:
+            post = RoomPosterior(PRIOR, affinity_cap=0.6)
+            post.observe({"a": 0.3})
+            bounds = post.bounds("a", unprocessed=1)
+            post.observe(observation)
+            realized = post.posterior()["a"]
+            assert bounds.minimum - 1e-9 <= realized <= \
+                bounds.maximum + 1e-9
+
+    def test_caps_shrink_maximum(self):
+        post = RoomPosterior(PRIOR)
+        loose = post.bounds("a", unprocessed=2, affinity_caps=[0.9, 0.9])
+        tight = post.bounds("a", unprocessed=2, affinity_caps=[0.1, 0.1])
+        assert tight.maximum <= loose.maximum
+
+    def test_cap_count_mismatch_rejected(self):
+        post = RoomPosterior(PRIOR)
+        with pytest.raises(ConfigurationError):
+            post.bounds("a", unprocessed=2, affinity_caps=[0.5])
+
+    def test_unknown_room_rejected(self):
+        post = RoomPosterior(PRIOR)
+        with pytest.raises(ConfigurationError):
+            post.bounds("z", unprocessed=0)
+
+    def test_inconsistent_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PosteriorBounds(expected=0.5, minimum=0.6, maximum=0.7)
+
+    def test_factor_monotone_in_room_affinity(self):
+        post = RoomPosterior(PRIOR)
+        low = post.factor("a", {"a": 0.1})
+        high = post.factor("a", {"a": 0.5})
+        assert high > low
+
+    def test_factor_decreasing_in_other_mass(self):
+        post = RoomPosterior(PRIOR)
+        neutral = post.factor("a", {})
+        elsewhere = post.factor("a", {"b": 0.6})
+        assert elsewhere < neutral
