@@ -4,6 +4,11 @@ Each benchmark runs one paper experiment end to end (via
 ``benchmark.pedantic`` with a single round — the experiments are
 deterministic, so repeated rounds would only re-measure the same work),
 prints the regenerated table/figure, and archives it under ``results/``.
+
+Everything in this directory is auto-marked ``bench`` and excluded from
+the default pytest run (see pytest.ini); run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks -m bench -q
 """
 
 from __future__ import annotations
@@ -12,7 +17,16 @@ import pathlib
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_DIR.parent / "results"
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every test collected from this directory as a benchmark."""
+    for item in items:
+        path = pathlib.Path(str(item.fspath)).resolve()
+        if BENCH_DIR == path.parent or BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture

@@ -1,0 +1,88 @@
+"""Benchmark of the batch query engine vs the per-query loop.
+
+Workload: a 5,000-query occupancy grid (every device sampled on a
+regular slot grid — the analytics access pattern of §1's HVAC/tracking
+workloads).  Both systems first train their per-device coarse models
+offline (an ingestion-time step in a deployment); the measured phase is
+steady-state query answering.
+
+The sequential baseline answers the same queries with ``locate`` one at
+a time in the batch planner's execution order, so the two runs do
+byte-for-byte the same localization work — the batch engine is only
+allowed to *share* computation, never to skip it, and the answers are
+asserted identical.  The acceptance bar is ≥ 2× throughput.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.eval.reporting import format_table
+from repro.sim.scenarios import ScenarioSpec
+from repro.sim.simulator import Simulator
+from repro.system.locater import Locater
+from repro.system.planner import plan_queries
+from repro.system.query import LocationQuery
+
+QUERY_TARGET = 5000
+
+
+def _workload():
+    dataset = Simulator(
+        ScenarioSpec.dbh_like(seed=13, population=20)).run(days=6)
+    macs = dataset.macs()
+    n_slots = QUERY_TARGET // len(macs)
+    span = dataset.span
+    step = span.duration / n_slots
+    grid = [span.start + i * step for i in range(n_slots)]
+    queries = [LocationQuery(mac=mac, timestamp=t)
+               for t in grid for mac in macs]
+    return dataset, queries
+
+
+def _system(dataset) -> Locater:
+    system = Locater(dataset.building, dataset.metadata, dataset.table)
+    for mac in dataset.macs():          # offline model training
+        system.coarse.models_for(mac)
+    return system
+
+
+def test_bench_batch_engine(benchmark, report):
+    dataset, queries = _workload()
+    plan = plan_queries(queries)
+
+    sequential = _system(dataset)
+    start = time.perf_counter()
+    expected = [sequential.locate(q.mac, q.timestamp)
+                for q in plan.ordered_queries()]
+    seq_seconds = time.perf_counter() - start
+
+    batch = _system(dataset)
+    answers = None
+
+    def run_batch():
+        nonlocal answers
+        answers = batch.locate_batch(queries)
+
+    benchmark.pedantic(run_batch, rounds=1, iterations=1)
+    bat_seconds = benchmark.stats.stats.mean
+
+    # Bitwise equivalence: same answers, same cache evolution.
+    for planned, reference in zip(plan.ordered(), expected):
+        assert answers[planned.index] == reference
+    assert batch.cache.stats() == sequential.cache.stats()
+
+    speedup = seq_seconds / bat_seconds
+    rows = [
+        ["per-query loop", f"{seq_seconds:.2f}",
+         f"{len(queries) / seq_seconds:.0f}", "1.00x"],
+        ["locate_batch", f"{bat_seconds:.2f}",
+         f"{len(queries) / bat_seconds:.0f}", f"{speedup:.2f}x"],
+    ]
+    report("bench_batch_engine", format_table(
+        ["path", "seconds", "queries/s", "speedup"], rows,
+        title=f"Batch engine vs per-query loop ({len(queries)} queries)"))
+
+    assert speedup >= 2.0, (
+        f"batch engine must be >= 2x the per-query loop, got "
+        f"{speedup:.2f}x ({seq_seconds:.2f}s vs {bat_seconds:.2f}s)")

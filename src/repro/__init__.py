@@ -15,6 +15,32 @@ Typical use::
     locater = Locater(dataset.building, dataset.metadata, dataset.table)
     answer = locater.locate(dataset.macs()[0], timestamp=dataset.span.end - 3600)
     print(answer.location_label)
+
+Batch API
+---------
+
+Experiments and analytics workloads (occupancy grids, trajectories,
+contact tracing) ask many queries at once.  ``Locater.locate_batch``
+answers a whole batch with shared computation: queries are grouped by
+(device, time bucket) by :func:`repro.system.planner.plan_queries` and
+executed front-to-back in timestamp order, so one online-device snapshot
+serves every query of a timestamp, gap features and affinities are
+memoized across the batch, and the caching engine warms chronologically.
+Answers are bitwise identical to the sequential path (see the equivalence
+suite under ``tests/integration/test_batch_equivalence.py``) and come
+back in input order::
+
+    from repro import Locater, LocationQuery, plan_queries
+
+    queries = [LocationQuery(mac, t) for mac in dataset.macs()
+               for t in sampling_grid]
+    answers = locater.locate_batch(queries)      # one shared-work pass
+    plan = plan_queries(queries)                 # inspect the grouping
+    print(plan.stats())
+
+``examples/batch_queries.py`` walks through the API end to end and
+benchmarks it against the per-query loop
+(``benchmarks/test_bench_batch_engine.py`` holds the tracked benchmark).
 """
 
 from repro.cache import CachingEngine, GlobalAffinityGraph, LocalAffinityGraph
@@ -75,7 +101,10 @@ from repro.system import (
     LocaterConfig,
     LocationAnswer,
     LocationQuery,
+    QueryGroup,
+    QueryPlan,
     SqliteStorage,
+    plan_queries,
 )
 
 __version__ = "1.0.0"
@@ -112,6 +141,8 @@ __all__ = [
     "LocationAnswer",
     "LocationQuery",
     "PersonProfile",
+    "QueryGroup",
+    "QueryPlan",
     "Region",
     "ReproError",
     "Room",
@@ -133,6 +164,7 @@ __all__ = [
     "find_gap_at",
     "mall_blueprint",
     "office_blueprint",
+    "plan_queries",
     "university_blueprint",
     "__version__",
 ]

@@ -7,6 +7,7 @@ from typing import Sequence
 
 from repro.analytics.trajectory import reconstruct_trajectory
 from repro.system.locater import Locater
+from repro.system.query import LocationQuery
 from repro.util.timeutil import TimeInterval
 from repro.util.validation import check_positive
 
@@ -44,22 +45,33 @@ def exposure_report(locater: Locater, index_mac: str,
     check_positive("step", step)
     index_traj = reconstruct_trajectory(locater, index_mac, window, step)
 
+    # Slots where the index device was inside — the only ones where
+    # exposure is possible.  Every candidate is sampled on exactly these
+    # slots in one batch; slots shared across candidates reuse one
+    # online snapshot inside the batch engine.
+    inside_slots: list[tuple[float, str]] = []
+    cursor = window.start
+    while cursor < window.end:
+        index_loc = index_traj.location_at(cursor)
+        if index_loc is not None and index_loc != "outside":
+            inside_slots.append((cursor, index_loc))
+        cursor += step
+
+    contacts = [mac for mac in candidates if mac != index_mac]
+    answers = iter(locater.locate_batch(
+        [LocationQuery(mac=mac, timestamp=t)
+         for mac in contacts for t, _ in inside_slots]))
+
     exposures: list[Exposure] = []
-    for mac in candidates:
-        if mac == index_mac:
-            continue
+    for mac in contacts:
         shared = 0.0
         rooms: list[str] = []
-        cursor = window.start
-        while cursor < window.end:
-            index_loc = index_traj.location_at(cursor)
-            if index_loc is not None and index_loc != "outside":
-                answer = locater.locate(mac, cursor)
-                if answer.inside and answer.room_id == index_loc:
-                    shared += step
-                    if index_loc not in rooms:
-                        rooms.append(index_loc)
-            cursor += step
+        for _, index_loc in inside_slots:
+            answer = next(answers)
+            if answer.inside and answer.room_id == index_loc:
+                shared += step
+                if index_loc not in rooms:
+                    rooms.append(index_loc)
         if shared > 0 and shared >= min_shared_seconds:
             exposures.append(Exposure(mac=mac, shared_seconds=shared,
                                       rooms=tuple(rooms)))

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.system.locater import Locater
+from repro.system.query import LocationQuery
 from repro.util.timeutil import TimeInterval
 from repro.util.validation import check_positive
 
@@ -63,18 +64,23 @@ def occupancy_series(locater: Locater, macs: Sequence[str],
 
     Each device is located once per slot (at the slot's start); the
     resulting counts are what an HVAC controller or space planner would
-    consume.
+    consume.  The whole grid goes through ``locate_batch`` in one call —
+    all devices of one slot share a single online snapshot, and the
+    caching engine warms chronologically across slots.
     """
     check_positive("step", step)
     slots = [TimeInterval(t, min(t + step, window.end))
              for t in _frange(window.start, window.end, step)]
     series = OccupancySeries(slots=slots)
+    queries = [LocationQuery(mac=mac, timestamp=slot.start)
+               for slot in slots for mac in macs]
+    answers = iter(locater.locate_batch(queries))
     for slot in slots:
         region_counts: dict[int, int] = {}
         room_counts: dict[str, int] = {}
         inside = 0
         for mac in macs:
-            answer = locater.locate(mac, slot.start)
+            answer = next(answers)
             if not answer.inside:
                 continue
             inside += 1

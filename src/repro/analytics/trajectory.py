@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.system.locater import Locater
+from repro.system.query import LocationQuery
 from repro.util.timeutil import TimeInterval
 from repro.util.validation import check_positive
 
@@ -67,14 +68,22 @@ class CleanedTrajectory:
 def reconstruct_trajectory(locater: Locater, mac: str,
                            window: TimeInterval,
                            step: float = 1800.0) -> CleanedTrajectory:
-    """Sample the device every ``step`` seconds and run-length encode."""
+    """Sample the device every ``step`` seconds and run-length encode.
+
+    The sampling grid is answered in one ``locate_batch`` call: samples
+    of the same device landing in the same connectivity gap share the
+    coarse feature extraction and classifier decisions.
+    """
     check_positive("step", step)
-    samples: list[tuple[float, str]] = []
+    grid: list[float] = []
     cursor = window.start
     while cursor < window.end:
-        answer = locater.locate(mac, cursor)
-        samples.append((cursor, answer.location_label))
+        grid.append(cursor)
         cursor += step
+    answers = locater.locate_batch(
+        [LocationQuery(mac=mac, timestamp=t) for t in grid])
+    samples: list[tuple[float, str]] = [
+        (t, answer.location_label) for t, answer in zip(grid, answers)]
 
     segments: list[TrajectorySegment] = []
     run_start = 0

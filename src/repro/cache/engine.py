@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.cache.global_graph import GlobalAffinityGraph
 from repro.cache.local_graph import LocalAffinityGraph
@@ -39,16 +39,51 @@ class CachingEngine:
         Counts a *hit* when at least one neighbor has a cached edge (the
         order is informed), a *miss* otherwise (cold cache, order
         unchanged).
+
+        Input multiplicity is preserved: neighbor discovery yields unique
+        MACs, but callers supplying duplicates (e.g. merged candidate
+        lists) get every entry back, grouped per MAC in input order at
+        the MAC's ranked position.
+        """
+        ordered, _ = self.prepare_neighbors(mac, neighbors, timestamp)
+        return ordered
+
+    def prepare_neighbors(self, mac: str,
+                          neighbors: Sequence[NeighborDevice],
+                          timestamp: float
+                          ) -> "tuple[list[NeighborDevice], dict[str, float]]":
+        """Order neighbors and derive caps with one affinity read per edge.
+
+        The primitive behind :meth:`order_neighbors` and
+        :meth:`neighbor_caps` for the per-query hot path: same ordering,
+        same caps, same hit/miss accounting, but each cached edge weight
+        is read once instead of twice.
         """
         if not neighbors:
-            return []
-        by_mac = {n.mac: n for n in neighbors}
-        ranked = self._graph.rank(mac, list(by_mac.keys()), timestamp)
-        if all(affinity == 0.0 for _, affinity in ranked):
+            return [], {}
+        by_mac: dict[str, list[NeighborDevice]] = {}
+        for neighbor in neighbors:
+            by_mac.setdefault(neighbor.mac, []).append(neighbor)
+        cached: dict[str, "float | None"] = {
+            other: self._graph.affinity_at(mac, other, timestamp)
+            for other in by_mac}
+        caps: dict[str, float] = {}
+        for other, weight in cached.items():
+            if weight is not None:
+                caps[other] = self._cap(weight, by_mac[other][-1])
+        if all(weight is None or weight == 0.0
+               for weight in cached.values()):
             self.misses += 1
-            return list(neighbors)
+            return list(neighbors), caps
         self.hits += 1
-        return [by_mac[other] for other, _ in ranked]
+        # Same ranking contract as GlobalAffinityGraph.rank (descending
+        # affinity, ties by MAC), reusing the weights already read.
+        ranked = sorted(
+            ((other, weight if weight is not None else 0.0)
+             for other, weight in cached.items()),
+            key=lambda pair: (-pair[1], pair[0]))
+        ordered = [entry for other, _ in ranked for entry in by_mac[other]]
+        return ordered, caps
 
     def neighbor_caps(self, mac: str, neighbors: Sequence[NeighborDevice],
                       timestamp: float) -> dict[str, float]:
@@ -64,9 +99,14 @@ class CachingEngine:
         for neighbor in neighbors:
             cached = self._graph.affinity_at(mac, neighbor.mac, timestamp)
             if cached is not None:
-                scaled = cached * 2.0 * max(len(neighbor.candidate_rooms), 1)
-                caps[neighbor.mac] = min(max(scaled, 0.02), 0.5)
+                caps[neighbor.mac] = self._cap(cached, neighbor)
         return caps
+
+    @staticmethod
+    def _cap(weight: float, neighbor: NeighborDevice) -> float:
+        """The clamped co-location-mass bound for one cached weight."""
+        scaled = weight * 2.0 * max(len(neighbor.candidate_rooms), 1)
+        return min(max(scaled, 0.02), 0.5)
 
     # ------------------------------------------------------------------
     def record(self, mac: str, timestamp: float,
@@ -76,6 +116,26 @@ class CachingEngine:
         for other, weight in edge_weights.items():
             local.add_edge(other, weight)
         self._graph.merge_local(local)
+
+    def record_batch(self, records: "Iterable[tuple[str, float, dict[str, float]]]"
+                     ) -> int:
+        """Bulk-merge many queries' local graphs in one call.
+
+        Accepts (mac, timestamp, edge_weights) triples — e.g. replayed
+        from a persisted answer journal or collected from a prior run's
+        :class:`~repro.fine.localizer.FineResult` values — and folds them
+        into the global graph in input order, warming a fresh engine
+        front to back.  Returns the number of records with at least one
+        edge (empty records are skipped, mirroring the per-query path's
+        ``if fine.edge_weights`` guard).
+        """
+        merged = 0
+        for mac, timestamp, edge_weights in records:
+            if not edge_weights:
+                continue
+            self.record(mac, timestamp, edge_weights)
+            merged += 1
+        return merged
 
     def stats(self) -> dict[str, int]:
         """Cache effectiveness counters."""

@@ -17,6 +17,7 @@ from repro.sim.scenarios import ScenarioSpec
 from repro.sim.simulator import Simulator
 from repro.system.config import LocaterConfig
 from repro.system.locater import Locater
+from repro.system.query import LocationQuery
 from repro.system.storage import SqliteStorage
 
 #: Experiment registry: name → module path (imported lazily).
@@ -57,8 +58,10 @@ def _build_parser() -> argparse.ArgumentParser:
     loc.add_argument("--population", type=int, default=20)
     loc.add_argument("--seed", type=int, default=0)
     loc.add_argument("--mac", required=True)
-    loc.add_argument("--time", type=float, required=True,
-                     help="query timestamp in seconds since epoch 0")
+    loc.add_argument("--time", type=float, required=True, action="append",
+                     help="query timestamp in seconds since epoch 0; "
+                          "repeat the flag to answer several times in "
+                          "one batched pass")
     loc.add_argument("--mode", default="dependent",
                      choices=["independent", "dependent"])
 
@@ -99,10 +102,12 @@ def _cmd_locate(args: argparse.Namespace) -> int:
         print(f"unknown device {args.mac!r}; known devices: "
               f"{', '.join(dataset.macs()[:5])} ...", file=sys.stderr)
         return 2
-    answer = locater.locate(args.mac, args.time)
-    print(answer)
-    truth = dataset.true_room_at(args.mac, args.time)
-    print(f"ground truth: {truth if truth is not None else 'outside'}")
+    queries = [LocationQuery(mac=args.mac, timestamp=t) for t in args.time]
+    answers = locater.locate_batch(queries)
+    for query, answer in zip(queries, answers):
+        print(answer)
+        truth = dataset.true_room_at(query.mac, query.timestamp)
+        print(f"ground truth: {truth if truth is not None else 'outside'}")
     return 0
 
 

@@ -15,6 +15,7 @@ from repro.coarse.semi_supervised import SelfTrainingClassifier
 from repro.coarse.localizer import (
     CoarseLocalizer,
     CoarseResult,
+    CoarseSharedState,
     INSIDE,
     OUTSIDE,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "BootstrapResult",
     "CoarseLocalizer",
     "CoarseResult",
+    "CoarseSharedState",
     "GapFeatureExtractor",
     "GapLabel",
     "PopulationAggregate",

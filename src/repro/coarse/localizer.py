@@ -9,7 +9,8 @@ self-trained classifiers decide (1) inside vs outside the building and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -57,6 +58,27 @@ class CoarseResult:
         where = f"region g{self.region_id}" if self.inside else "outside"
         via = "event" if self.from_event else "gap"
         return f"{self.mac} @ {self.timestamp:.0f}s → {where} (via {via})"
+
+
+@dataclass(slots=True)
+class CoarseSharedState:
+    """Cross-query memo of per-gap work (batch engine).
+
+    Queries landing in the same gap of the same device (trajectory
+    sampling, dense occupancy grids) need identical feature rows, and the
+    classifiers' decisions are pure functions of those rows — so feature
+    extraction and predictions are shared per (mac, gap).  The aggregate
+    fallbacks stay unmemoized (they depend on the query time, not the
+    gap).  Values are exactly what the sequential path computes, so
+    sharing never changes an answer.
+    """
+
+    features: "dict[tuple[str, float, float], np.ndarray]" = field(
+        default_factory=dict)
+    building_labels: "dict[tuple[str, float, float], str]" = field(
+        default_factory=dict)
+    region_ids: "dict[tuple[str, float, float], int]" = field(
+        default_factory=dict)
 
 
 @dataclass(slots=True)
@@ -209,12 +231,18 @@ class CoarseLocalizer:
     # ------------------------------------------------------------------
     # Query answering
     # ------------------------------------------------------------------
-    def locate(self, mac: str, timestamp: float) -> CoarseResult:
+    def locate(self, mac: str, timestamp: float,
+               shared: "CoarseSharedState | None" = None) -> CoarseResult:
         """Answer Q = (d, t_q) at the coarse level.
 
         A device with no connectivity history at all is answered as
         outside: with zero association events there is no evidence the
         device ever entered the building.
+
+        Args:
+            shared: Optional batch memo; queries hitting the same gap
+                reuse its transformed feature row.  The answer is
+                identical with or without it.
         """
         log = self._table.log(mac)
         if log.is_empty:
@@ -235,13 +263,22 @@ class CoarseLocalizer:
                                 region_id=None, from_event=False)
 
         models = self.models_for(mac)
+        key = (mac, gap.interval.start, gap.interval.end)
         features = None
-        if models.building_clf is not None or models.region_clf is not None:
-            row = self._extractor.rows([gap], log, self.history)
-            features = models.pipeline.transform(row)[0]
+
+        def gap_features() -> np.ndarray:
+            nonlocal features
+            if features is None:
+                features = self._gap_features(mac, gap, log, models, shared)
+            return features
 
         if models.building_clf is not None:
-            _, label = models.building_clf.predict_one(features)
+            label = shared.building_labels.get(key) \
+                if shared is not None else None
+            if label is None:
+                _, label = models.building_clf.predict_one(gap_features())
+                if shared is not None:
+                    shared.building_labels[key] = label
         else:
             # Aggregate fallback (§3 fn. 5): most common label among
             # other devices at this time of day.
@@ -252,8 +289,14 @@ class CoarseLocalizer:
                                 region_id=None, from_event=False)
 
         if models.region_clf is not None:
-            _, region_label = models.region_clf.predict_one(features)
-            region_id = int(region_label)
+            region_id = shared.region_ids.get(key) \
+                if shared is not None else None
+            if region_id is None:
+                _, region_label = models.region_clf.predict_one(
+                    gap_features())
+                region_id = int(region_label)
+                if shared is not None:
+                    shared.region_ids[key] = region_id
         else:
             fallback = models.fallback_region
             if fallback is None:
@@ -262,3 +305,32 @@ class CoarseLocalizer:
                          self._building.region_of_ap(gap.ap_before).region_id)
         return CoarseResult(mac=mac, timestamp=timestamp, inside=True,
                             region_id=region_id, from_event=False)
+
+    def locate_many(self, mac: str, timestamps: Sequence[float],
+                    shared: "CoarseSharedState | None" = None
+                    ) -> list[CoarseResult]:
+        """Answer many queries of one device, sharing gap feature rows.
+
+        Results are identical to calling :meth:`locate` per timestamp in
+        the same order; only the repeated feature extraction for
+        timestamps falling in the same gap is shared.
+        """
+        if shared is None:
+            shared = CoarseSharedState()
+        return [self.locate(mac, timestamp, shared=shared)
+                for timestamp in timestamps]
+
+    def _gap_features(self, mac: str, gap, log,
+                      models: _DeviceModels,
+                      shared: "CoarseSharedState | None") -> np.ndarray:
+        """The transformed feature row of one gap, memoized per batch."""
+        if shared is None:
+            row = self._extractor.rows([gap], log, self.history)
+            return models.pipeline.transform(row)[0]
+        key = (mac, gap.interval.start, gap.interval.end)
+        features = shared.features.get(key)
+        if features is None:
+            row = self._extractor.rows([gap], log, self.history)
+            features = models.pipeline.transform(row)[0]
+            shared.features[key] = features
+        return features

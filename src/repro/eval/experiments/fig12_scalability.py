@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.eval.queries import generated_query_set, labeled_query_set
 from repro.eval.reporting import format_table
-from repro.eval.runner import evaluate
+from repro.eval.runner import evaluate_batch
 from repro.eval.experiments.common import dbh_dataset
 from repro.fine.localizer import FineMode
 from repro.system.config import LocaterConfig
@@ -79,8 +79,13 @@ def run(days: int = 10, population: int = 18, per_device: int = 8,
                                    reuse_affinity_cache=False)
             system = Locater(dataset.building, dataset.metadata,
                              dataset.table, config=config)
-            outcome = evaluate(system, dataset, queries,
-                               record_latency=True)
+            # Batch path for execution order, but with shared-state
+            # memoization off: this figure ablates the caching engine,
+            # and the batch memos would otherwise hand the non-cached
+            # arm the same cross-query amortization for free.
+            outcome = evaluate_batch(system, dataset, queries,
+                                     record_latency=True,
+                                     share_computation=False)
             mean_ms[(variant, qset_name)] = outcome.mean_query_ms
             latencies = outcome.per_query_seconds
             half = max(1, len(latencies) // 2)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.eval.metrics import PrecisionCounts
 from repro.eval.queries import labeled_query_set
 from repro.eval.reporting import format_table
-from repro.eval.runner import evaluate, pooled_counts
+from repro.eval.runner import evaluate_batch, pooled_counts
 from repro.eval.experiments.common import scenario_dataset
 from repro.system.baselines import Baseline2
 from repro.system.config import LocaterConfig
@@ -74,8 +74,10 @@ def run(days: int = 8, per_device: int = 8, seed: int = 11,
                           config=LocaterConfig())
         baseline = Baseline2(dataset.building, dataset.metadata,
                              dataset.table, seed=seed)
-        outcome = evaluate(locater, dataset, queries)
-        base_outcome = evaluate(baseline, dataset, queries)
+        # D-LOCATER goes through the batch engine; Baseline2 has no batch
+        # entry point and falls back to the per-query loop inside.
+        outcome = evaluate_batch(locater, dataset, queries)
+        base_outcome = evaluate_batch(baseline, dataset, queries)
 
         profile_macs: dict[str, list[str]] = {}
         for person in dataset.people:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, Sequence
+from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from repro.eval.metrics import PrecisionCounts
 from repro.sim.dataset import Dataset
@@ -16,6 +16,19 @@ class SystemUnderTest(Protocol):
     """Anything with ``locate(mac, timestamp) -> LocationAnswer``."""
 
     def locate(self, mac: str, timestamp: float) -> LocationAnswer: ...
+
+
+@runtime_checkable
+class BatchSystemUnderTest(Protocol):
+    """A system that additionally answers whole batches at once."""
+
+    def locate(self, mac: str, timestamp: float) -> LocationAnswer: ...
+
+    def locate_batch(self, queries: Sequence[LocationQuery],
+                     bucket_seconds: float = ...,
+                     timings: "list[tuple[int, float]] | None" = ...,
+                     share_computation: bool = ...
+                     ) -> list[LocationAnswer]: ...
 
 
 @dataclass(slots=True)
@@ -57,7 +70,6 @@ def evaluate(system: SystemUnderTest, dataset: Dataset,
     * exact room match on top of that → Q_room.
     """
     result = EvaluationResult()
-    building = dataset.building
     for index, query in enumerate(queries):
         start = time.perf_counter()
         answer = system.locate(query.mac, query.timestamp)
@@ -65,26 +77,64 @@ def evaluate(system: SystemUnderTest, dataset: Dataset,
         result.elapsed_seconds += elapsed
         if record_latency:
             result.per_query_seconds.append(elapsed)
-
-        truth_room = dataset.true_room_at(query.mac, query.timestamp)
-        truth_outside = truth_room is None
-        region_correct = False
-        room_correct = False
-        if not truth_outside and answer.inside and \
-                answer.region_id is not None:
-            region_rooms = building.region(answer.region_id).rooms
-            region_correct = truth_room in region_rooms
-            room_correct = answer.room_id == truth_room
-        per_dev = result.per_device.setdefault(query.mac,
-                                               PrecisionCounts())
-        for counts in (result.counts, per_dev):
-            counts.record(truth_outside=truth_outside,
-                          predicted_outside=not answer.inside,
-                          region_correct=region_correct,
-                          room_correct=room_correct)
+        _score_answer(result, dataset, query, answer)
         if progress is not None:
             progress(index + 1)
     return result
+
+
+def evaluate_batch(system: SystemUnderTest, dataset: Dataset,
+                   queries: Sequence[LocationQuery],
+                   record_latency: bool = False,
+                   share_computation: bool = True) -> EvaluationResult:
+    """Like :func:`evaluate`, but through ``locate_batch`` when available.
+
+    Systems without a batch entry point (the baselines) fall back to the
+    per-query loop of :func:`evaluate`.  Latencies are recorded in the
+    batch planner's *execution* order — bucket-granular timestamp order
+    — which is the order in which the caching engine warms, so warm-up
+    curves (Fig. 10/12) read the same way as in the sequential runner.
+
+    Args:
+        share_computation: Forwarded to ``locate_batch``.  Timing
+            experiments that ablate the *caching engine* must pass False
+            so the batch memos don't amortize the very work whose
+            per-query cost is being measured.
+    """
+    if not isinstance(system, BatchSystemUnderTest):
+        return evaluate(system, dataset, queries,
+                        record_latency=record_latency)
+    timings: list[tuple[int, float]] = []
+    answers = system.locate_batch(queries, timings=timings,
+                                  share_computation=share_computation)
+    result = EvaluationResult()
+    for query, answer in zip(queries, answers):
+        _score_answer(result, dataset, query, answer)
+    result.elapsed_seconds = sum(seconds for _, seconds in timings)
+    if record_latency:
+        result.per_query_seconds = [seconds for _, seconds in timings]
+    return result
+
+
+def _score_answer(result: EvaluationResult, dataset: Dataset,
+                  query: LocationQuery, answer: LocationAnswer) -> None:
+    """Score one answer against ground truth (§6.1's Q_out/Q_region/Q_room)."""
+    truth_room = dataset.true_room_at(query.mac, query.timestamp)
+    truth_outside = truth_room is None
+    region_correct = False
+    room_correct = False
+    if not truth_outside and answer.inside and \
+            answer.region_id is not None:
+        region_rooms = dataset.building.region(answer.region_id).rooms
+        region_correct = truth_room in region_rooms
+        room_correct = answer.room_id == truth_room
+    per_dev = result.per_device.setdefault(query.mac,
+                                           PrecisionCounts())
+    for counts in (result.counts, per_dev):
+        counts.record(truth_outside=truth_outside,
+                      predicted_outside=not answer.inside,
+                      region_correct=region_correct,
+                      room_correct=room_correct)
 
 
 def pooled_counts(result: EvaluationResult,

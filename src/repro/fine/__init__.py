@@ -22,7 +22,7 @@ from repro.fine.affinity import (
     RoomAffinityModel,
     RoomAffinityWeights,
 )
-from repro.fine.neighbors import NeighborDevice, find_neighbors
+from repro.fine.neighbors import NeighborDevice, NeighborIndex, find_neighbors
 from repro.fine.time_dependent import (
     TimeDependentRoomAffinityModel,
     TimeWindowPreference,
@@ -32,6 +32,7 @@ from repro.fine.localizer import (
     FineLocalizer,
     FineMode,
     FineResult,
+    FineSharedState,
 )
 
 __all__ = [
@@ -39,8 +40,10 @@ __all__ = [
     "FineLocalizer",
     "FineMode",
     "FineResult",
+    "FineSharedState",
     "GroupAffinityModel",
     "NeighborDevice",
+    "NeighborIndex",
     "PosteriorBounds",
     "RoomAffinityModel",
     "RoomAffinityWeights",

@@ -265,11 +265,20 @@ class GroupAffinityModel:
         return out
 
     def group_affinity(self, members: Sequence[tuple[str, Sequence[str]]],
-                       room_id: str) -> float:
+                       room_id: str,
+                       room_cache: "dict | None" = None) -> float:
         """α(D, r, t) for members given as (mac, candidate_rooms) pairs.
 
         The paper's worked example: α({d1,d2})=.4, R_is={2065,2069,2099},
         P(d1 in 2065|R_is)=.69, P(d2 in 2065|R_is)=.44 → affinity .12.
+
+        Args:
+            room_cache: Optional memo of per-member room affinities keyed
+                by (mac, candidate-rooms tuple).  Room affinity is not
+                data dependent (the paper notes it can be pre-computed),
+                so evaluating many rooms or many groups with a shared
+                cache — as the batch engine does — recomputes each
+                member's affinity vector once instead of per room.
         """
         if len(members) < 2:
             raise ConfigurationError("group affinity needs >= 2 members")
@@ -282,9 +291,22 @@ class GroupAffinityModel:
             return 0.0
         value = device_affinity
         for mac, candidates in members:
-            alphas = self._rooms.affinities(mac, list(candidates))
+            alphas = self._member_affinities(mac, candidates, room_cache)
             mass_in_ris = sum(alphas.get(r, 0.0) for r in r_is)
             if mass_in_ris <= 0:
                 return 0.0
             value *= alphas.get(room_id, 0.0) / mass_in_ris
         return value
+
+    def _member_affinities(self, mac: str, candidates: Sequence[str],
+                           room_cache: "dict | None") -> dict[str, float]:
+        """One member's room-affinity vector, memoized when a cache is
+        supplied (pure function of (mac, candidates))."""
+        if room_cache is None:
+            return self._rooms.affinities(mac, list(candidates))
+        key = (mac, tuple(candidates))
+        alphas = room_cache.get(key)
+        if alphas is None:
+            alphas = self._rooms.affinities(mac, list(candidates))
+            room_cache[key] = alphas
+        return alphas

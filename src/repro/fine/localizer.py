@@ -72,6 +72,35 @@ class FineResult:
 
 
 @dataclass(slots=True)
+class FineSharedState:
+    """Cross-query memo of affinity computations (batch engine, §5+).
+
+    Group affinities are pure functions of the member (mac, candidate
+    rooms) tuples — they never depend on the query time — and the room
+    prior is a pure function of (mac, candidates, timestamp).  A batch of
+    queries revisiting the same device/region combinations (occupancy
+    grids, trajectory sampling) therefore reuses these values verbatim.
+
+    Keys preserve member *order* so memoized floats are bitwise identical
+    to what the sequential path multiplies out.
+    """
+
+    priors: dict = field(default_factory=dict)
+    pair_affinities: dict = field(default_factory=dict)
+    cluster_affinities: dict = field(default_factory=dict)
+    room_affinities: dict = field(default_factory=dict)
+
+    def stats(self) -> dict[str, int]:
+        """Memo sizes (for tests and logging)."""
+        return {
+            "priors": len(self.priors),
+            "pairs": len(self.pair_affinities),
+            "clusters": len(self.cluster_affinities),
+            "rooms": len(self.room_affinities),
+        }
+
+
+@dataclass(slots=True)
 class _Cluster:
     """A D-FINE cluster: processed neighbors with mutual device affinity."""
 
@@ -121,7 +150,8 @@ class FineLocalizer:
     # ------------------------------------------------------------------
     def locate(self, mac: str, timestamp: float, region_id: int,
                neighbor_order: "Sequence[NeighborDevice] | None" = None,
-               neighbor_caps: "dict[str, float] | None" = None) -> FineResult:
+               neighbor_caps: "dict[str, float] | None" = None,
+               shared: "FineSharedState | None" = None) -> FineResult:
         """Pick the room of ``mac`` at ``timestamp`` within region ``gx``.
 
         Args:
@@ -131,6 +161,9 @@ class FineLocalizer:
             neighbor_caps: Optional per-neighbor upper bounds on group
                 affinity from the global affinity graph, used to tighten
                 the possible-world bounds of unprocessed neighbors.
+            shared: Optional batch memo of prior/affinity computations
+                (see :class:`FineSharedState`).  Sharing never changes
+                the answer — only how often affinities are recomputed.
         """
         candidates = [room.room_id
                       for room in self._building.candidate_rooms(region_id)]
@@ -138,7 +171,7 @@ class FineLocalizer:
             raise LocalizationError(
                 f"region g{region_id} has no candidate rooms")
 
-        prior = self._room_model.affinities_at(mac, candidates, timestamp)
+        prior = self._prior_at(mac, tuple(candidates), timestamp, shared)
         posterior = RoomPosterior(prior, affinity_cap=self.affinity_cap)
 
         neighbors = list(neighbor_order) if neighbor_order is not None else \
@@ -149,11 +182,12 @@ class FineLocalizer:
         edge_weights: dict[str, float] = {}
         if self.mode is FineMode.INDEPENDENT:
             posterior, processed, stopped = self._run_independent(
-                mac, posterior, neighbors, neighbor_caps, edge_weights)
+                mac, posterior, neighbors, neighbor_caps, edge_weights,
+                shared)
         else:
             posterior, processed, stopped = self._run_dependent(
                 mac, timestamp, posterior, neighbors, neighbor_caps,
-                edge_weights)
+                edge_weights, shared)
 
         final = posterior.posterior()
         best_room = self._argmax_room(final, mac, timestamp)
@@ -183,13 +217,68 @@ class FineLocalizer:
         return tied[_fnv1a(f"{mac}|{timestamp:.3f}") % len(tied)]
 
     # ------------------------------------------------------------------
+    # Batch entry points
+    # ------------------------------------------------------------------
+    def make_shared_state(self) -> FineSharedState:
+        """A fresh affinity memo for one batch of queries."""
+        return FineSharedState()
+
+    def locate_many(self, queries: "Sequence[tuple[str, float, int]]",
+                    shared: "FineSharedState | None" = None
+                    ) -> list[FineResult]:
+        """Answer many (mac, timestamp, region_id) queries, sharing
+        affinity computations.
+
+        Results are identical to calling :meth:`locate` per query in the
+        same order (neighbors are discovered per query, as in the
+        sequential path).
+        """
+        if shared is None:
+            shared = self.make_shared_state()
+        return [self.locate(mac, timestamp, region_id, shared=shared)
+                for mac, timestamp, region_id in queries]
+
+    # ------------------------------------------------------------------
+    def _prior_at(self, mac: str, candidates: tuple[str, ...],
+                  timestamp: float,
+                  shared: "FineSharedState | None") -> dict[str, float]:
+        """Room-affinity prior, memoized per (mac, candidates, t_q)."""
+        if shared is None:
+            return self._room_model.affinities_at(mac, list(candidates),
+                                                  timestamp)
+        key = (mac, candidates, timestamp)
+        prior = shared.priors.get(key)
+        if prior is None:
+            prior = self._room_model.affinities_at(mac, list(candidates),
+                                                   timestamp)
+            shared.priors[key] = prior
+        return prior
+
     def _pair_affinities(self, mac: str, neighbor: NeighborDevice,
-                         candidates: Sequence[str]) -> dict[str, float]:
-        """α({d_i, d_k}, r, t_q) for every candidate room r."""
+                         candidates: Sequence[str],
+                         shared: "FineSharedState | None" = None
+                         ) -> dict[str, float]:
+        """α({d_i, d_k}, r, t_q) for every candidate room r.
+
+        Group affinity never depends on t_q (device affinity is mined
+        over the history window, room affinity over metadata), so the
+        batch memo key is purely structural.
+        """
+        if shared is not None:
+            key = (mac, tuple(candidates), neighbor.mac,
+                   neighbor.candidate_rooms)
+            cached = shared.pair_affinities.get(key)
+            if cached is not None:
+                return cached
         members = [(mac, list(candidates)),
                    (neighbor.mac, list(neighbor.candidate_rooms))]
-        return {room: self._group_model.group_affinity(members, room)
-                for room in candidates}
+        room_cache = shared.room_affinities if shared is not None else None
+        affinities = {room: self._group_model.group_affinity(
+                          members, room, room_cache=room_cache)
+                      for room in candidates}
+        if shared is not None:
+            shared.pair_affinities[key] = affinities
+        return affinities
 
     def _caps_for(self, remaining: Sequence[NeighborDevice],
                   neighbor_caps: "dict[str, float] | None") -> list[float]:
@@ -202,12 +291,13 @@ class FineLocalizer:
                         remaining: Sequence[NeighborDevice],
                         neighbor_caps: "dict[str, float] | None") -> bool:
         """The loosened stop conditions over the top-2 rooms."""
-        (room_a, _), (room_b, _) = posterior.top_two()
+        post = posterior.posterior()
+        (room_a, _), (room_b, _) = posterior.top_two(post)
         if not room_b:
             return True  # single candidate: nothing to disambiguate
         caps = self._caps_for(remaining, neighbor_caps)
-        bounds_a = posterior.bounds(room_a, len(remaining), caps)
-        bounds_b = posterior.bounds(room_b, len(remaining), caps)
+        bounds_a, bounds_b = posterior.bounds_pair(
+            room_a, room_b, len(remaining), caps, posterior_map=post)
         return (bounds_a.minimum >= bounds_b.expected
                 or bounds_a.expected >= bounds_b.maximum)
 
@@ -215,12 +305,14 @@ class FineLocalizer:
     def _run_independent(self, mac: str, posterior: RoomPosterior,
                          neighbors: Sequence[NeighborDevice],
                          neighbor_caps: "dict[str, float] | None",
-                         edge_weights: dict[str, float]
+                         edge_weights: dict[str, float],
+                         shared: "FineSharedState | None" = None
                          ) -> "tuple[RoomPosterior, int, bool]":
         """I-FINE: fold neighbors independently (Eq. 3)."""
         candidates = posterior.rooms
         for index, neighbor in enumerate(neighbors):
-            affinities = self._pair_affinities(mac, neighbor, candidates)
+            affinities = self._pair_affinities(mac, neighbor, candidates,
+                                               shared)
             edge_weights[neighbor.mac] = (
                 sum(affinities.values()) / len(candidates))
             posterior.observe(affinities)
@@ -235,7 +327,8 @@ class FineLocalizer:
                        posterior: RoomPosterior,
                        neighbors: Sequence[NeighborDevice],
                        neighbor_caps: "dict[str, float] | None",
-                       edge_weights: dict[str, float]
+                       edge_weights: dict[str, float],
+                       shared: "FineSharedState | None" = None
                        ) -> "tuple[RoomPosterior, int, bool]":
         """D-FINE: cluster processed neighbors, fold clusters (Eq. 6).
 
@@ -250,18 +343,20 @@ class FineLocalizer:
         stopped = False
         current = posterior
         for index, neighbor in enumerate(neighbors):
-            pair = self._pair_affinities(mac, neighbor, candidates)
+            pair = self._pair_affinities(mac, neighbor, candidates, shared)
             edge_weights[neighbor.mac] = (
                 sum(pair.values()) / len(candidates))
             self._assign_to_cluster(clusters, neighbor)
             processed = index + 1
             current = self._posterior_from_clusters(mac, timestamp,
-                                                    candidates, clusters)
+                                                    candidates, clusters,
+                                                    shared)
             remaining = neighbors[index + 1:]
             if not remaining:
                 break
             if self.use_stop_conditions:
-                if self._all_clusters_zero(mac, clusters, candidates):
+                if self._all_clusters_zero(mac, clusters, candidates,
+                                           shared):
                     stopped = True
                     break
                 if self._stop_satisfied(current, remaining, neighbor_caps):
@@ -287,36 +382,58 @@ class FineLocalizer:
             clusters.remove(extra)
 
     def _cluster_affinities(self, mac: str, cluster: _Cluster,
-                            candidates: Sequence[str]) -> dict[str, float]:
-        """α({D̄nl ∪ d_i}, r, t_q) for every candidate room."""
+                            candidates: Sequence[str],
+                            shared: "FineSharedState | None" = None
+                            ) -> dict[str, float]:
+        """α({D̄nl ∪ d_i}, r, t_q) for every candidate room.
+
+        The memo key preserves the cluster's member *order*: the affinity
+        product folds members sequentially, and floating-point products
+        are order-sensitive, so two orderings of the same member set must
+        not share a cache slot (bitwise equivalence with the sequential
+        path would be lost).
+        """
+        if shared is not None:
+            key = (mac, tuple(candidates),
+                   tuple((n.mac, n.candidate_rooms)
+                         for n in cluster.members))
+            cached = shared.cluster_affinities.get(key)
+            if cached is not None:
+                return cached
         members = [(mac, list(candidates))]
         members.extend((n.mac, list(n.candidate_rooms))
                        for n in cluster.members)
-        return {room: self._group_model.group_affinity(members, room)
-                for room in candidates}
+        room_cache = shared.room_affinities if shared is not None else None
+        affinities = {room: self._group_model.group_affinity(
+                          members, room, room_cache=room_cache)
+                      for room in candidates}
+        if shared is not None:
+            shared.cluster_affinities[key] = affinities
+        return affinities
 
     def _posterior_from_clusters(self, mac: str, timestamp: float,
                                  candidates: Sequence[str],
-                                 clusters: Sequence[_Cluster]
+                                 clusters: Sequence[_Cluster],
+                                 shared: "FineSharedState | None" = None
                                  ) -> RoomPosterior:
         """Posterior rebuilt from the prior with one factor per cluster.
 
         Clusters mutate as neighbors join, so the posterior is rebuilt
         each round rather than folded incrementally.
         """
-        prior = self._room_model.affinities_at(mac, list(candidates),
-                                               timestamp)
+        prior = self._prior_at(mac, tuple(candidates), timestamp, shared)
         fresh = RoomPosterior(prior, affinity_cap=self.affinity_cap)
         for cluster in clusters:
             fresh.observe(self._cluster_affinities(mac, cluster,
-                                                   fresh.rooms))
+                                                   fresh.rooms, shared))
         return fresh
 
     def _all_clusters_zero(self, mac: str, clusters: Sequence[_Cluster],
-                           candidates: Sequence[str]) -> bool:
+                           candidates: Sequence[str],
+                           shared: "FineSharedState | None" = None) -> bool:
         """D-FINE termination: every cluster's group affinity is zero."""
         for cluster in clusters:
-            affs = self._cluster_affinities(mac, cluster, candidates)
+            affs = self._cluster_affinities(mac, cluster, candidates, shared)
             if any(v > 0 for v in affs.values()):
                 return False
         return True

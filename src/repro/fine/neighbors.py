@@ -35,6 +35,77 @@ class NeighborDevice:
     shared_rooms: frozenset[str]
 
 
+class NeighborIndex:
+    """Batch neighbor discovery: one online snapshot per distinct time.
+
+    :func:`find_neighbors` scans every device's log per query.  A batch
+    of queries sharing a timestamp (occupancy grids, contact tracing,
+    trajectory sampling on a common grid) repeats that scan needlessly —
+    the set of online devices and their regions depends only on the
+    timestamp.  This index computes the (mac, region) snapshot once per
+    distinct timestamp and derives each query's neighbor list from it.
+
+    ``neighbors_for`` returns exactly what :func:`find_neighbors` would
+    for the same arguments — same devices, same order, same cap — so the
+    batch engine stays bitwise-equivalent to the sequential path.
+
+    The snapshot cache is unbounded; instances are meant to live for one
+    batch (``Locater.locate_batch`` creates a fresh one per call).
+    """
+
+    def __init__(self, building: Building, table: EventTable) -> None:
+        self._building = building
+        self._table = table
+        self._snapshots: dict[float, tuple] = {}
+        self._region_rooms: dict[int, tuple[str, ...]] = {}
+
+    def _candidate_rooms(self, region) -> tuple[str, ...]:
+        rooms = self._region_rooms.get(region.region_id)
+        if rooms is None:
+            rooms = tuple(sorted(region.rooms))
+            self._region_rooms[region.region_id] = rooms
+        return rooms
+
+    def snapshot(self, timestamp: float) -> tuple:
+        """Online devices at ``timestamp`` as ordered (mac, region) pairs."""
+        snap = self._snapshots.get(timestamp)
+        if snap is None:
+            online = []
+            for mac in sorted(self._table.macs()):
+                log = self._table.log(mac)
+                if log.is_empty:
+                    continue
+                hit = valid_event_at(log, timestamp)
+                if hit is None:
+                    continue
+                online.append((mac, self._building.region_of_ap(hit.ap_id)))
+            snap = tuple(online)
+            self._snapshots[timestamp] = snap
+        return snap
+
+    def neighbors_for(self, mac: str, timestamp: float, region_id: int,
+                      max_neighbors: "int | None" = None
+                      ) -> list[NeighborDevice]:
+        """Same contract and result as :func:`find_neighbors`."""
+        query_region = self._building.region(region_id)
+        neighbors: list[NeighborDevice] = []
+        for other, other_region in self.snapshot(timestamp):
+            if max_neighbors is not None and len(neighbors) >= max_neighbors:
+                break
+            if other == mac:
+                continue
+            shared = query_region.shared_rooms(other_region)
+            if not shared:
+                continue
+            neighbors.append(NeighborDevice(
+                mac=other,
+                region_id=other_region.region_id,
+                candidate_rooms=self._candidate_rooms(other_region),
+                shared_rooms=shared,
+            ))
+        return neighbors
+
+
 def find_neighbors(building: Building, table: EventTable, mac: str,
                    timestamp: float, region_id: int,
                    max_neighbors: "int | None" = None) -> list[NeighborDevice]:

@@ -136,9 +136,11 @@ class RoomPosterior:
         """The normalized prior of one room."""
         return self._prior[room_id]
 
-    def _factor_bounds(self, room_id: str, cap: float
-                       ) -> "tuple[float, float]":
-        """(min, max) factor one unprocessed neighbor can contribute."""
+    def _factor_bounds(self, cap: float) -> "tuple[float, float]":
+        """(min, max) factor one unprocessed neighbor can contribute.
+
+        Room-independent: only the cap and the candidate-set size enter.
+        """
         c = min(max(cap, 0.0), 1.0 - 1e-9)
         uniform = 1.0 / len(self.rooms)
         fmax = c + (1.0 - c) * uniform    # all affinity mass in this room
@@ -170,41 +172,91 @@ class RoomPosterior:
         if unprocessed == 0:
             return PosteriorBounds(expected=expected, minimum=expected,
                                    maximum=expected)
+        log_best, log_worst = self._cap_log_bonuses(unprocessed,
+                                                    affinity_caps)
+        return self._room_bounds(room_id, expected, log_best, log_worst)
+
+    def _cap_log_bonuses(self, unprocessed: int,
+                         affinity_caps: "Sequence[float] | None"
+                         ) -> "tuple[float, float]":
+        """Accumulated (log_best, log_worst) bonuses of the unprocessed.
+
+        The factor bounds depend only on the cap and the candidate-set
+        size — not on the room — so the accumulated log-bonuses are two
+        scalars shared by every room (this sits on the stop-condition
+        hot path: one pair of logs per cap instead of one per cap*room).
+        """
         caps = list(affinity_caps) if affinity_caps is not None \
             else [self.cap] * unprocessed
-
-        log_best = {r: 0.0 for r in self.rooms}
-        log_worst = {r: 0.0 for r in self.rooms}
+        log_best = 0.0
+        log_worst = 0.0
         for cap in caps:
-            for room in self.rooms:
-                fmin, fmax = self._factor_bounds(room, cap)
-                log_best[room] += math.log(fmax)
-                log_worst[room] += math.log(fmin)
+            fmin, fmax = self._factor_bounds(cap)
+            log_best += math.log(fmax)
+            log_worst += math.log(fmin)
+        return log_best, log_worst
 
+    def _room_bounds(self, room_id: str, expected: float,
+                     log_best: float, log_worst: float) -> PosteriorBounds:
+        """One room's clamped bounds from the shared log-bonuses."""
         maximum = self._normalized(room_id, favoured=room_id,
                                    log_best=log_best, log_worst=log_worst)
         minimum = self._normalized(room_id, favoured=None,
                                    log_best=log_best, log_worst=log_worst)
-        minimum = min(minimum, expected)
-        maximum = max(maximum, expected)
-        return PosteriorBounds(expected=expected, minimum=minimum,
-                               maximum=maximum)
+        return PosteriorBounds(expected=expected,
+                               minimum=min(minimum, expected),
+                               maximum=max(maximum, expected))
+
+    def bounds_pair(self, room_a: str, room_b: str, unprocessed: int,
+                    affinity_caps: "Sequence[float] | None" = None,
+                    posterior_map: "Mapping[str, float] | None" = None
+                    ) -> "tuple[PosteriorBounds, PosteriorBounds]":
+        """Bounds of two rooms sharing one cap accumulation (hot path).
+
+        Equivalent to ``(bounds(room_a, ...), bounds(room_b, ...))`` but
+        the cap-dependent log-bonuses (room-independent) and the current
+        posterior are computed once instead of per room.  The stop
+        conditions of Algorithm 2 evaluate exactly this pair each
+        iteration.
+
+        Args:
+            posterior_map: Optional precomputed :meth:`posterior` result,
+                letting callers that already normalized reuse it.
+        """
+        for room in (room_a, room_b):
+            if room not in self._log_score:
+                raise ConfigurationError(f"unknown room {room!r}")
+        if affinity_caps is not None and len(affinity_caps) != unprocessed:
+            raise ConfigurationError(
+                f"got {len(affinity_caps)} caps for {unprocessed} devices")
+        post = posterior_map if posterior_map is not None else \
+            self.posterior()
+        if unprocessed == 0:
+            return tuple(  # type: ignore[return-value]
+                PosteriorBounds(expected=post[room], minimum=post[room],
+                                maximum=post[room])
+                for room in (room_a, room_b))
+        log_best, log_worst = self._cap_log_bonuses(unprocessed,
+                                                    affinity_caps)
+        return (self._room_bounds(room_a, post[room_a], log_best, log_worst),
+                self._room_bounds(room_b, post[room_b], log_best, log_worst))
 
     def _normalized(self, room_id: str, favoured: "str | None",
-                    log_best: Mapping[str, float],
-                    log_worst: Mapping[str, float]) -> float:
+                    log_best: float, log_worst: float) -> float:
         """Normalized posterior with adversarial unprocessed factors.
 
         ``favoured=room_id`` yields the maximum for that room (its factors
         maximized, every other room minimized); ``favoured=None`` yields
-        the minimum (room minimized, others maximized).
+        the minimum (room minimized, others maximized).  ``log_best`` and
+        ``log_worst`` are the accumulated log-bonuses of the unprocessed
+        neighbors (room-independent, see :meth:`bounds`).
         """
         scores = {}
         for room in self.rooms:
-            bonus = log_best[room] if (
+            bonus = log_best if (
                 (favoured is not None and room == favoured)
                 or (favoured is None and room != room_id)) \
-                else log_worst[room]
+                else log_worst
             scores[room] = self._log_score[room] + bonus
         peak = max(scores.values())
         raw = {r: math.exp(s - peak) for r, s in scores.items()}
@@ -215,13 +267,19 @@ class RoomPosterior:
         """Number of neighbors folded in so far."""
         return self._processed
 
-    def top_two(self) -> "tuple[tuple[str, float], tuple[str, float]]":
+    def top_two(self, posterior_map: "Mapping[str, float] | None" = None
+                ) -> "tuple[tuple[str, float], tuple[str, float]]":
         """The two rooms with the highest posterior (room, probability).
 
         With a single candidate room, the runner-up is a sentinel with
         probability 0 so stop conditions trivially hold.
+
+        Args:
+            posterior_map: Optional precomputed :meth:`posterior` result
+                (hot-path callers normalize once and reuse it).
         """
-        post = self.posterior()
+        post = posterior_map if posterior_map is not None else \
+            self.posterior()
         ranked = sorted(post.items(), key=lambda kv: (-kv[1], kv[0]))
         if len(ranked) == 1:
             return ranked[0], ("", 0.0)

@@ -2,14 +2,22 @@
 
 `Locater` wires the coarse-grained and fine-grained cleaning engines with
 the caching engine behind a single ``locate(mac, t)`` query interface, the
-way the paper's prototype does.  `Baseline1` and `Baseline2` implement the
-comparison systems of §6.1.
+way the paper's prototype does, plus a batched ``locate_batch(queries)``
+entry point backed by the planner of :mod:`repro.system.planner`.
+`Baseline1` and `Baseline2` implement the comparison systems of §6.1.
 """
 
 from repro.system.baselines import Baseline1, Baseline2, CoarseBaseline
 from repro.system.config import LocaterConfig
 from repro.system.ingestion import IngestionEngine
 from repro.system.locater import Locater, LocationAnswer
+from repro.system.planner import (
+    DEFAULT_BUCKET_SECONDS,
+    PlannedQuery,
+    QueryGroup,
+    QueryPlan,
+    plan_queries,
+)
 from repro.system.query import LocationQuery
 from repro.system.storage import InMemoryStorage, SqliteStorage, StorageEngine
 
@@ -17,12 +25,17 @@ __all__ = [
     "Baseline1",
     "Baseline2",
     "CoarseBaseline",
+    "DEFAULT_BUCKET_SECONDS",
     "IngestionEngine",
     "InMemoryStorage",
     "Locater",
     "LocaterConfig",
     "LocationAnswer",
     "LocationQuery",
+    "PlannedQuery",
+    "QueryGroup",
+    "QueryPlan",
     "SqliteStorage",
     "StorageEngine",
+    "plan_queries",
 ]

@@ -135,3 +135,68 @@ class TestCachingEngine:
     def test_empty_neighbors(self):
         engine = CachingEngine()
         assert engine.order_neighbors("d1", [], 0.0) == []
+
+    def test_order_neighbors_preserves_duplicate_multiplicity(self):
+        # Regression: the old implementation collapsed same-MAC entries
+        # through a dict; duplicates must come back, grouped per MAC in
+        # input order at the MAC's ranked position.
+        engine = CachingEngine()
+        engine.record("d1", 0.0, {"d3": 0.9, "d2": 0.1})
+        dup_a = _neighbor("d2")
+        dup_b = NeighborDevice(mac="d2", region_id=1,
+                               candidate_rooms=("c",),
+                               shared_rooms=frozenset({"c"}))
+        ordered = engine.order_neighbors(
+            "d1", [dup_a, _neighbor("d3"), dup_b], 0.0)
+        assert [n.mac for n in ordered] == ["d3", "d2", "d2"]
+        assert ordered[1] is dup_a and ordered[2] is dup_b
+
+    def test_order_neighbors_duplicates_on_cold_cache(self):
+        engine = CachingEngine()
+        neighbors = [_neighbor("d2"), _neighbor("d2")]
+        ordered = engine.order_neighbors("d1", neighbors, 0.0)
+        assert len(ordered) == 2
+        assert engine.stats()["misses"] == 1
+
+    def test_prepare_neighbors_matches_two_call_path(self):
+        reference = CachingEngine()
+        combined = CachingEngine()
+        for engine in (reference, combined):
+            engine.record("d1", 0.0, {"d3": 0.9, "d2": 0.1})
+        neighbors = [_neighbor("d2"), _neighbor("d3"), _neighbor("d4")]
+        expected_order = reference.order_neighbors("d1", neighbors, 0.0)
+        expected_caps = reference.neighbor_caps("d1", expected_order, 0.0)
+        ordered, caps = combined.prepare_neighbors("d1", neighbors, 0.0)
+        assert ordered == expected_order
+        assert caps == expected_caps
+        assert combined.stats()["hits"] == reference.stats()["hits"]
+        assert combined.stats()["misses"] == reference.stats()["misses"]
+
+    def test_prepare_neighbors_cold_cache(self):
+        engine = CachingEngine()
+        neighbors = [_neighbor("d2"), _neighbor("d3")]
+        ordered, caps = engine.prepare_neighbors("d1", neighbors, 0.0)
+        assert ordered == neighbors
+        assert caps == {}
+        assert engine.stats()["misses"] == 1
+
+    def test_prepare_neighbors_empty(self):
+        engine = CachingEngine()
+        assert engine.prepare_neighbors("d1", [], 0.0) == ([], {})
+        assert engine.stats() == {"hits": 0, "misses": 0, "edges": 0,
+                                  "nodes": 0}
+
+    def test_record_batch_merges_in_order(self):
+        sequential = CachingEngine()
+        bulk = CachingEngine()
+        records = [("d1", 10.0, {"d2": 0.4}),
+                   ("d2", 20.0, {}),            # empty: skipped
+                   ("d1", 30.0, {"d2": 0.6, "d3": 0.2})]
+        for mac, t, weights in records:
+            if weights:
+                sequential.record(mac, t, weights)
+        merged = bulk.record_batch(records)
+        assert merged == 2
+        assert bulk.stats() == sequential.stats()
+        assert bulk.graph.observations("d1", "d2") == \
+            sequential.graph.observations("d1", "d2")

@@ -62,30 +62,32 @@ class TestGapClassification:
         assert not result.inside
 
 
-class TestTrainingOverHistory:
-    def _rich_table(self) -> EventTable:
-        """Five days of regular behaviour with daily 2h lunch gaps at the
-        same time, always returning to wap3 — clearly inside gaps.
+def _rich_table() -> EventTable:
+    """Five days of regular behaviour with daily 2h lunch gaps at the
+    same time, always returning to wap3 — clearly inside gaps.
 
-        Each session also contains one ~35-minute silence, producing
-        short (≤ τl) gaps that bootstrap labels *inside*, so the
-        building-level classifier sees both classes.
-        """
-        events = []
-        session_minutes = [0, 10, 20, 30, 65, 75, 85, 95, 105, 115]
-        for day in range(5):
-            base = day * SECONDS_PER_DAY
-            for start_hour in (8, 12):
-                for m in session_minutes:
-                    events.append(ConnectivityEvent(
-                        base + start_hour * 3600 + m * 60, "m1", "wap3"))
-        table = EventTable.from_events(events)
-        table.registry.get("m1").delta = minutes(10)
-        return table
+    Each session also contains one ~35-minute silence, producing short
+    (≤ τl) gaps that bootstrap labels *inside*, so the building-level
+    classifier sees both classes.
+    """
+    events = []
+    session_minutes = [0, 10, 20, 30, 65, 75, 85, 95, 105, 115]
+    for day in range(5):
+        base = day * SECONDS_PER_DAY
+        for start_hour in (8, 12):
+            for m in session_minutes:
+                events.append(ConnectivityEvent(
+                    base + start_hour * 3600 + m * 60, "m1", "wap3"))
+    table = EventTable.from_events(events)
+    table.registry.get("m1").delta = minutes(10)
+    return table
+
+
+class TestTrainingOverHistory:
 
     def test_recurring_gap_classified_inside_same_region(self,
                                                          fig1_building):
-        table = self._rich_table()
+        table = _rich_table()
         localizer = CoarseLocalizer(fig1_building, table)
         result = localizer.locate("m1", 3 * SECONDS_PER_DAY + 11 * 3600)
         assert result.inside
@@ -93,14 +95,14 @@ class TestTrainingOverHistory:
             fig1_building.region_of_ap("wap3").region_id
 
     def test_models_cached_per_device(self, fig1_building):
-        table = self._rich_table()
+        table = _rich_table()
         localizer = CoarseLocalizer(fig1_building, table)
         first = localizer.models_for("m1")
         second = localizer.models_for("m1")
         assert first is second
 
     def test_invalidate_drops_cache(self, fig1_building):
-        table = self._rich_table()
+        table = _rich_table()
         localizer = CoarseLocalizer(fig1_building, table)
         first = localizer.models_for("m1")
         localizer.invalidate()
@@ -108,7 +110,7 @@ class TestTrainingOverHistory:
 
     def test_set_history_retrains(self, fig1_building):
         from repro.util.timeutil import TimeInterval
-        table = self._rich_table()
+        table = _rich_table()
         localizer = CoarseLocalizer(fig1_building, table)
         localizer.models_for("m1")
         localizer.set_history(TimeInterval(0.0, SECONDS_PER_DAY))
@@ -126,3 +128,43 @@ class TestTrainingOverHistory:
         assert models.building_clf is None
         assert models.fallback_region == \
             fig1_building.region_of_ap("wap1").region_id
+
+
+class TestLocateMany:
+    def test_matches_repeated_locate(self, fig1_building, fig1_table):
+        h = 3600.0
+        timestamps = [100.0, 8.5 * h, 10.5 * h, 11.0 * h, 10.5 * h,
+                      13.0 * h, 20.0 * h]
+        reference = CoarseLocalizer(fig1_building, fig1_table)
+        expected = [reference.locate("d1", t) for t in timestamps]
+        batch = CoarseLocalizer(fig1_building, fig1_table)
+        assert batch.locate_many("d1", timestamps) == expected
+
+    def test_shared_state_fills_gap_memo(self, fig1_building):
+        from repro.coarse.localizer import CoarseSharedState
+        # The rich table trains a building-level classifier, so sampling
+        # the same lunch gap twice shares one feature row and one label.
+        table = _rich_table()
+        localizer = CoarseLocalizer(fig1_building, table)
+        assert localizer.models_for("m1").building_clf is not None
+        shared = CoarseSharedState()
+        t_gap = 3 * SECONDS_PER_DAY + 11 * 3600
+        first = localizer.locate("m1", t_gap, shared=shared)
+        second = localizer.locate("m1", t_gap + 600, shared=shared)
+        assert first.inside == second.inside
+        assert len(shared.features) == 1
+        assert len(shared.building_labels) == 1
+        key = next(iter(shared.features))
+        assert key[0] == "m1"
+
+    def test_shared_answers_match_unshared(self, fig1_building,
+                                           fig1_table):
+        from repro.coarse.localizer import CoarseSharedState
+        h = 3600.0
+        timestamps = [10.5 * h, 11.0 * h, 11.3 * h, 8.5 * h, 100.0]
+        plain = CoarseLocalizer(fig1_building, fig1_table)
+        with_memo = CoarseLocalizer(fig1_building, fig1_table)
+        shared = CoarseSharedState()
+        for t in timestamps:
+            assert with_memo.locate("d1", t, shared=shared) == \
+                plain.locate("d1", t)

@@ -121,3 +121,46 @@ class TestDependentFine:
         assert a.neighbors_total == b.neighbors_total == 1
         for room in a.posterior:
             assert a.posterior[room] == pytest.approx(b.posterior[room])
+
+
+class TestSharedState:
+    def test_shared_state_never_changes_answers(self, fig1_building,
+                                                fig1_metadata, fig1_table):
+        h = 3600.0
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        queries = [("d1", 8.5 * h, wap3), ("d2", 8.6 * h, wap3),
+                   ("d1", 9.0 * h, wap3), ("d1", 8.5 * h, wap3)]
+        for mode in (FineMode.INDEPENDENT, FineMode.DEPENDENT):
+            plain = _localizer(fig1_building, fig1_metadata, fig1_table,
+                               mode=mode)
+            shared_loc = _localizer(fig1_building, fig1_metadata,
+                                    fig1_table, mode=mode)
+            shared = shared_loc.make_shared_state()
+            for mac, t, region in queries:
+                expected = plain.locate(mac, t, region)
+                got = shared_loc.locate(mac, t, region, shared=shared)
+                assert got == expected
+
+    def test_shared_state_memoizes(self, fig1_building, fig1_metadata,
+                                   fig1_table):
+        localizer = _localizer(fig1_building, fig1_metadata, fig1_table,
+                               mode=FineMode.DEPENDENT)
+        shared = localizer.make_shared_state()
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        localizer.locate("d1", 8.5 * 3600, wap3, shared=shared)
+        stats = shared.stats()
+        assert stats["priors"] >= 1
+        assert stats["pairs"] >= 1
+        # A repeat query adds no new prior entries (everything is cached).
+        localizer.locate("d1", 8.5 * 3600, wap3, shared=shared)
+        assert shared.stats()["priors"] == stats["priors"]
+
+    def test_locate_many_matches_locate(self, fig1_building,
+                                        fig1_metadata, fig1_table):
+        wap3 = fig1_building.region_of_ap("wap3").region_id
+        queries = [("d1", 8.5 * 3600, wap3), ("d2", 8.6 * 3600, wap3)]
+        reference = _localizer(fig1_building, fig1_metadata, fig1_table)
+        expected = [reference.locate(mac, t, region)
+                    for mac, t, region in queries]
+        batch = _localizer(fig1_building, fig1_metadata, fig1_table)
+        assert batch.locate_many(queries) == expected

@@ -73,6 +73,102 @@ class TestLocaterFacade:
         answer = locater.locate_query(LocationQuery("d1", 8.5 * 3600))
         assert answer.query.mac == "d1"
 
+    def test_stored_multi_region_room_resolves_lowest_region(
+            self, fig1_building, fig1_metadata, fig1_table):
+        # Room 2099 spans wap3's and wap4's regions; a stored answer only
+        # keeps the room, so the rehydrated region must be deterministic:
+        # the lowest region id, regardless of building listing order.
+        storage = InMemoryStorage()
+        storage.store_answer("d1", 1234.5, "2099")
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          storage=storage)
+        answer = locater.locate("d1", 1234.5)
+        spanning = fig1_building.regions_of_room("2099")
+        assert len(spanning) > 1  # the room genuinely spans regions
+        assert answer.room_id == "2099"
+        assert answer.region_id == min(r.region_id for r in spanning)
+
+    def test_stored_single_region_room_roundtrip(self, fig1_building,
+                                                 fig1_metadata, fig1_table):
+        storage = InMemoryStorage()
+        storage.store_answer("d1", 99.0, "2061")
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          storage=storage)
+        answer = locater.locate("d1", 99.0)
+        (only,) = fig1_building.regions_of_room("2061")
+        assert answer.region_id == only.region_id
+
+
+class TestLocateBatch:
+    def _queries(self):
+        from repro.system.query import LocationQuery
+        h = 3600.0
+        return [LocationQuery("d1", 8.5 * h), LocationQuery("d3", 9 * h),
+                LocationQuery("d2", 8.6 * h), LocationQuery("d1", 13 * h),
+                LocationQuery("d1", 100.0)]
+
+    def test_answers_in_input_order(self, fig1_building, fig1_metadata,
+                                    fig1_table):
+        locater = Locater(fig1_building, fig1_metadata, fig1_table)
+        queries = self._queries()
+        answers = locater.locate_batch(queries)
+        assert len(answers) == len(queries)
+        for query, answer in zip(queries, answers):
+            assert answer.query == query
+
+    def test_matches_sequential_in_plan_order(self, fig1_building,
+                                              fig1_metadata, fig1_table):
+        from repro.system.planner import plan_queries
+        queries = self._queries()
+        plan = plan_queries(queries)
+        sequential = Locater(fig1_building, fig1_metadata, fig1_table)
+        expected = [sequential.locate(q.mac, q.timestamp)
+                    for q in plan.ordered_queries()]
+        batch = Locater(fig1_building, fig1_metadata, fig1_table)
+        answers = batch.locate_batch(queries)
+        for planned, reference in zip(plan.ordered(), expected):
+            assert answers[planned.index] == reference
+        assert batch.cache.stats() == sequential.cache.stats()
+
+    def test_timings_cover_every_query(self, fig1_building, fig1_metadata,
+                                       fig1_table):
+        locater = Locater(fig1_building, fig1_metadata, fig1_table)
+        queries = self._queries()
+        timings: list[tuple[int, float]] = []
+        locater.locate_batch(queries, timings=timings)
+        assert sorted(index for index, _ in timings) == \
+            list(range(len(queries)))
+        assert all(seconds >= 0.0 for _, seconds in timings)
+
+    def test_storage_short_circuits_duplicates_within_batch(
+            self, fig1_building, fig1_metadata, fig1_table):
+        from repro.system.query import LocationQuery
+        storage = InMemoryStorage()
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          storage=storage)
+        t = 8.5 * 3600
+        first, second = locater.locate_batch(
+            [LocationQuery("d1", t), LocationQuery("d1", t)])
+        assert first.room_id == second.room_id
+        assert first.fine is not None   # computed by the pipeline
+        assert second.fine is None      # served from the clean store
+
+    def test_empty_batch(self, fig1_building, fig1_metadata, fig1_table):
+        locater = Locater(fig1_building, fig1_metadata, fig1_table)
+        assert locater.locate_batch([]) == []
+
+    def test_share_computation_off_matches_shared_on(
+            self, fig1_building, fig1_metadata, fig1_table):
+        # The ablation mode (used by the Fig. 10/12 drivers) keeps the
+        # plan's execution order but pays full per-query cost; answers
+        # must be the same either way.
+        queries = self._queries()
+        shared_on = Locater(fig1_building, fig1_metadata, fig1_table)
+        shared_off = Locater(fig1_building, fig1_metadata, fig1_table)
+        assert shared_off.locate_batch(queries, share_computation=False) \
+            == shared_on.locate_batch(queries)
+        assert shared_off.cache.stats() == shared_on.cache.stats()
+
 
 class TestCoarseBaseline:
     def test_event_hit(self, fig1_building, fig1_table):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.fine.neighbors import find_neighbors
+from repro.fine.neighbors import NeighborIndex, find_neighbors
 
 
 class TestFindNeighbors:
@@ -57,3 +57,38 @@ class TestFindNeighbors:
         b = find_neighbors(fig1_building, fig1_table, "d1", 8.5 * 3600,
                            wap3)
         assert [n.mac for n in a] == [n.mac for n in b]
+
+
+class TestNeighborIndex:
+    def test_matches_find_neighbors_everywhere(self, fig1_building,
+                                               fig1_table):
+        # The index must reproduce find_neighbors exactly for every
+        # device/region/timestamp combination, including the cap.
+        index = NeighborIndex(fig1_building, fig1_table)
+        h = 3600.0
+        for timestamp in (100.0, 8.5 * h, 9 * h, 11 * h, 13 * h):
+            for mac in ("d1", "d2", "d3"):
+                for region in fig1_building.regions:
+                    for cap in (None, 0, 1, 24):
+                        expected = find_neighbors(
+                            fig1_building, fig1_table, mac, timestamp,
+                            region.region_id, max_neighbors=cap)
+                        got = index.neighbors_for(
+                            mac, timestamp, region.region_id,
+                            max_neighbors=cap)
+                        assert got == expected
+
+    def test_snapshot_cached_per_timestamp(self, fig1_building,
+                                           fig1_table):
+        index = NeighborIndex(fig1_building, fig1_table)
+        first = index.snapshot(8.5 * 3600)
+        second = index.snapshot(8.5 * 3600)
+        assert first is second  # one scan per distinct timestamp
+
+    def test_snapshot_lists_online_devices_sorted(self, fig1_building,
+                                                  fig1_table):
+        index = NeighborIndex(fig1_building, fig1_table)
+        snap = index.snapshot(8.5 * 3600)
+        macs = [mac for mac, _ in snap]
+        assert macs == sorted(macs)
+        assert "d1" in macs and "d2" in macs

@@ -131,6 +131,41 @@ class TestBounds:
         with pytest.raises(ValueError):
             PosteriorBounds(expected=0.5, minimum=0.6, maximum=0.7)
 
+    def test_bounds_pair_matches_individual_bounds(self):
+        post = RoomPosterior(PRIOR)
+        post.observe({"a": 0.3, "b": 0.1})
+        for caps in (None, [0.2, 0.4, 0.1]):
+            pair_a, pair_b = post.bounds_pair("a", "b", unprocessed=3,
+                                              affinity_caps=caps)
+            assert pair_a == post.bounds("a", 3, caps)
+            assert pair_b == post.bounds("b", 3, caps)
+
+    def test_bounds_pair_zero_unprocessed(self):
+        post = RoomPosterior(PRIOR)
+        pair_a, pair_b = post.bounds_pair("a", "b", unprocessed=0)
+        assert pair_a == post.bounds("a", 0)
+        assert pair_b == post.bounds("b", 0)
+
+    def test_bounds_pair_accepts_precomputed_posterior(self):
+        post = RoomPosterior(PRIOR)
+        post.observe({"a": 0.4})
+        mapping = post.posterior()
+        pair_a, _ = post.bounds_pair("a", "b", unprocessed=2,
+                                     posterior_map=mapping)
+        assert pair_a == post.bounds("a", 2)
+
+    def test_bounds_pair_validates_like_bounds(self):
+        post = RoomPosterior(PRIOR)
+        with pytest.raises(ConfigurationError):
+            post.bounds_pair("a", "z", unprocessed=0)
+        with pytest.raises(ConfigurationError):
+            post.bounds_pair("a", "b", unprocessed=2, affinity_caps=[0.5])
+
+    def test_top_two_accepts_precomputed_posterior(self):
+        post = RoomPosterior(PRIOR)
+        post.observe({"b": 0.5})
+        assert post.top_two(post.posterior()) == post.top_two()
+
     def test_factor_monotone_in_room_affinity(self):
         post = RoomPosterior(PRIOR)
         low = post.factor("a", {"a": 0.1})
