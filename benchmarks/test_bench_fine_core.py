@@ -1,0 +1,157 @@
+"""Micro-benchmark of the vectorized fine numeric core (single query).
+
+Workload: the inner loop of Algorithm 2 on a wide region — a single AP
+covering 24 candidate rooms (lecture-hall-wing density) and 8 neighbor
+devices, repeated for many queries.  Each iteration runs exactly what
+the sequential fine path runs per query: one group-affinity evaluation
+over the full candidate set per neighbor, an ``observe``, and the
+top-two/bounds-pair stop-condition check.
+
+Baseline is the retained pre-refactor dict path
+(:mod:`repro.fine.reference`): per-room ``group_affinity`` calls —
+each re-deriving R_is and every member's renormalized room affinity —
+and the scalar per-room posterior/bounds loops.  The acceptance bar is
+a ≥ 2x speedup of the array core, with answers agreeing to 1e-9.
+
+Unlike ``test_bench_batch_engine`` (cross-query sharing), this tracks
+the *sequential* single-query cost the Fig. 10/12 ablations compare
+against.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.eval.reporting import format_table
+from repro.fine.affinity import (
+    DeviceAffinityIndex,
+    GroupAffinityModel,
+    RoomAffinityModel,
+)
+from repro.fine.reference import DictGroupAffinity, DictRoomPosterior
+from repro.fine.worlds import RoomPosterior
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.space.access_point import AccessPoint
+from repro.space.building import Building
+from repro.space.metadata import SpaceMetadata
+from repro.space.room import Room, RoomType
+
+N_ROOMS = 24
+N_NEIGHBORS = 8
+TRIALS = 150
+QUERY = "dq"
+
+
+def _scenario():
+    rooms = tuple(f"r{i:02d}" for i in range(N_ROOMS))
+    building = Building(
+        "bench",
+        rooms=[Room(room_id=r,
+                    room_type=RoomType.PUBLIC if i % 4 == 0
+                    else RoomType.PRIVATE)
+               for i, r in enumerate(rooms)],
+        access_points=[AccessPoint(ap_id="wap0",
+                                   covered_rooms=frozenset(rooms))])
+    neighbors = [f"d{i}" for i in range(N_NEIGHBORS)]
+    metadata = SpaceMetadata(building, preferred_rooms={
+        QUERY: {rooms[1]},
+        **{mac: {rooms[(2 * i + 3) % N_ROOMS]}
+           for i, mac in enumerate(neighbors)}})
+    # Co-located probe bursts so every (query, neighbor) pair mines a
+    # device affinity above the noise floor.
+    events = []
+    for minute in range(60):
+        t = 60.0 * minute
+        events.append(ConnectivityEvent(t, QUERY, "wap0"))
+        events.extend(ConnectivityEvent(t + 1.0 + i, mac, "wap0")
+                      for i, mac in enumerate(neighbors))
+    table = EventTable.from_events(events)
+    room_model = RoomAffinityModel(metadata)
+    index = DeviceAffinityIndex(table)
+    # Pre-mine every pair so both paths measure the affinity/posterior
+    # math, not the (identical, memoized) co-occurrence scan.
+    for mac in neighbors:
+        index.pairwise(QUERY, mac)
+    return building, room_model, index, rooms, neighbors
+
+
+def _run_array(group_model, room_model, rooms, neighbors, trials):
+    posterior = None
+    for _ in range(trials):
+        prior = room_model.affinity_vector(QUERY, rooms)
+        posterior = RoomPosterior.from_vector(rooms, prior)
+        for k, mac in enumerate(neighbors):
+            alpha = group_model.group_affinities(
+                [(QUERY, rooms), (mac, rooms)], rooms)
+            posterior.observe_array(alpha)
+            remaining = len(neighbors) - k - 1
+            if remaining:
+                post = posterior.posterior_array()
+                (room_a, _), (room_b, _) = posterior.top_two(post)
+                posterior.bounds_pair(room_a, room_b, remaining,
+                                      posterior_map=post)
+    return posterior.posterior()
+
+
+def _run_dict(group_model, room_model, rooms, neighbors, trials):
+    posterior = None
+    for _ in range(trials):
+        prior = room_model.affinities(QUERY, rooms)
+        posterior = DictRoomPosterior(prior)
+        for k, mac in enumerate(neighbors):
+            members = [(QUERY, rooms), (mac, rooms)]
+            affinities = {room: group_model.group_affinity(members, room)
+                          for room in rooms}
+            posterior.observe(affinities)
+            remaining = len(neighbors) - k - 1
+            if remaining:
+                post = posterior.posterior()
+                (room_a, _), (room_b, _) = posterior.top_two(post)
+                posterior.bounds_pair(room_a, room_b, remaining,
+                                      posterior_map=post)
+    return posterior.posterior()
+
+
+def test_bench_fine_core(benchmark, report):
+    building, room_model, index, rooms, neighbors = _scenario()
+    array_model = GroupAffinityModel(room_model, index, building)
+    dict_model = DictGroupAffinity(room_model, index)
+
+    start = time.perf_counter()
+    dict_posterior = _run_dict(dict_model, room_model, rooms, neighbors,
+                               TRIALS)
+    dict_seconds = time.perf_counter() - start
+
+    array_posterior = None
+
+    def run_array():
+        nonlocal array_posterior
+        array_posterior = _run_array(array_model, room_model, rooms,
+                                     neighbors, TRIALS)
+
+    benchmark.pedantic(run_array, rounds=1, iterations=1)
+    array_seconds = benchmark.stats.stats.mean
+
+    # Same answer: identical argmax, probabilities within 1e-9.
+    assert set(array_posterior) == set(dict_posterior)
+    for room, p in dict_posterior.items():
+        assert abs(array_posterior[room] - p) <= 1e-9
+    assert max(array_posterior, key=array_posterior.get) == \
+        max(dict_posterior, key=dict_posterior.get)
+
+    speedup = dict_seconds / array_seconds
+    rows = [
+        ["dict reference", f"{dict_seconds:.3f}",
+         f"{TRIALS / dict_seconds:.0f}", "1.00x"],
+        ["array core", f"{array_seconds:.3f}",
+         f"{TRIALS / array_seconds:.0f}", f"{speedup:.2f}x"],
+    ]
+    report("bench_fine_core", format_table(
+        ["path", "seconds", "queries/s", "speedup"], rows,
+        title=(f"Vectorized fine core vs dict path ({N_ROOMS} candidate "
+               f"rooms, {N_NEIGHBORS} neighbors, {TRIALS} queries)")))
+
+    assert speedup >= 2.0, (
+        f"array core must be >= 2x the dict path, got {speedup:.2f}x "
+        f"({dict_seconds:.3f}s vs {array_seconds:.3f}s)")

@@ -41,6 +41,24 @@ back in input order::
 ``examples/batch_queries.py`` walks through the API end to end and
 benchmarks it against the per-query loop
 (``benchmarks/test_bench_batch_engine.py`` holds the tracked benchmark).
+
+Array numeric core
+------------------
+
+The fine-grained hot path — group affinities, posterior updates,
+possible-world bounds — runs on dense numpy arrays over interned room
+ids.  Every :class:`~repro.space.Building` owns a
+:class:`~repro.space.RoomIndex` (room id ↔ dense int code, mirroring
+the event table's AP vocabulary); candidate sets become int32 code
+arrays and affinities become float64 vectors aligned to them.
+``GroupAffinityModel.group_affinities`` evaluates α(D, r, t) for all
+candidate rooms in one pass, and ``RoomPosterior`` folds whole affinity
+vectors with one ``np.log`` per neighbor.  String-keyed dicts survive
+only at the public boundary (``FineResult.posterior``, the CLI, the
+eval harness) as thin adapters — see :mod:`repro.fine` for the
+contract, :mod:`repro.fine.reference` for the retained scalar oracle,
+and ``benchmarks/test_bench_fine_core.py`` for the tracked
+sequential-path speedup.
 """
 
 from repro.cache import CachingEngine, GlobalAffinityGraph, LocalAffinityGraph
@@ -84,6 +102,7 @@ from repro.space import (
     BuildingBuilder,
     Region,
     Room,
+    RoomIndex,
     RoomType,
     SpaceMetadata,
     airport_blueprint,
@@ -148,6 +167,7 @@ __all__ = [
     "Room",
     "RoomAffinityModel",
     "RoomAffinityWeights",
+    "RoomIndex",
     "RoomType",
     "ScenarioSpec",
     "SelfTrainingClassifier",

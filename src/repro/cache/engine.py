@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.cache.global_graph import GlobalAffinityGraph
 from repro.cache.local_graph import LocalAffinityGraph
 from repro.fine.neighbors import NeighborDevice
@@ -51,42 +53,52 @@ class CachingEngine:
     def prepare_neighbors(self, mac: str,
                           neighbors: Sequence[NeighborDevice],
                           timestamp: float
-                          ) -> "tuple[list[NeighborDevice], dict[str, float]]":
+                          ) -> "tuple[list[NeighborDevice], np.ndarray]":
         """Order neighbors and derive caps with one affinity read per edge.
 
         The primitive behind :meth:`order_neighbors` and
         :meth:`neighbor_caps` for the per-query hot path: same ordering,
         same caps, same hit/miss accounting, but each cached edge weight
         is read once instead of twice.
+
+        Returns:
+            The reordered neighbor list and a float64 cap vector aligned
+            with it — the representation the fine localizer's bounds
+            machinery consumes directly.  Entries without a cached edge
+            are NaN (the localizer substitutes its configured default).
         """
         if not neighbors:
-            return [], {}
+            return [], np.empty(0)
         by_mac: dict[str, list[NeighborDevice]] = {}
         for neighbor in neighbors:
             by_mac.setdefault(neighbor.mac, []).append(neighbor)
         cached: dict[str, "float | None"] = {
             other: self._graph.affinity_at(mac, other, timestamp)
             for other in by_mac}
-        caps: dict[str, float] = {}
+        cap_by_mac: dict[str, float] = {}
         for other, weight in cached.items():
             if weight is not None:
-                caps[other] = self._cap(weight, by_mac[other][-1])
+                cap_by_mac[other] = self._cap(weight, by_mac[other][-1])
         if all(weight is None or weight == 0.0
                for weight in cached.values()):
             self.misses += 1
-            return list(neighbors), caps
-        self.hits += 1
-        # Same ranking contract as GlobalAffinityGraph.rank (descending
-        # affinity, ties by MAC), reusing the weights already read.
-        ranked = sorted(
-            ((other, weight if weight is not None else 0.0)
-             for other, weight in cached.items()),
-            key=lambda pair: (-pair[1], pair[0]))
-        ordered = [entry for other, _ in ranked for entry in by_mac[other]]
+            ordered = list(neighbors)
+        else:
+            self.hits += 1
+            # Same ranking contract as GlobalAffinityGraph.rank
+            # (descending affinity, ties by MAC), reusing the weights
+            # already read.
+            ranked = sorted(
+                ((other, weight if weight is not None else 0.0)
+                 for other, weight in cached.items()),
+                key=lambda pair: (-pair[1], pair[0]))
+            ordered = [entry for other, _ in ranked
+                       for entry in by_mac[other]]
+        caps = np.array([cap_by_mac.get(n.mac, np.nan) for n in ordered])
         return ordered, caps
 
     def neighbor_caps(self, mac: str, neighbors: Sequence[NeighborDevice],
-                      timestamp: float) -> dict[str, float]:
+                      timestamp: float) -> np.ndarray:
         """Cached affinity upper bounds per neighbor (for world bounds).
 
         A cached weight is the *mean* group affinity over the candidate
@@ -94,13 +106,19 @@ class CachingEngine:
         weight times the candidate count; scale up with margin and clamp.
         A device cached with near-zero weight gets a tiny cap, which is
         what lets the early-stop conditions ignore it.
+
+        Returns:
+            A float64 vector aligned with ``neighbors``; NaN where no
+            cached edge exists.  Duplicate MACs share the cap of the
+            MAC's last entry (matching :meth:`prepare_neighbors`).
         """
-        caps: dict[str, float] = {}
+        cap_by_mac: dict[str, float] = {}
         for neighbor in neighbors:
             cached = self._graph.affinity_at(mac, neighbor.mac, timestamp)
             if cached is not None:
-                caps[neighbor.mac] = self._cap(cached, neighbor)
-        return caps
+                cap_by_mac[neighbor.mac] = self._cap(cached, neighbor)
+        return np.array([cap_by_mac.get(n.mac, np.nan)
+                         for n in neighbors])
 
     @staticmethod
     def _cap(weight: float, neighbor: NeighborDevice) -> float:

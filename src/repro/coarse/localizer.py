@@ -22,7 +22,6 @@ from repro.coarse.bootstrap import (
 )
 from repro.coarse.features import GapFeatureExtractor
 from repro.coarse.semi_supervised import SelfTrainingClassifier
-from repro.errors import LocalizationError
 from repro.events.gaps import extract_gaps, find_gap_at
 from repro.events.table import EventTable
 from repro.events.validity import valid_event_at

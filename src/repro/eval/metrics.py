@@ -10,7 +10,7 @@ correctly as outside / in the right region / in the right room:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.stats import safe_div
 

@@ -215,14 +215,39 @@ class EventTable:
                 if device_log.count_in(interval) > 0]
 
     def restrict(self, interval: TimeInterval) -> "EventTable":
-        """A new table containing only events inside ``interval`` (E_T)."""
+        """A new table containing only events inside ``interval`` (E_T).
+
+        Built by slicing each :class:`DeviceLog`'s numpy arrays directly
+        — no :class:`ConnectivityEvent` objects are materialized and no
+        re-sort happens (each slice of a sorted log is sorted).  Every
+        registered device is carried over with its delta estimate, even
+        devices with no surviving events (their validity periods were
+        estimated from the full history and remain meaningful).  The AP
+        vocabulary is rebuilt in first-surviving-event order, matching
+        what appending the sliced events one by one would produce.
+        """
         self._ensure_frozen()
         clipped = EventTable()
+        ap_remap = np.full(len(self._ap_vocab), -1, dtype=np.int64)
         for mac in self.macs():
-            for event in self.events_of(mac, interval):
-                clipped.append(event)
-            # Preserve per-device delta estimates on the restriction.
-            if mac in clipped.registry:
-                clipped.registry.get(mac).delta = self.registry.get(mac).delta
-        clipped.freeze()
+            device = clipped.registry.intern(mac)
+            device.delta = self.registry.get(mac).delta
+            log = self._logs.get(mac)
+            if log is None or log.is_empty:
+                continue
+            times, aps = log.slice_interval(interval)
+            if times.size == 0:
+                continue
+            # Intern this device's surviving APs in first-seen order.
+            first_seen = aps[np.sort(np.unique(aps, return_index=True)[1])]
+            for old_index in first_seen:
+                if ap_remap[old_index] < 0:
+                    ap_id = self._ap_vocab[int(old_index)]
+                    ap_remap[old_index] = len(clipped._ap_vocab)
+                    clipped._ap_index[ap_id] = len(clipped._ap_vocab)
+                    clipped._ap_vocab.append(ap_id)
+            clipped._logs[mac] = DeviceLog(
+                device, times.copy(), ap_remap[aps].astype(np.int32),
+                clipped._ap_vocab)
+            clipped._event_count += int(times.size)
         return clipped

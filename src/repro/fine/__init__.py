@@ -14,6 +14,36 @@ Two inference variants are provided: I-FINE (conditional independence
 across neighbors, Eq. 3, with possible-world min/max/expected bounds per
 Theorems 1–3 and the loosened early-stop conditions) and D-FINE (neighbor
 clusters treated as units, Eq. 6).
+
+Array core and the dict boundary
+--------------------------------
+
+The numeric pipeline runs end to end on dense numpy arrays over the
+building's interned room codes (:class:`repro.space.RoomIndex`):
+
+* ``RoomAffinityModel.affinity_vector(_at)`` returns α(d, ·) as a
+  float64 vector aligned to the candidate-room tuple;
+* ``GroupAffinityModel.group_affinities(members, rooms)`` computes R_is
+  membership, the device affinity, and every member's renormalized
+  alpha in **one pass**, yielding α(D, r, t) for all candidate rooms at
+  once;
+* :class:`~repro.fine.worlds.RoomPosterior` holds log-scores as one
+  float64 array with vectorized ``observe_array`` /
+  ``posterior_array`` / ``bounds`` / ``bounds_pair`` / ``top_two``;
+* neighbor affinity caps flow through as NaN-filled vectors aligned
+  with the (re)ordered neighbor list (see
+  ``CachingEngine.prepare_neighbors``).
+
+The **dict boundary contract**: everything callers consume keeps its
+string-keyed mapping form — ``FineResult.posterior``, ``edge_weights``,
+``RoomAffinityModel.affinities(_at)``, ``RoomPosterior.observe`` /
+``posterior``, and ``GroupAffinityModel.group_affinity`` are thin
+adapters over the array core, so the CLI, eval harness, and storage
+layers are untouched by the representation.  Batch and sequential paths
+share the same core, keeping their answers bitwise identical.  The
+pre-vectorization scalar implementation is retained in
+:mod:`repro.fine.reference` as the property-suite oracle and the
+tracked benchmark baseline (``benchmarks/test_bench_fine_core.py``).
 """
 
 from repro.fine.affinity import (

@@ -7,7 +7,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownRoomError
 from repro.events.table import EventTable
 from repro.space.building import Building
 from repro.space.metadata import SpaceMetadata
@@ -47,6 +47,31 @@ TABLE2_COMBINATIONS: dict[str, RoomAffinityWeights] = {
 }
 
 
+def _class_shares(class_rooms: "Sequence[tuple[float, Sequence[str]]]",
+                  candidate_rooms: Sequence[str]) -> np.ndarray:
+    """Weight-splitting shared by the static and time-dependent models.
+
+    Each class weight is split uniformly among its rooms; weights of
+    empty classes are redistributed proportionally to the remaining
+    classes so the vector sums to 1 over the candidate set.
+    """
+    out = np.zeros(len(candidate_rooms))
+    if not len(candidate_rooms):
+        return out
+    active_weight = sum(w for w, rooms in class_rooms if rooms)
+    if active_weight <= 0:
+        out[:] = 1.0 / len(candidate_rooms)
+        return out
+    position = {room: i for i, room in enumerate(candidate_rooms)}
+    for weight, rooms in class_rooms:
+        if not rooms:
+            continue
+        share = (weight / active_weight) / len(rooms)
+        for room in rooms:
+            out[position[room]] = share
+    return out
+
+
 class RoomAffinityModel:
     """Room affinity α(d, r, t): metadata-driven priors over candidates.
 
@@ -67,11 +92,13 @@ class RoomAffinityModel:
         """α(d, r, t): time-aware affinities; the base model ignores ``t``.
 
         Subclasses (e.g. the time-dependent model of
-        :mod:`repro.fine.time_dependent`) override this; the fine
-        localizer always calls it so either model plugs in.
+        :mod:`repro.fine.time_dependent`) override this; dict adapter
+        over :meth:`affinity_vector_at` so either representation stays
+        consistent.
         """
-        del timestamp  # static model: affinity is time-independent
-        return self.affinities(mac, candidate_rooms)
+        return dict(zip(candidate_rooms,
+                        map(float, self.affinity_vector_at(
+                            mac, candidate_rooms, timestamp))))
 
     def affinities(self, mac: str, candidate_rooms: Sequence[str]
                    ) -> dict[str, float]:
@@ -80,26 +107,30 @@ class RoomAffinityModel:
         Room affinity is not data dependent (paper: "we can pre-compute and
         store it"), so callers may cache the result per (device, region).
         """
-        if not candidate_rooms:
-            return {}
+        return dict(zip(candidate_rooms,
+                        map(float,
+                            self.affinity_vector(mac, candidate_rooms))))
+
+    def affinity_vector_at(self, mac: str, candidate_rooms: Sequence[str],
+                           timestamp: float) -> np.ndarray:
+        """α(d, ·, t) aligned to ``candidate_rooms`` (the hot-path form).
+
+        The fine localizer always calls this; the static model ignores
+        ``t`` while the time-dependent subclass resolves its schedule.
+        """
+        del timestamp  # static model: affinity is time-independent
+        return self.affinity_vector(mac, candidate_rooms)
+
+    def affinity_vector(self, mac: str, candidate_rooms: Sequence[str]
+                        ) -> np.ndarray:
+        """α(d, ·) as a float64 vector aligned to ``candidate_rooms``."""
         split = self._metadata.classify_candidates(mac, candidate_rooms)
         class_rooms = (
             (self.weights.preferred, split.preferred),
             (self.weights.public, split.public),
             (self.weights.private, split.private),
         )
-        active_weight = sum(w for w, rooms in class_rooms if rooms)
-        if active_weight <= 0:
-            uniform = 1.0 / len(candidate_rooms)
-            return {room: uniform for room in candidate_rooms}
-        out: dict[str, float] = {}
-        for weight, rooms in class_rooms:
-            if not rooms:
-                continue
-            share = (weight / active_weight) / len(rooms)
-            for room in rooms:
-                out[room] = share
-        return out
+        return _class_shares(class_rooms, candidate_rooms)
 
 
 class DeviceAffinityIndex:
@@ -204,20 +235,31 @@ class DeviceAffinityIndex:
                    delta: float) -> np.ndarray:
         """For each (t, ap), is there an ``other`` event within ±δ at ap?
 
-        Vectorized: for every event, binary-search the other device's log
-        for entries in [t−δ, t+δ] and check AP equality inside that span.
-        Spans are short (δ is minutes), so the inner scan is tiny.
+        Fully vectorized: binary-search every event's [t−δ, t+δ] span in
+        the other device's log, concatenate all spans into one flat index
+        array, compare APs in a single pass, and reduce each span with
+        ``logical_or.reduceat``.  No per-event Python loop — this runs
+        once per event per group member on the affinity-mining hot path.
         """
         other_times, other_aps = other
-        if other_times.size == 0:
-            return np.zeros(times.size, dtype=bool)
+        out = np.zeros(times.size, dtype=bool)
+        if other_times.size == 0 or times.size == 0:
+            return out
         lo = np.searchsorted(other_times, times - delta, side="left")
         hi = np.searchsorted(other_times, times + delta, side="right")
-        out = np.zeros(times.size, dtype=bool)
-        for i in range(times.size):
-            if lo[i] >= hi[i]:
-                continue
-            out[i] = bool((other_aps[lo[i]:hi[i]] == aps[i]).any())
+        counts = hi - lo
+        nonempty = counts > 0
+        if not nonempty.any():
+            return out
+        starts = lo[nonempty]
+        span_sizes = counts[nonempty]
+        offsets = np.cumsum(span_sizes) - span_sizes
+        # Flat positions covering every [lo, hi) span back to back.
+        flat = (np.arange(int(span_sizes.sum()))
+                - np.repeat(offsets, span_sizes)
+                + np.repeat(starts, span_sizes))
+        hits = other_aps[flat] == np.repeat(aps[nonempty], span_sizes)
+        out[nonempty] = np.logical_or.reduceat(hits, offsets)
         return out
 
     def clear(self) -> None:
@@ -231,6 +273,12 @@ class GroupAffinityModel:
     α(D, r, t) = α(D) · Π_{d ∈ D} P(@(d, r, t) | @(d, R_is, t)) when r lies
     in the intersection R_is of all members' candidate rooms, else 0.  The
     conditional is each member's room affinity renormalized over R_is.
+
+    The core entry point is :meth:`group_affinities`: one vectorized
+    pass over the building's interned room codes computing R_is
+    membership, the device affinity, and every member's renormalized
+    alpha vector, yielding α(D, r, t) for *all* candidate rooms at once.
+    The scalar :meth:`group_affinity` is a thin wrapper over it.
 
     Args:
         noise_floor: Device affinities below this are treated as zero.
@@ -251,6 +299,11 @@ class GroupAffinityModel:
         self._rooms = room_model
         self._devices = device_index
         self._building = building
+        self._index = building.room_index
+        # Reused scratch buffers over the full room vocabulary: member
+        # counts for R_is membership, and a scatter target for alphas.
+        self._counts = np.zeros(len(self._index), dtype=np.int32)
+        self._scatter = np.zeros(len(self._index))
         self.noise_floor = noise_floor
 
     def intersecting_rooms(self, candidate_sets: Sequence[Iterable[str]]
@@ -267,46 +320,92 @@ class GroupAffinityModel:
     def group_affinity(self, members: Sequence[tuple[str, Sequence[str]]],
                        room_id: str,
                        room_cache: "dict | None" = None) -> float:
-        """α(D, r, t) for members given as (mac, candidate_rooms) pairs.
+        """α(D, r, t) for one room (wrapper over :meth:`group_affinities`).
 
         The paper's worked example: α({d1,d2})=.4, R_is={2065,2069,2099},
         P(d1 in 2065|R_is)=.69, P(d2 in 2065|R_is)=.44 → affinity .12.
+        """
+        return float(self.group_affinities(members, (room_id,),
+                                           room_cache=room_cache)[0])
+
+    def group_affinities(self, members: Sequence[tuple[str, Sequence[str]]],
+                         rooms: Sequence[str],
+                         room_cache: "dict | None" = None) -> np.ndarray:
+        """α(D, r, t) for every room in ``rooms``, in one pass (Eq. 1).
+
+        Membership in R_is is computed by scatter-counting each member's
+        interned candidate codes; each member's alpha vector is read (or
+        memoized) once and renormalized over R_is with array ops — the
+        per-room work the scalar path repeated |rooms| times.
 
         Args:
-            room_cache: Optional memo of per-member room affinities keyed
+            members: (mac, candidate_rooms) pairs, |D| ≥ 2.
+            rooms: Output rooms; the result is aligned to this order.
+            room_cache: Optional memo of per-member alpha vectors keyed
                 by (mac, candidate-rooms tuple).  Room affinity is not
                 data dependent (the paper notes it can be pre-computed),
-                so evaluating many rooms or many groups with a shared
-                cache — as the batch engine does — recomputes each
-                member's affinity vector once instead of per room.
+                so evaluating many groups with a shared cache — as the
+                batch engine does — computes each member's vector once.
         """
         if len(members) < 2:
             raise ConfigurationError("group affinity needs >= 2 members")
-        r_is = self.intersecting_rooms([cands for _, cands in members])
-        if room_id not in r_is:
-            return 0.0
-        device_affinity = self._devices.group(
-            frozenset(mac for mac, _ in members))
-        if device_affinity < self.noise_floor:
-            return 0.0
-        value = device_affinity
-        for mac, candidates in members:
-            alphas = self._member_affinities(mac, candidates, room_cache)
-            mass_in_ris = sum(alphas.get(r, 0.0) for r in r_is)
-            if mass_in_ris <= 0:
-                return 0.0
-            value *= alphas.get(room_id, 0.0) / mass_in_ris
-        return value
+        out = np.zeros(len(rooms))
+        if not len(rooms):
+            return out
+        try:
+            out_codes = self._index.encode(tuple(rooms))
+        except UnknownRoomError:
+            # Rooms outside the building can never be in R_is: affinity
+            # 0, matching the scalar model's membership test.  Off the
+            # hot path — the localizer only queries building rooms.
+            known = [i for i, room in enumerate(rooms)
+                     if room in self._index]
+            if known:
+                out[known] = self.group_affinities(
+                    members, tuple(rooms[i] for i in known),
+                    room_cache=room_cache)
+            return out
+        member_codes = [self._index.encode(tuple(cands))
+                        for _, cands in members]
+        counts = self._counts  # all-zero between calls (see finally)
+        for codes in member_codes:
+            counts[codes] += 1
+        try:
+            in_ris = counts[out_codes] == len(members)
+            if not in_ris.any():
+                return out
+            device_affinity = self._devices.group(
+                frozenset(mac for mac, _ in members))
+            if device_affinity < self.noise_floor:
+                return out
+            out[in_ris] = device_affinity
+            scatter = self._scatter
+            for (mac, candidates), codes in zip(members, member_codes):
+                alpha = self._member_alpha(mac, candidates, room_cache)
+                mass_in_ris = float(
+                    alpha[counts[codes] == len(members)].sum())
+                if mass_in_ris <= 0:
+                    out[:] = 0.0
+                    return out
+                scatter[codes] = alpha
+                out[in_ris] *= scatter[out_codes][in_ris] / mass_in_ris
+                scatter[codes] = 0.0
+            return out
+        finally:
+            # Selectively reset only the touched positions; a full
+            # counts[:] = 0 would cost O(|building rooms|) per call.
+            for codes in member_codes:
+                counts[codes] = 0
 
-    def _member_affinities(self, mac: str, candidates: Sequence[str],
-                           room_cache: "dict | None") -> dict[str, float]:
+    def _member_alpha(self, mac: str, candidates: Sequence[str],
+                      room_cache: "dict | None") -> np.ndarray:
         """One member's room-affinity vector, memoized when a cache is
         supplied (pure function of (mac, candidates))."""
         if room_cache is None:
-            return self._rooms.affinities(mac, list(candidates))
+            return self._rooms.affinity_vector(mac, candidates)
         key = (mac, tuple(candidates))
-        alphas = room_cache.get(key)
-        if alphas is None:
-            alphas = self._rooms.affinities(mac, list(candidates))
-            room_cache[key] = alphas
-        return alphas
+        alpha = room_cache.get(key)
+        if alpha is None:
+            alpha = self._rooms.affinity_vector(mac, candidates)
+            room_cache[key] = alpha
+        return alpha

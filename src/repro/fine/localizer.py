@@ -19,6 +19,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import LocalizationError
 from repro.fine.affinity import (
     DeviceAffinityIndex,
@@ -81,7 +83,9 @@ class FineSharedState:
     queries revisiting the same device/region combinations (occupancy
     grids, trajectory sampling) therefore reuses these values verbatim.
 
-    Keys preserve member *order* so memoized floats are bitwise identical
+    All memo values are float64 vectors aligned to the key's
+    candidate-room tuple (the array core's native representation); keys
+    preserve member *order* so memoized vectors are bitwise identical
     to what the sequential path multiplies out.
     """
 
@@ -150,7 +154,8 @@ class FineLocalizer:
     # ------------------------------------------------------------------
     def locate(self, mac: str, timestamp: float, region_id: int,
                neighbor_order: "Sequence[NeighborDevice] | None" = None,
-               neighbor_caps: "dict[str, float] | None" = None,
+               neighbor_caps:
+               "dict[str, float] | np.ndarray | None" = None,
                shared: "FineSharedState | None" = None) -> FineResult:
         """Pick the room of ``mac`` at ``timestamp`` within region ``gx``.
 
@@ -161,33 +166,39 @@ class FineLocalizer:
             neighbor_caps: Optional per-neighbor upper bounds on group
                 affinity from the global affinity graph, used to tighten
                 the possible-world bounds of unprocessed neighbors.
+                Either a mapping keyed by neighbor MAC, or a float vector
+                aligned with ``neighbor_order`` (NaN = no cached bound),
+                as produced by
+                :meth:`repro.cache.engine.CachingEngine.prepare_neighbors`.
             shared: Optional batch memo of prior/affinity computations
                 (see :class:`FineSharedState`).  Sharing never changes
                 the answer — only how often affinities are recomputed.
         """
-        candidates = [room.room_id
-                      for room in self._building.candidate_rooms(region_id)]
+        candidates = tuple(
+            room.room_id
+            for room in self._building.candidate_rooms(region_id))
         if not candidates:
             raise LocalizationError(
                 f"region g{region_id} has no candidate rooms")
 
-        prior = self._prior_at(mac, tuple(candidates), timestamp, shared)
-        posterior = RoomPosterior(prior, affinity_cap=self.affinity_cap)
+        prior = self._prior_at(mac, candidates, timestamp, shared)
+        posterior = RoomPosterior.from_vector(
+            candidates, prior, affinity_cap=self.affinity_cap)
 
         neighbors = list(neighbor_order) if neighbor_order is not None else \
             find_neighbors(self._building, self._table, mac, timestamp,
                            region_id, max_neighbors=self.max_neighbors)
         neighbors = neighbors[: self.max_neighbors]
+        caps = self._caps_vector(neighbors, neighbor_caps)
 
         edge_weights: dict[str, float] = {}
         if self.mode is FineMode.INDEPENDENT:
             posterior, processed, stopped = self._run_independent(
-                mac, posterior, neighbors, neighbor_caps, edge_weights,
-                shared)
+                mac, posterior, neighbors, caps, edge_weights, shared)
         else:
             posterior, processed, stopped = self._run_dependent(
-                mac, timestamp, posterior, neighbors, neighbor_caps,
-                edge_weights, shared)
+                mac, timestamp, posterior, neighbors, caps, edge_weights,
+                shared)
 
         final = posterior.posterior()
         best_room = self._argmax_room(final, mac, timestamp)
@@ -241,92 +252,102 @@ class FineLocalizer:
     # ------------------------------------------------------------------
     def _prior_at(self, mac: str, candidates: tuple[str, ...],
                   timestamp: float,
-                  shared: "FineSharedState | None") -> dict[str, float]:
-        """Room-affinity prior, memoized per (mac, candidates, t_q)."""
+                  shared: "FineSharedState | None") -> np.ndarray:
+        """Room-affinity prior vector, memoized per (mac, candidates, t_q)."""
         if shared is None:
-            return self._room_model.affinities_at(mac, list(candidates),
-                                                  timestamp)
+            return self._room_model.affinity_vector_at(mac, candidates,
+                                                       timestamp)
         key = (mac, candidates, timestamp)
         prior = shared.priors.get(key)
         if prior is None:
-            prior = self._room_model.affinities_at(mac, list(candidates),
-                                                   timestamp)
+            prior = self._room_model.affinity_vector_at(mac, candidates,
+                                                        timestamp)
             shared.priors[key] = prior
         return prior
 
-    def _pair_affinities(self, mac: str, neighbor: NeighborDevice,
-                         candidates: Sequence[str],
-                         shared: "FineSharedState | None" = None
-                         ) -> dict[str, float]:
-        """α({d_i, d_k}, r, t_q) for every candidate room r.
+    def _pair_alpha(self, mac: str, neighbor: NeighborDevice,
+                    candidates: tuple[str, ...],
+                    shared: "FineSharedState | None" = None) -> np.ndarray:
+        """α({d_i, d_k}, ·, t_q) aligned to the candidate rooms.
 
         Group affinity never depends on t_q (device affinity is mined
         over the history window, room affinity over metadata), so the
         batch memo key is purely structural.
         """
         if shared is not None:
-            key = (mac, tuple(candidates), neighbor.mac,
-                   neighbor.candidate_rooms)
+            key = (mac, candidates, neighbor.mac, neighbor.candidate_rooms)
             cached = shared.pair_affinities.get(key)
             if cached is not None:
                 return cached
-        members = [(mac, list(candidates)),
-                   (neighbor.mac, list(neighbor.candidate_rooms))]
+        members = [(mac, candidates),
+                   (neighbor.mac, neighbor.candidate_rooms)]
         room_cache = shared.room_affinities if shared is not None else None
-        affinities = {room: self._group_model.group_affinity(
-                          members, room, room_cache=room_cache)
-                      for room in candidates}
+        alpha = self._group_model.group_affinities(members, candidates,
+                                                   room_cache=room_cache)
         if shared is not None:
-            shared.pair_affinities[key] = affinities
-        return affinities
+            shared.pair_affinities[key] = alpha
+        return alpha
 
-    def _caps_for(self, remaining: Sequence[NeighborDevice],
-                  neighbor_caps: "dict[str, float] | None") -> list[float]:
+    def _caps_vector(self, neighbors: Sequence[NeighborDevice],
+                     neighbor_caps: "dict[str, float] | np.ndarray | None"
+                     ) -> "np.ndarray | None":
+        """Per-neighbor cap vector aligned with ``neighbors`` (NaN = use
+        the configured default), from either caller representation."""
         if neighbor_caps is None:
-            return [self.affinity_cap] * len(remaining)
-        return [min(neighbor_caps.get(n.mac, self.affinity_cap), 1.0 - 1e-6)
-                for n in remaining]
+            return None
+        if isinstance(neighbor_caps, np.ndarray):
+            return neighbor_caps[: len(neighbors)]
+        return np.array([neighbor_caps.get(n.mac, np.nan)
+                         for n in neighbors])
 
-    def _stop_satisfied(self, posterior: RoomPosterior,
-                        remaining: Sequence[NeighborDevice],
-                        neighbor_caps: "dict[str, float] | None") -> bool:
+    def _caps_for(self, caps_slice: "np.ndarray | None",
+                  remaining: int) -> "np.ndarray | None":
+        """Resolved cap vector for the unprocessed suffix."""
+        if caps_slice is None:
+            return None  # RoomPosterior fills in its default cap
+        return np.minimum(
+            np.where(np.isnan(caps_slice), self.affinity_cap, caps_slice),
+            1.0 - 1e-6)
+
+    def _stop_satisfied(self, posterior: RoomPosterior, remaining: int,
+                        caps_slice: "np.ndarray | None") -> bool:
         """The loosened stop conditions over the top-2 rooms."""
-        post = posterior.posterior()
+        post = posterior.posterior_array()
         (room_a, _), (room_b, _) = posterior.top_two(post)
         if not room_b:
             return True  # single candidate: nothing to disambiguate
-        caps = self._caps_for(remaining, neighbor_caps)
+        caps = self._caps_for(caps_slice, remaining)
         bounds_a, bounds_b = posterior.bounds_pair(
-            room_a, room_b, len(remaining), caps, posterior_map=post)
+            room_a, room_b, remaining, caps, posterior_map=post)
         return (bounds_a.minimum >= bounds_b.expected
                 or bounds_a.expected >= bounds_b.maximum)
 
     # ------------------------------------------------------------------
     def _run_independent(self, mac: str, posterior: RoomPosterior,
                          neighbors: Sequence[NeighborDevice],
-                         neighbor_caps: "dict[str, float] | None",
+                         caps: "np.ndarray | None",
                          edge_weights: dict[str, float],
                          shared: "FineSharedState | None" = None
                          ) -> "tuple[RoomPosterior, int, bool]":
         """I-FINE: fold neighbors independently (Eq. 3)."""
         candidates = posterior.rooms
         for index, neighbor in enumerate(neighbors):
-            affinities = self._pair_affinities(mac, neighbor, candidates,
-                                               shared)
-            edge_weights[neighbor.mac] = (
-                sum(affinities.values()) / len(candidates))
-            posterior.observe(affinities)
-            remaining = neighbors[index + 1:]
+            alpha = self._pair_alpha(mac, neighbor, candidates, shared)
+            edge_weights[neighbor.mac] = float(
+                alpha.sum() / len(candidates))
+            posterior.observe_array(alpha)
+            remaining = len(neighbors) - index - 1
             if (self.use_stop_conditions and remaining
-                    and self._stop_satisfied(posterior, remaining,
-                                             neighbor_caps)):
+                    and self._stop_satisfied(
+                        posterior, remaining,
+                        caps[index + 1:] if caps is not None else None)):
                 return posterior, index + 1, True
         return posterior, len(neighbors), False
 
     def _run_dependent(self, mac: str, timestamp: float,
                        posterior: RoomPosterior,
                        neighbors: Sequence[NeighborDevice],
-                       neighbor_caps: "dict[str, float] | None",
+                       caps: "np.ndarray | None",
                        edge_weights: dict[str, float],
                        shared: "FineSharedState | None" = None
                        ) -> "tuple[RoomPosterior, int, bool]":
@@ -343,15 +364,15 @@ class FineLocalizer:
         stopped = False
         current = posterior
         for index, neighbor in enumerate(neighbors):
-            pair = self._pair_affinities(mac, neighbor, candidates, shared)
-            edge_weights[neighbor.mac] = (
-                sum(pair.values()) / len(candidates))
+            alpha = self._pair_alpha(mac, neighbor, candidates, shared)
+            edge_weights[neighbor.mac] = float(
+                alpha.sum() / len(candidates))
             self._assign_to_cluster(clusters, neighbor)
             processed = index + 1
             current = self._posterior_from_clusters(mac, timestamp,
                                                     candidates, clusters,
                                                     shared)
-            remaining = neighbors[index + 1:]
+            remaining = len(neighbors) - index - 1
             if not remaining:
                 break
             if self.use_stop_conditions:
@@ -359,7 +380,9 @@ class FineLocalizer:
                                            shared):
                     stopped = True
                     break
-                if self._stop_satisfied(current, remaining, neighbor_caps):
+                if self._stop_satisfied(
+                        current, remaining,
+                        caps[index + 1:] if caps is not None else None):
                     stopped = True
                     break
         return current, processed, stopped
@@ -381,11 +404,11 @@ class FineLocalizer:
             primary.members.extend(extra.members)
             clusters.remove(extra)
 
-    def _cluster_affinities(self, mac: str, cluster: _Cluster,
-                            candidates: Sequence[str],
-                            shared: "FineSharedState | None" = None
-                            ) -> dict[str, float]:
-        """α({D̄nl ∪ d_i}, r, t_q) for every candidate room.
+    def _cluster_alpha(self, mac: str, cluster: _Cluster,
+                       candidates: tuple[str, ...],
+                       shared: "FineSharedState | None" = None
+                       ) -> np.ndarray:
+        """α({D̄nl ∪ d_i}, ·, t_q) aligned to the candidate rooms.
 
         The memo key preserves the cluster's member *order*: the affinity
         product folds members sequentially, and floating-point products
@@ -394,25 +417,24 @@ class FineLocalizer:
         path would be lost).
         """
         if shared is not None:
-            key = (mac, tuple(candidates),
+            key = (mac, candidates,
                    tuple((n.mac, n.candidate_rooms)
                          for n in cluster.members))
             cached = shared.cluster_affinities.get(key)
             if cached is not None:
                 return cached
-        members = [(mac, list(candidates))]
-        members.extend((n.mac, list(n.candidate_rooms))
+        members = [(mac, candidates)]
+        members.extend((n.mac, n.candidate_rooms)
                        for n in cluster.members)
         room_cache = shared.room_affinities if shared is not None else None
-        affinities = {room: self._group_model.group_affinity(
-                          members, room, room_cache=room_cache)
-                      for room in candidates}
+        alpha = self._group_model.group_affinities(members, candidates,
+                                                   room_cache=room_cache)
         if shared is not None:
-            shared.cluster_affinities[key] = affinities
-        return affinities
+            shared.cluster_affinities[key] = alpha
+        return alpha
 
     def _posterior_from_clusters(self, mac: str, timestamp: float,
-                                 candidates: Sequence[str],
+                                 candidates: tuple[str, ...],
                                  clusters: Sequence[_Cluster],
                                  shared: "FineSharedState | None" = None
                                  ) -> RoomPosterior:
@@ -421,19 +443,20 @@ class FineLocalizer:
         Clusters mutate as neighbors join, so the posterior is rebuilt
         each round rather than folded incrementally.
         """
-        prior = self._prior_at(mac, tuple(candidates), timestamp, shared)
-        fresh = RoomPosterior(prior, affinity_cap=self.affinity_cap)
+        prior = self._prior_at(mac, candidates, timestamp, shared)
+        fresh = RoomPosterior.from_vector(candidates, prior,
+                                          affinity_cap=self.affinity_cap)
         for cluster in clusters:
-            fresh.observe(self._cluster_affinities(mac, cluster,
-                                                   fresh.rooms, shared))
+            fresh.observe_array(self._cluster_alpha(mac, cluster,
+                                                    fresh.rooms, shared))
         return fresh
 
     def _all_clusters_zero(self, mac: str, clusters: Sequence[_Cluster],
-                           candidates: Sequence[str],
+                           candidates: tuple[str, ...],
                            shared: "FineSharedState | None" = None) -> bool:
         """D-FINE termination: every cluster's group affinity is zero."""
         for cluster in clusters:
-            affs = self._cluster_affinities(mac, cluster, candidates, shared)
-            if any(v > 0 for v in affs.values()):
+            alpha = self._cluster_alpha(mac, cluster, candidates, shared)
+            if bool((alpha > 0).any()):
                 return False
         return True

@@ -14,8 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError, UnknownRoomError
-from repro.fine.affinity import RoomAffinityModel, RoomAffinityWeights
+from repro.fine.affinity import (
+    RoomAffinityModel,
+    RoomAffinityWeights,
+    _class_shares,
+)
 from repro.space.metadata import SpaceMetadata
 from repro.util.timeutil import SECONDS_PER_DAY, seconds_of_day
 
@@ -113,15 +119,16 @@ class TimeDependentRoomAffinityModel(RoomAffinityModel):
                 return window.rooms
         return self._metadata_ref.preferred_rooms(mac)
 
-    def affinities_at(self, mac: str, candidate_rooms: Sequence[str],
-                      timestamp: float) -> dict[str, float]:
-        """α(d, r, t): time-aware room affinities over the candidates.
+    def affinity_vector_at(self, mac: str, candidate_rooms: Sequence[str],
+                           timestamp: float) -> np.ndarray:
+        """α(d, ·, t) aligned to ``candidate_rooms``.
 
         Same weight-splitting scheme as the base model, but the preferred
-        bucket is the schedule-resolved set for ``timestamp``.
+        bucket is the schedule-resolved set for ``timestamp``.  The
+        inherited dict-facing ``affinities_at`` adapts this vector.
         """
-        if not candidate_rooms:
-            return {}
+        if not len(candidate_rooms):
+            return np.zeros(0)
         preferred = self.active_preferred_rooms(mac, timestamp)
         building = self._metadata_ref.building
         pf: list[str] = []
@@ -140,15 +147,4 @@ class TimeDependentRoomAffinityModel(RoomAffinityModel):
             (self.weights.public, pb),
             (self.weights.private, pr),
         )
-        active_weight = sum(w for w, rooms in class_rooms if rooms)
-        if active_weight <= 0:
-            uniform = 1.0 / len(candidate_rooms)
-            return {room: uniform for room in candidate_rooms}
-        out: dict[str, float] = {}
-        for weight, rooms in class_rooms:
-            if not rooms:
-                continue
-            share = (weight / active_weight) / len(rooms)
-            for room in rooms:
-                out[room] = share
-        return out
+        return _class_shares(class_rooms, candidate_rooms)

@@ -38,13 +38,26 @@ estimate or configuration default): max factor c + (1 − c)/|R| (all
 mass in r), min factor (1 − c)/|R| (all mass elsewhere), combined
 adversarially across rooms before normalization so ``min ≤ exp ≤ max``
 always holds.
+
+**Array core.**  The posterior holds its state as dense float64 arrays
+aligned to the candidate-room tuple: the log-scores are one vector,
+``observe_array`` folds a whole affinity vector in with one
+``np.log``, and the bounds evaluate every room's adversarial
+renormalization as a single vectorized pass.  The dict-facing methods
+(``observe``, ``posterior``, the mapping-keyed ``bounds``) are thin
+adapters kept for the public API; hot-path callers (the fine localizer)
+stay on the array forms throughout.  The pre-vectorization scalar
+implementation survives as
+:class:`repro.fine.reference.DictRoomPosterior`, the oracle of the
+property suite.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -77,6 +90,9 @@ class PosteriorBounds:
 class RoomPosterior:
     """Incremental posterior over candidate rooms (mixture factor model).
 
+    State lives in float64 arrays aligned to ``rooms``; construct from a
+    mapping (public API) or :meth:`from_vector` (array hot path).
+
     Args:
         prior: Room-affinity prior per candidate room (positive values;
             normalized internally).
@@ -89,19 +105,44 @@ class RoomPosterior:
                  affinity_cap: float = 0.1) -> None:
         if not prior:
             raise ConfigurationError("posterior needs at least one room")
+        self._init_arrays(
+            tuple(prior.keys()),
+            np.fromiter(prior.values(), dtype=np.float64, count=len(prior)),
+            affinity_cap)
+
+    @classmethod
+    def from_vector(cls, rooms: Sequence[str], prior: np.ndarray,
+                    affinity_cap: float = 0.1) -> "RoomPosterior":
+        """Construct from a prior vector aligned to ``rooms``."""
+        self = cls.__new__(cls)
+        self._init_arrays(tuple(rooms),
+                          np.asarray(prior, dtype=np.float64),
+                          affinity_cap)
+        return self
+
+    def _init_arrays(self, rooms: tuple[str, ...], prior: np.ndarray,
+                     affinity_cap: float) -> None:
+        if not rooms:
+            raise ConfigurationError("posterior needs at least one room")
+        if len(rooms) != prior.size:
+            raise ConfigurationError(
+                f"prior vector of size {prior.size} for {len(rooms)} rooms")
         if not 0.0 < affinity_cap < 1.0:
             raise ConfigurationError(
                 f"affinity_cap must be in (0, 1), got {affinity_cap}")
-        total = sum(prior.values())
+        total = float(prior.sum())
         if total <= 0:
             raise ConfigurationError("prior must have positive mass")
-        self.rooms: tuple[str, ...] = tuple(prior.keys())
+        self.rooms = rooms
         self.cap = affinity_cap
-        self._prior: dict[str, float] = {r: max(v / total, _TINY)
-                                         for r, v in prior.items()}
+        self._pos: dict[str, int] = {r: i for i, r in enumerate(rooms)}
+        self._prior_vec = np.maximum(prior / total, _TINY)
         # Unnormalized log score per room; starts at the log prior.
-        self._log_score: dict[str, float] = {
-            r: math.log(p) for r, p in self._prior.items()}
+        self._log_score = np.log(self._prior_vec)
+        # Lexicographic rank per room (the top-two tie-break key),
+        # computed lazily: D-FINE rebuilds a posterior per neighbor and
+        # its final fold never ranks rooms.
+        self._lex_rank: "np.ndarray | None" = None
         self._processed = 0
 
     # ------------------------------------------------------------------
@@ -118,37 +159,58 @@ class RoomPosterior:
         """Fold one processed neighbor (or D-FINE cluster) into the score.
 
         ``affinities[room]`` is α({d_i, d_k}, room, t_q); rooms absent
-        from the mapping count as zero affinity.
+        from the mapping count as zero affinity.  Dict-facing adapter
+        over :meth:`observe_array`; mass contributed by rooms outside
+        the candidate set still discounts the uniform remainder, as in
+        the scalar model.
         """
-        for room in self.rooms:
-            self._log_score[room] += math.log(self.factor(room, affinities))
+        alpha = np.zeros(len(self.rooms))
+        for room, value in affinities.items():
+            pos = self._pos.get(room)
+            if pos is not None:
+                alpha[pos] = value
+        self.observe_array(alpha, mass=sum(affinities.values()))
+
+    def observe_array(self, alpha: np.ndarray,
+                      mass: "float | None" = None) -> None:
+        """Fold one neighbor's affinity vector (aligned to ``rooms``) in.
+
+        Args:
+            alpha: α(D, r, t_q) per candidate room, aligned to ``rooms``.
+            mass: Total co-location mass m_k; defaults to ``alpha.sum()``
+                (callers whose mass includes out-of-candidate rooms pass
+                it explicitly).
+        """
+        alpha = np.asarray(alpha, dtype=np.float64)
+        if alpha.shape != self._log_score.shape:
+            raise ConfigurationError(
+                f"affinity vector of size {alpha.size} for "
+                f"{len(self.rooms)} rooms")
+        if mass is None:
+            mass = float(alpha.sum())
+        mass = min(mass, 1.0)
+        uniform = 1.0 / len(self.rooms)
+        factors = np.maximum(alpha + (1.0 - mass) * uniform, _TINY)
+        self._log_score += np.log(factors)
         self._processed += 1
 
     # ------------------------------------------------------------------
+    def posterior_array(self) -> np.ndarray:
+        """P(r | D̄n) as a vector aligned to ``rooms`` (hot path)."""
+        raw = np.exp(self._log_score - self._log_score.max())
+        return raw / raw.sum()
+
     def posterior(self) -> dict[str, float]:
         """P(r | D̄n) per room, normalized over the candidate set."""
-        peak = max(self._log_score.values())
-        raw = {r: math.exp(s - peak) for r, s in self._log_score.items()}
-        total = sum(raw.values())
-        return {r: v / total for r, v in raw.items()}
+        post = self.posterior_array()
+        return {room: float(p) for room, p in zip(self.rooms, post)}
 
     def prior_of(self, room_id: str) -> float:
         """The normalized prior of one room."""
-        return self._prior[room_id]
-
-    def _factor_bounds(self, cap: float) -> "tuple[float, float]":
-        """(min, max) factor one unprocessed neighbor can contribute.
-
-        Room-independent: only the cap and the candidate-set size enter.
-        """
-        c = min(max(cap, 0.0), 1.0 - 1e-9)
-        uniform = 1.0 / len(self.rooms)
-        fmax = c + (1.0 - c) * uniform    # all affinity mass in this room
-        fmin = (1.0 - c) * uniform        # all affinity mass elsewhere
-        return max(fmin, _TINY), max(fmax, _TINY)
+        return float(self._prior_vec[self._pos[room_id]])
 
     def bounds(self, room_id: str, unprocessed: int,
-               affinity_caps: "Sequence[float] | None" = None
+               affinity_caps: "Sequence[float] | np.ndarray | None" = None
                ) -> PosteriorBounds:
         """Min/expected/max posterior of ``room_id`` (Theorems 1–3).
 
@@ -163,53 +225,62 @@ class RoomPosterior:
         rooms receive their worst (best) values — a conservative envelope
         of every possible world.
         """
-        if room_id not in self._log_score:
+        pos = self._pos.get(room_id)
+        if pos is None:
             raise ConfigurationError(f"unknown room {room_id!r}")
-        if affinity_caps is not None and len(affinity_caps) != unprocessed:
-            raise ConfigurationError(
-                f"got {len(affinity_caps)} caps for {unprocessed} devices")
-        expected = self.posterior()[room_id]
+        self._check_caps(unprocessed, affinity_caps)
+        expected = float(self.posterior_array()[pos])
         if unprocessed == 0:
             return PosteriorBounds(expected=expected, minimum=expected,
                                    maximum=expected)
         log_best, log_worst = self._cap_log_bonuses(unprocessed,
                                                     affinity_caps)
-        return self._room_bounds(room_id, expected, log_best, log_worst)
+        return self._room_bounds(pos, expected, log_best, log_worst)
+
+    @staticmethod
+    def _check_caps(unprocessed: int,
+                    affinity_caps: "Sequence[float] | np.ndarray | None"
+                    ) -> None:
+        if affinity_caps is not None and len(affinity_caps) != unprocessed:
+            raise ConfigurationError(
+                f"got {len(affinity_caps)} caps for {unprocessed} devices")
 
     def _cap_log_bonuses(self, unprocessed: int,
-                         affinity_caps: "Sequence[float] | None"
+                         affinity_caps: "Sequence[float] | np.ndarray | None"
                          ) -> "tuple[float, float]":
         """Accumulated (log_best, log_worst) bonuses of the unprocessed.
 
         The factor bounds depend only on the cap and the candidate-set
         size — not on the room — so the accumulated log-bonuses are two
-        scalars shared by every room (this sits on the stop-condition
-        hot path: one pair of logs per cap instead of one per cap*room).
+        scalars shared by every room, computed with one vectorized pass
+        over the cap array (this sits on the stop-condition hot path).
         """
-        caps = list(affinity_caps) if affinity_caps is not None \
-            else [self.cap] * unprocessed
-        log_best = 0.0
-        log_worst = 0.0
-        for cap in caps:
-            fmin, fmax = self._factor_bounds(cap)
-            log_best += math.log(fmax)
-            log_worst += math.log(fmin)
-        return log_best, log_worst
+        if affinity_caps is None:
+            caps = np.full(unprocessed, self.cap)
+        else:
+            caps = np.asarray(affinity_caps, dtype=np.float64)
+        c = np.clip(caps, 0.0, 1.0 - 1e-9)
+        uniform = 1.0 / len(self.rooms)
+        fmax = np.maximum(c + (1.0 - c) * uniform, _TINY)
+        fmin = np.maximum((1.0 - c) * uniform, _TINY)
+        return float(np.log(fmax).sum()), float(np.log(fmin).sum())
 
-    def _room_bounds(self, room_id: str, expected: float,
+    def _room_bounds(self, pos: int, expected: float,
                      log_best: float, log_worst: float) -> PosteriorBounds:
         """One room's clamped bounds from the shared log-bonuses."""
-        maximum = self._normalized(room_id, favoured=room_id,
+        maximum = self._normalized(pos, favoured=True,
                                    log_best=log_best, log_worst=log_worst)
-        minimum = self._normalized(room_id, favoured=None,
+        minimum = self._normalized(pos, favoured=False,
                                    log_best=log_best, log_worst=log_worst)
         return PosteriorBounds(expected=expected,
                                minimum=min(minimum, expected),
                                maximum=max(maximum, expected))
 
     def bounds_pair(self, room_a: str, room_b: str, unprocessed: int,
-                    affinity_caps: "Sequence[float] | None" = None,
-                    posterior_map: "Mapping[str, float] | None" = None
+                    affinity_caps: "Sequence[float] | np.ndarray | None"
+                    = None,
+                    posterior_map:
+                    "Mapping[str, float] | np.ndarray | None" = None
                     ) -> "tuple[PosteriorBounds, PosteriorBounds]":
         """Bounds of two rooms sharing one cap accumulation (hot path).
 
@@ -220,70 +291,91 @@ class RoomPosterior:
         iteration.
 
         Args:
-            posterior_map: Optional precomputed :meth:`posterior` result,
-                letting callers that already normalized reuse it.
+            posterior_map: Optional precomputed posterior — either the
+                :meth:`posterior` mapping or the :meth:`posterior_array`
+                vector — letting callers that already normalized reuse
+                it.
         """
+        positions = []
         for room in (room_a, room_b):
-            if room not in self._log_score:
+            pos = self._pos.get(room)
+            if pos is None:
                 raise ConfigurationError(f"unknown room {room!r}")
-        if affinity_caps is not None and len(affinity_caps) != unprocessed:
-            raise ConfigurationError(
-                f"got {len(affinity_caps)} caps for {unprocessed} devices")
-        post = posterior_map if posterior_map is not None else \
-            self.posterior()
+            positions.append(pos)
+        self._check_caps(unprocessed, affinity_caps)
+        post = self._as_posterior_array(posterior_map)
+        pa, pb = positions
         if unprocessed == 0:
             return tuple(  # type: ignore[return-value]
-                PosteriorBounds(expected=post[room], minimum=post[room],
-                                maximum=post[room])
-                for room in (room_a, room_b))
+                PosteriorBounds(expected=float(post[pos]),
+                                minimum=float(post[pos]),
+                                maximum=float(post[pos]))
+                for pos in positions)
         log_best, log_worst = self._cap_log_bonuses(unprocessed,
                                                     affinity_caps)
-        return (self._room_bounds(room_a, post[room_a], log_best, log_worst),
-                self._room_bounds(room_b, post[room_b], log_best, log_worst))
+        return (self._room_bounds(pa, float(post[pa]), log_best, log_worst),
+                self._room_bounds(pb, float(post[pb]), log_best, log_worst))
 
-    def _normalized(self, room_id: str, favoured: "str | None",
+    def _as_posterior_array(self, posterior_map:
+                            "Mapping[str, float] | np.ndarray | None"
+                            ) -> np.ndarray:
+        """Normalize the optional precomputed-posterior argument."""
+        if posterior_map is None:
+            return self.posterior_array()
+        if isinstance(posterior_map, np.ndarray):
+            return posterior_map
+        return np.fromiter((posterior_map[r] for r in self.rooms),
+                           dtype=np.float64, count=len(self.rooms))
+
+    def _normalized(self, pos: int, favoured: bool,
                     log_best: float, log_worst: float) -> float:
         """Normalized posterior with adversarial unprocessed factors.
 
-        ``favoured=room_id`` yields the maximum for that room (its factors
-        maximized, every other room minimized); ``favoured=None`` yields
-        the minimum (room minimized, others maximized).  ``log_best`` and
-        ``log_worst`` are the accumulated log-bonuses of the unprocessed
-        neighbors (room-independent, see :meth:`bounds`).
+        ``favoured=True`` yields the maximum for the room at ``pos``
+        (its factors maximized, every other room minimized);
+        ``favoured=False`` yields the minimum (room minimized, others
+        maximized).  ``log_best`` and ``log_worst`` are the accumulated
+        log-bonuses of the unprocessed neighbors (room-independent, see
+        :meth:`bounds`).
         """
-        scores = {}
-        for room in self.rooms:
-            bonus = log_best if (
-                (favoured is not None and room == favoured)
-                or (favoured is None and room != room_id)) \
-                else log_worst
-            scores[room] = self._log_score[room] + bonus
-        peak = max(scores.values())
-        raw = {r: math.exp(s - peak) for r, s in scores.items()}
-        return raw[room_id] / sum(raw.values())
+        if favoured:
+            bonus = np.full(len(self.rooms), log_worst)
+            bonus[pos] = log_best
+        else:
+            bonus = np.full(len(self.rooms), log_best)
+            bonus[pos] = log_worst
+        scores = self._log_score + bonus
+        raw = np.exp(scores - scores.max())
+        return float(raw[pos] / raw.sum())
 
     @property
     def processed_count(self) -> int:
         """Number of neighbors folded in so far."""
         return self._processed
 
-    def top_two(self, posterior_map: "Mapping[str, float] | None" = None
+    def top_two(self, posterior_map:
+                "Mapping[str, float] | np.ndarray | None" = None
                 ) -> "tuple[tuple[str, float], tuple[str, float]]":
         """The two rooms with the highest posterior (room, probability).
 
-        With a single candidate room, the runner-up is a sentinel with
-        probability 0 so stop conditions trivially hold.
+        Ties break lexicographically by room id.  With a single candidate
+        room, the runner-up is a sentinel with probability 0 so stop
+        conditions trivially hold.
 
         Args:
-            posterior_map: Optional precomputed :meth:`posterior` result
-                (hot-path callers normalize once and reuse it).
+            posterior_map: Optional precomputed posterior — mapping or
+                :meth:`posterior_array` vector (hot-path callers
+                normalize once and reuse it).
         """
-        post = posterior_map if posterior_map is not None else \
-            self.posterior()
-        ranked = sorted(post.items(), key=lambda kv: (-kv[1], kv[0]))
-        if len(ranked) == 1:
-            return ranked[0], ("", 0.0)
-        return ranked[0], ranked[1]
+        post = self._as_posterior_array(posterior_map)
+        if len(self.rooms) == 1:
+            return (self.rooms[0], float(post[0])), ("", 0.0)
+        if self._lex_rank is None:
+            self._lex_rank = np.argsort(np.argsort(np.array(self.rooms)))
+        order = np.lexsort((self._lex_rank, -post))
+        best, runner = int(order[0]), int(order[1])
+        return ((self.rooms[best], float(post[best])),
+                (self.rooms[runner], float(post[runner])))
 
 
 #: Backwards-compatible alias (earlier drafts called this PosteriorOdds).

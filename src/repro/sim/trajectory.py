@@ -22,7 +22,6 @@ from repro.util.rng import make_rng
 from repro.util.timeutil import (
     SECONDS_PER_DAY,
     TimeInterval,
-    day_of_week,
     minutes,
 )
 

@@ -5,6 +5,13 @@ building (inside/outside), region (the set of rooms covered by one WiFi
 access point; regions may overlap), and room (public or private), plus the
 metadata the cleaning algorithms rely on (AP coverage lists, room types,
 room owners / preferred rooms).
+
+Every building also owns a :class:`RoomIndex` — an immutable vocabulary
+interning room ids into dense integer codes (mirroring the event table's
+AP vocabulary).  The fine-grained numeric core operates on these codes:
+candidate sets become int32 arrays, affinities become float64 vectors
+aligned to them, and the string room ids only reappear at the public API
+boundary.
 """
 
 from repro.space.access_point import AccessPoint
@@ -13,6 +20,7 @@ from repro.space.builder import BuildingBuilder
 from repro.space.metadata import SpaceMetadata
 from repro.space.region import Region
 from repro.space.room import Room, RoomType
+from repro.space.room_index import RoomIndex
 from repro.space.blueprints import (
     airport_blueprint,
     dbh_blueprint,
@@ -28,6 +36,7 @@ __all__ = [
     "BuildingBuilder",
     "Region",
     "Room",
+    "RoomIndex",
     "RoomType",
     "SpaceMetadata",
     "airport_blueprint",

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from repro.errors import SpaceModelError
 from repro.space.builder import BuildingBuilder
 from repro.space.building import Building
-from repro.space.room import RoomType
 
 
 @dataclass(frozen=True, slots=True)

@@ -8,6 +8,7 @@ from repro.errors import SpaceModelError, UnknownRegionError, UnknownRoomError
 from repro.space.access_point import AccessPoint
 from repro.space.region import Region
 from repro.space.room import Room
+from repro.space.room_index import RoomIndex
 
 
 class Building:
@@ -58,6 +59,7 @@ class Building:
             room_id: tuple(reg for reg in self._regions if reg.contains(room_id))
             for room_id in self._rooms
         }
+        self._room_index = RoomIndex(self._rooms)
 
     # ------------------------------------------------------------------
     # Rooms
@@ -126,6 +128,15 @@ class Building:
     def candidate_rooms(self, region_id: int) -> list[Room]:
         """The fine-localization candidate set R(gx) for a region."""
         return [self._rooms[rid] for rid in sorted(self.region(region_id).rooms)]
+
+    @property
+    def room_index(self) -> RoomIndex:
+        """The building's room vocabulary (room id ↔ dense int code).
+
+        The fine numeric core encodes candidate-room sets through this
+        index; encodings are memoized per candidate tuple.
+        """
+        return self._room_index
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, float]:

@@ -12,7 +12,7 @@ classification used when assigning room-affinity weights.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.errors import UnknownRoomError

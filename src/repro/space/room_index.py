@@ -1,0 +1,86 @@
+"""Room vocabulary: interned integer codes for the numeric core.
+
+The fine-grained localizer's inner loops (group affinities, posterior
+updates, possible-world bounds) operate on *candidate room sets*.  With
+string room ids every set operation — intersection tests, affinity
+lookups, renormalization — walks hash tables of Python objects.  The
+:class:`RoomIndex` interns every room of a building into a dense integer
+id space, mirroring the AP vocabulary of
+:class:`~repro.events.table.EventTable`, so those operations become
+numpy gather/scatter on small int arrays instead.
+
+The index is immutable: a building's room set is fixed at construction,
+so codes are stable for the lifetime of the space model and arrays can
+be cached keyed by candidate-room tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SpaceModelError, UnknownRoomError
+
+
+class RoomIndex:
+    """Immutable room-id vocabulary with dense integer codes.
+
+    Codes follow the iteration order of ``room_ids`` (for a
+    :class:`~repro.space.building.Building`, room construction order).
+
+    Encoded arrays are memoized per candidate-room tuple and returned
+    read-only — candidate sets repeat heavily across queries (one per
+    region), so encoding is effectively free after the first query.
+    """
+
+    def __init__(self, room_ids: Iterable[str]) -> None:
+        self._rooms: tuple[str, ...] = tuple(room_ids)
+        self._codes: dict[str, int] = {
+            room: code for code, room in enumerate(self._rooms)}
+        if len(self._codes) != len(self._rooms):
+            raise SpaceModelError("duplicate room ids in room index")
+        if not self._rooms:
+            raise SpaceModelError("room index needs at least one room")
+        self._encode_cache: dict[tuple[str, ...], np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._rooms)
+
+    def __contains__(self, room_id: str) -> bool:
+        return room_id in self._codes
+
+    @property
+    def rooms(self) -> tuple[str, ...]:
+        """All room ids, positioned by their code."""
+        return self._rooms
+
+    def code(self, room_id: str) -> int:
+        """The dense integer code of one room."""
+        try:
+            return self._codes[room_id]
+        except KeyError:
+            raise UnknownRoomError(
+                f"room {room_id!r} not in room index") from None
+
+    def room(self, code: int) -> str:
+        """The room id of one code."""
+        if not 0 <= code < len(self._rooms):
+            raise UnknownRoomError(
+                f"room code {code} not in index of size {len(self._rooms)}")
+        return self._rooms[code]
+
+    def encode(self, room_ids: Sequence[str]) -> np.ndarray:
+        """Room ids → int32 code array (memoized, read-only)."""
+        key = tuple(room_ids)
+        codes = self._encode_cache.get(key)
+        if codes is None:
+            codes = np.fromiter((self.code(room) for room in key),
+                                dtype=np.int32, count=len(key))
+            codes.setflags(write=False)
+            self._encode_cache[key] = codes
+        return codes
+
+    def decode(self, codes: "Sequence[int] | np.ndarray") -> list[str]:
+        """Code array → room ids."""
+        return [self.room(int(code)) for code in codes]

@@ -14,9 +14,6 @@ Baseline2 = Coarse-Baseline + Fine-Baseline2.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.errors import LocalizationError
 from repro.events.gaps import find_gap_at
 from repro.events.table import EventTable
 from repro.events.validity import valid_event_at

@@ -231,6 +231,9 @@ class Locater:
             neighbors = find_neighbors(
                 self._building, self._table, mac, timestamp,
                 coarse.region_id, max_neighbors=self.config.max_neighbors)
+        # Caps arrive as a float vector aligned with the reordered
+        # neighbor list (NaN = no cached bound) — the representation the
+        # fine localizer's bounds machinery consumes directly.
         caps = None
         if self.cache is not None:
             neighbors, caps = self.cache.prepare_neighbors(

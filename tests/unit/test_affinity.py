@@ -167,6 +167,25 @@ class TestGroupAffinityModel:
         # d1 and d3 never co-occur; also candidate sets are disjoint.
         assert group_model.group_affinity(members, "2065") == 0.0
 
+    def test_unknown_room_is_zero_not_error(self, fig1_building,
+                                            fig1_metadata):
+        # A queried room outside the building can never be in R_is —
+        # affinity 0.0, same as the pre-vectorization membership test.
+        model = RoomAffinityModel(fig1_metadata)
+
+        class StubIndex:
+            def group(self, macs):
+                return 0.4
+
+        group_model = GroupAffinityModel(model, StubIndex(), fig1_building)
+        members = [("d1", CANDIDATES), ("d2", ["2065", "2069", "2099"])]
+        assert group_model.group_affinity(members, "no-such-room") == 0.0
+        mixed = group_model.group_affinities(
+            members, ["2065", "no-such-room"])
+        assert mixed[1] == 0.0
+        assert mixed[0] == group_model.group_affinities(members,
+                                                        ["2065"])[0]
+
     def test_intersecting_rooms(self, fig1_building, fig1_metadata,
                                 fig1_table):
         model = RoomAffinityModel(fig1_metadata)

@@ -10,7 +10,7 @@ from repro.coarse.bootstrap import (
     LABEL_OUTSIDE,
 )
 from repro.events.event import ConnectivityEvent
-from repro.events.gaps import Gap, extract_gaps
+from repro.events.gaps import Gap
 from repro.events.table import EventTable
 from repro.util.timeutil import SECONDS_PER_DAY, TimeInterval, minutes
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.cache.engine import CachingEngine
@@ -129,8 +130,10 @@ class TestCachingEngine:
         engine.record("d1", 0.0, {"d2": 0.2})
         caps = engine.neighbor_caps("d1", [_neighbor("d2"),
                                            _neighbor("d3")], 0.0)
-        assert "d2" in caps and "d3" not in caps
-        assert 0.0 < caps["d2"] <= 0.95
+        # Aligned vector: a cap for cached d2, NaN for uncached d3.
+        assert caps.shape == (2,)
+        assert 0.0 < caps[0] <= 0.95
+        assert np.isnan(caps[1])
 
     def test_empty_neighbors(self):
         engine = CachingEngine()
@@ -168,7 +171,7 @@ class TestCachingEngine:
         expected_caps = reference.neighbor_caps("d1", expected_order, 0.0)
         ordered, caps = combined.prepare_neighbors("d1", neighbors, 0.0)
         assert ordered == expected_order
-        assert caps == expected_caps
+        assert np.array_equal(caps, expected_caps, equal_nan=True)
         assert combined.stats()["hits"] == reference.stats()["hits"]
         assert combined.stats()["misses"] == reference.stats()["misses"]
 
@@ -177,12 +180,13 @@ class TestCachingEngine:
         neighbors = [_neighbor("d2"), _neighbor("d3")]
         ordered, caps = engine.prepare_neighbors("d1", neighbors, 0.0)
         assert ordered == neighbors
-        assert caps == {}
+        assert caps.shape == (2,) and np.isnan(caps).all()
         assert engine.stats()["misses"] == 1
 
     def test_prepare_neighbors_empty(self):
         engine = CachingEngine()
-        assert engine.prepare_neighbors("d1", [], 0.0) == ([], {})
+        ordered, caps = engine.prepare_neighbors("d1", [], 0.0)
+        assert ordered == [] and caps.size == 0
         assert engine.stats() == {"hits": 0, "misses": 0, "edges": 0,
                                   "nodes": 0}
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.coarse.localizer import CoarseLocalizer
-from repro.errors import LocalizationError
 from repro.events.event import ConnectivityEvent
 from repro.events.table import EventTable
 from repro.util.timeutil import SECONDS_PER_DAY, minutes

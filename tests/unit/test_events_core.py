@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import (
@@ -137,6 +136,36 @@ class TestEventTable:
         clipped = table.restrict(TimeInterval(0.0, 15.0))
         assert clipped.registry.get("m1").delta == 123.0
         assert len(clipped) == 1
+
+    def test_restrict_keeps_devices_without_surviving_events(self):
+        # Delta estimates come from the full history; a restriction must
+        # carry them for every registered device, not only those with
+        # events inside the window.
+        table = self._table()
+        table.registry.get("m2").delta = 77.0
+        clipped = table.restrict(TimeInterval(0.0, 15.0))  # drops all of m2
+        assert clipped.registry.get("m2").delta == 77.0
+        assert clipped.log("m2").is_empty
+        assert clipped.macs() == table.macs()
+
+    def test_restrict_matches_append_based_rebuild(self):
+        # The array-sliced fast path must be indistinguishable from
+        # re-appending the surviving events one by one.
+        table = self._table()
+        window = TimeInterval(15.0, 35.0)
+        clipped = table.restrict(window)
+        rebuilt = EventTable.from_events(
+            event for mac in table.macs()
+            for event in table.events_of(mac, window))
+        assert clipped.ap_ids == rebuilt.ap_ids
+        assert len(clipped) == len(rebuilt)
+        for mac in rebuilt.macs():
+            assert list(clipped.log(mac).times) == \
+                list(rebuilt.log(mac).times)
+            assert [clipped.log(mac).ap_at(i)
+                    for i in range(len(clipped.log(mac)))] == \
+                [rebuilt.log(mac).ap_at(i)
+                 for i in range(len(rebuilt.log(mac)))]
 
     def test_ap_vocab(self):
         assert set(self._table().ap_ids) == {"wap1", "wap2"}

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import LocalizationError
 from repro.fine.affinity import DeviceAffinityIndex, RoomAffinityModel
 from repro.fine.localizer import FineLocalizer, FineMode
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.events.event import ConnectivityEvent
 from repro.events.gaps import extract_gaps, find_gap_at

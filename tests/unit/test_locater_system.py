@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.errors import LocalizationError
 from repro.system.baselines import Baseline1, Baseline2, CoarseBaseline
 from repro.system.config import LocaterConfig
 from repro.system.locater import Locater
