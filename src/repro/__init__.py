@@ -42,6 +42,34 @@ back in input order::
 benchmarks it against the per-query loop
 (``benchmarks/test_bench_batch_engine.py`` holds the tracked benchmark).
 
+Streaming ingestion
+-------------------
+
+LOCATER is a live system (paper Fig. 5): events keep arriving while
+queries are served.  ``EventTable.freeze`` merges new rows into the
+sorted per-device logs in O(new) (``searchsorted``/``insert``, no
+re-sort) and publishes a generation-keyed change feed
+(``changed_since``); an :class:`~repro.system.IngestionEngine` reports
+which devices changed over which interval and re-estimates δ only for
+those; and ``Locater.on_ingest`` invalidates *surgically* — only the
+changed devices' coarse models, affinity memos, stale neighbor
+snapshots and (when they fed it) the population aggregate are dropped,
+escalating to a full drop only when the training window itself moved.
+:class:`~repro.system.StreamingSession` wires the three into a serve
+loop::
+
+    from repro import Locater, StreamingSession
+
+    session = StreamingSession(locater)      # wraps locater.table
+    session.ingest(new_events)               # O(new) merge + invalidate
+    answers = session.query(burst)           # fresh, shared-work answers
+
+Answers are bitwise identical to a system rebuilt from scratch over the
+merged log (``tests/integration/test_streaming_equivalence.py``), at a
+fraction of the cost (``benchmarks/test_bench_streaming.py``, archived
+in ``results/bench_streaming.txt``).  ``examples/streaming_ingest.py``
+walks the loop end to end.
+
 Array numeric core
 ------------------
 
@@ -115,6 +143,7 @@ from repro.system import (
     Baseline1,
     Baseline2,
     IngestionEngine,
+    IngestReport,
     InMemoryStorage,
     Locater,
     LocaterConfig,
@@ -123,6 +152,7 @@ from repro.system import (
     QueryGroup,
     QueryPlan,
     SqliteStorage,
+    StreamingSession,
     plan_queries,
 )
 
@@ -151,6 +181,7 @@ __all__ = [
     "Gap",
     "GlobalAffinityGraph",
     "GroupAffinityModel",
+    "IngestReport",
     "IngestionEngine",
     "InMemoryStorage",
     "LocalAffinityGraph",
@@ -177,6 +208,7 @@ __all__ = [
     "SpaceModelError",
     "SqliteStorage",
     "StorageError",
+    "StreamingSession",
     "TrainingError",
     "airport_blueprint",
     "dbh_blueprint",

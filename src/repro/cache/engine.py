@@ -79,8 +79,12 @@ class CachingEngine:
         for other, weight in cached.items():
             if weight is not None:
                 cap_by_mac[other] = self._cap(weight, by_mac[other][-1])
-        if all(weight is None or weight == 0.0
-               for weight in cached.values()):
+        if all(weight is None for weight in cached.values()):
+            # Cold cache: no edge to any of these neighbors was ever
+            # recorded, so the order carries no information.  (A cached
+            # edge with weight 0.0 *is* information — "these two are not
+            # companions" — and counts as a hit, per order_neighbors'
+            # contract.)
             self.misses += 1
             ordered = list(neighbors)
         else:

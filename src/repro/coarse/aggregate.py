@@ -13,6 +13,7 @@ inside/outside label and modal region for any time of day.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.coarse.bootstrap import BootstrapLabeler, LABEL_INSIDE
 from repro.events.gaps import extract_gaps
@@ -64,14 +65,20 @@ class PopulationAggregate:
         self._history = history
         self._max_devices = max_devices
         self._hours: "list[_HourAggregate] | None" = None
+        self._built_sample: "tuple[str, ...] | None" = None
+
+    def _sample(self) -> tuple[str, ...]:
+        """The device sample the aggregate is (or would be) built from."""
+        return tuple(sorted(self._table.macs())[: self._max_devices])
 
     def _build(self) -> list[_HourAggregate]:
         hours = [_HourAggregate() for _ in range(24)]
+        macs = self._sample()
+        self._built_sample = macs
         try:
             history = self._history or self._table.span()
         except Exception:
             return hours  # empty table: a flat aggregate
-        macs = sorted(self._table.macs())[: self._max_devices]
         for mac in macs:
             log = self._table.log(mac)
             gaps = extract_gaps(log, window=history)
@@ -123,3 +130,29 @@ class PopulationAggregate:
     def invalidate(self) -> None:
         """Drop the aggregate (e.g. after ingesting new data)."""
         self._hours = None
+        self._built_sample = None
+
+    def set_history(self, history: "TimeInterval | None") -> None:
+        """Change the aggregation window and drop the cached hours."""
+        self._history = history
+        self.invalidate()
+
+    def invalidate_if_affected(self, macs: "Iterable[str]") -> bool:
+        """Drop the aggregate only if the given changed devices fed it.
+
+        The aggregate is built from a deterministic device sample; a
+        rebuild can only differ when (a) a changed device is in that
+        sample, or (b) new devices shifted the sample itself.  Devices
+        outside the sample contribute nothing, so changes to them leave
+        the aggregate bit-identical and the cached hours survive.
+        Returns whether the aggregate was dropped.
+        """
+        if self._hours is None:
+            return False
+        sample = self._sample()
+        sampled = set(sample)
+        if sample != self._built_sample or any(mac in sampled
+                                               for mac in macs):
+            self.invalidate()
+            return True
+        return False

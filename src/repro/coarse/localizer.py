@@ -10,7 +10,7 @@ self-trained classifiers decide (1) inside vs outside the building and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -79,6 +79,16 @@ class CoarseSharedState:
     region_ids: "dict[tuple[str, float, float], int]" = field(
         default_factory=dict)
 
+    def drop_device(self, mac: str) -> None:
+        """Forget every memo of one device (its gaps/models changed)."""
+        self.drop_devices({mac})
+
+    def drop_devices(self, macs: "set[str]") -> None:
+        """Forget the memos of many devices in one pass per memo dict."""
+        for memo in (self.features, self.building_labels, self.region_ids):
+            for key in [k for k in memo if k[0] in macs]:
+                del memo[key]
+
 
 @dataclass(slots=True)
 class _DeviceModels:
@@ -129,14 +139,53 @@ class CoarseLocalizer:
         return self._history
 
     def set_history(self, history: "TimeInterval | None") -> None:
-        """Change the training window and drop cached models."""
+        """Change the training window and drop cached models.
+
+        The population aggregate follows the same window, so it is
+        re-pointed (and rebuilt lazily) as well.
+        """
         self._history = history
+        self._aggregate.set_history(history)
         self.invalidate()
+
+    def advance_history(self, history: "TimeInterval | None") -> None:
+        """Update the training window *without* dropping cached models.
+
+        For the online-ingestion path only: when the window merely
+        extends (same first/last day indices, superset of the old
+        window), an unchanged device's gaps, features and bootstrap
+        labels are provably identical under either window — its event
+        times all lie inside both, and the density feature depends on
+        the window only through its day range — so retraining would
+        reproduce the cached models bit for bit.  Callers that cannot
+        guarantee that invariant must use :meth:`set_history` instead.
+        """
+        self._history = history
 
     def invalidate(self) -> None:
         """Forget all trained per-device models and the aggregate."""
         self._models.clear()
         self._aggregate.invalidate()
+
+    def invalidate_device(self, mac: str) -> None:
+        """Forget one device's trained models (e.g. after it ingested
+        new events), plus the population aggregate if that device —
+        or a shift in the sampled population — fed it."""
+        self.invalidate_devices((mac,))
+
+    def invalidate_devices(self, macs: "Iterable[str]") -> None:
+        """Surgically forget the trained models of the given devices.
+
+        Unlike :meth:`invalidate`, models of other devices survive: a
+        device's classifiers are functions of its own log, its δ and the
+        training window, none of which changed for the others.  The
+        population aggregate is dropped only if it was built from one of
+        the changed devices (or its device sample itself shifted).
+        """
+        macs = list(macs)
+        for mac in macs:
+            self._models.pop(mac, None)
+        self._aggregate.invalidate_if_affected(macs)
 
     # ------------------------------------------------------------------
     # Training

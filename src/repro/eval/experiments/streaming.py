@@ -1,0 +1,150 @@
+"""Streaming ingestion experiment: fresh answers without full rebuilds.
+
+The paper's Fig. 5 feeds association events from the wireless
+controllers into the cleaning engine continuously; this experiment
+replays a simulated day as interleaved ingest ticks and query bursts
+(see :func:`repro.sim.scenarios.streaming_day_workload`) and compares
+two ways of keeping served answers fresh:
+
+* **incremental** — one long-lived :class:`~repro.system.streaming
+  .StreamingSession`: events merge into the existing table in O(new),
+  and surgical invalidation drops exactly the models/memos the new rows
+  staled;
+* **rebuild** — the pre-streaming alternative: rebuild the event table,
+  re-estimate every δ and construct a fresh ``Locater`` at every tick.
+
+Both must produce **bitwise-identical answers** at every burst (the
+systems run without the caching engine and storage, whose warm state is
+deliberate cross-query memory, so answers are pure functions of the
+table); the result records per-tick latencies and the total
+ingest-to-fresh-answer speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.eval.reporting import format_table
+from repro.eval.experiments.common import dbh_dataset
+from repro.events.table import EventTable
+from repro.events.validity import DeltaEstimator
+from repro.sim.scenarios import streaming_day_workload
+from repro.system.config import LocaterConfig
+from repro.system.ingestion import IngestionEngine
+from repro.system.locater import Locater
+from repro.system.streaming import StreamingSession
+
+
+@dataclass(slots=True)
+class StreamingTick:
+    """Measured outcome of one ingest tick + query burst."""
+
+    index: int
+    ingested: int
+    queries: int
+    changed_devices: int
+    incremental_seconds: float
+    rebuild_seconds: float
+    identical: bool
+
+
+@dataclass(slots=True)
+class StreamingResult:
+    """Per-tick latencies of incremental serving vs full rebuilds."""
+
+    ticks: list[StreamingTick]
+    warmup_events: int
+    full_invalidations: int
+
+    @property
+    def incremental_seconds(self) -> float:
+        """Total ingest-to-fresh-answer time, incremental path."""
+        return sum(t.incremental_seconds for t in self.ticks)
+
+    @property
+    def rebuild_seconds(self) -> float:
+        """Total ingest-to-fresh-answer time, rebuild-per-tick path."""
+        return sum(t.rebuild_seconds for t in self.ticks)
+
+    @property
+    def speedup(self) -> float:
+        """Rebuild time over incremental time."""
+        return self.rebuild_seconds / max(self.incremental_seconds, 1e-12)
+
+    @property
+    def all_identical(self) -> bool:
+        """Whether every burst matched the cold rebuild bitwise."""
+        return all(t.identical for t in self.ticks)
+
+    def render(self) -> str:
+        """Per-tick table plus the totals line."""
+        rows = [[t.index, t.ingested, t.queries, t.changed_devices,
+                 f"{1000 * t.incremental_seconds:.1f}",
+                 f"{1000 * t.rebuild_seconds:.1f}",
+                 "yes" if t.identical else "NO"]
+                for t in self.ticks]
+        table = format_table(
+            ["tick", "events", "queries", "changed",
+             "incremental (ms)", "rebuild (ms)", "identical"], rows,
+            title=(f"Streaming day over {self.warmup_events} warm-up "
+                   f"events ({self.full_invalidations} full "
+                   "invalidation(s))"))
+        return (f"{table}\n"
+                f"total incremental {self.incremental_seconds:.2f}s | "
+                f"total rebuild {self.rebuild_seconds:.2f}s | "
+                f"speedup {self.speedup:.1f}x | "
+                f"answers identical: {self.all_identical}")
+
+
+def run(days: int = 28, population: int = 48, batches: int = 32,
+        queries_per_burst: int = 4, seed: int = 13) -> StreamingResult:
+    """Replay a streaming day both ways and time each tick.
+
+    Raises :class:`~repro.errors.ReproError` if any burst's answers
+    diverge from the cold rebuild — the equivalence is the experiment's
+    correctness contract, not merely a reported column.
+    """
+    dataset = dbh_dataset(days=days, population=population, seed=seed)
+    workload = streaming_day_workload(dataset, batches=batches,
+                                      queries_per_burst=queries_per_burst,
+                                      seed=seed)
+    config = LocaterConfig(use_caching=False)
+
+    table = EventTable()
+    engine = IngestionEngine(table)
+    engine.ingest(workload.warmup)
+    locater = Locater(dataset.building, dataset.metadata, table,
+                      config=config)
+    session = StreamingSession(locater, engine)
+
+    ticks: list[StreamingTick] = []
+    for batch in workload.batches:
+        start = time.perf_counter()
+        report = session.ingest(batch.ingest)
+        streamed = session.query(batch.queries)
+        incremental = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cold_table = EventTable.from_events(
+            workload.events_through(batch.index))
+        DeltaEstimator().fit_table(cold_table)
+        cold = Locater(dataset.building, dataset.metadata, cold_table,
+                       config=config)
+        expected = cold.locate_batch(batch.queries)
+        rebuild = time.perf_counter() - start
+
+        identical = streamed == expected
+        if not identical:
+            raise ReproError(
+                f"streaming tick {batch.index} diverged from the cold "
+                "rebuild — surgical invalidation missed a dependency")
+        ticks.append(StreamingTick(
+            index=batch.index, ingested=len(batch.ingest),
+            queries=len(batch.queries), changed_devices=len(report.changed),
+            incremental_seconds=incremental, rebuild_seconds=rebuild,
+            identical=identical))
+    return StreamingResult(ticks=ticks,
+                           warmup_events=len(workload.warmup),
+                           full_invalidations=session.full_invalidations)

@@ -89,6 +89,14 @@ class EventTable:
     Build either incrementally with :meth:`append` + :meth:`freeze`, or in
     one shot with :meth:`from_events`.  Appends after freezing re-open the
     table; reads on a dirty (unfrozen) table freeze it lazily.
+
+    The table is built for *online* growth: each :meth:`freeze` merges the
+    pending rows of a device into its already-sorted log with binary
+    searches (O(new·log new + old) per changed device, no re-sort of the
+    full log) and advances a generation counter.  Consumers that cache
+    work derived from the table — trained models, aggregates, snapshots —
+    poll :meth:`changed_since` with the last generation they observed to
+    learn exactly which devices changed and over which time interval.
     """
 
     def __init__(self) -> None:
@@ -99,6 +107,21 @@ class EventTable:
         self._logs: dict[str, DeviceLog] = {}
         self._dirty = False
         self._event_count = 0
+        self._max_event_id = -1
+        self._generation = 0
+        self._device_generation: dict[str, int] = {}
+        # Per-device change journal: (generation, min time, max time) of
+        # every merged pending batch, consumed by changed_since().
+        # Bounded: once a device's journal exceeds _CHANGE_JOURNAL_CAP
+        # entries, the oldest half is coalesced into one entry (union
+        # interval, newest merged generation) — changed_since may then
+        # over-approximate for very old generations, never under.
+        self._changes: dict[str, list[tuple[int, float, float]]] = {}
+
+    #: Entries kept per device before the journal's oldest half is
+    #: coalesced; bounds memory and changed_since cost on long-running
+    #: streaming sessions.
+    _CHANGE_JOURNAL_CAP = 64
 
     # ------------------------------------------------------------------
     # Construction
@@ -122,6 +145,8 @@ class EventTable:
             self._ap_index[event.ap_id] = ap_idx
         self._pending.setdefault(event.mac, []).append((event.timestamp, ap_idx))
         self._event_count += 1
+        if event.event_id > self._max_event_id:
+            self._max_event_id = event.event_id
         self._dirty = True
 
     def extend(self, events: Iterable[ConnectivityEvent]) -> None:
@@ -130,22 +155,95 @@ class EventTable:
             self.append(event)
 
     def freeze(self) -> None:
-        """Sort pending events into the per-device numpy logs."""
+        """Merge pending events into the per-device numpy logs.
+
+        Incremental by construction: only devices with pending rows are
+        touched, the pending rows are stable-sorted among themselves and
+        merged into the (already sorted) existing log via
+        ``np.searchsorted`` + ``np.insert`` — no concatenate-and-resort
+        of the full log.  The result is bitwise identical to a stable
+        argsort over ``old + new``: ``side="right"`` places timestamp
+        ties after the existing rows, and equal insertion positions keep
+        the pending rows' relative order.
+
+        Every freeze that merges rows advances :attr:`generation` and
+        records, per device, the time interval the new rows cover (the
+        change feed read by :meth:`changed_since`).
+        """
         if not self._dirty:
             return
+        self._generation += 1
         for mac, rows in self._pending.items():
             old = self._logs.get(mac)
             times = np.array([t for t, _ in rows], dtype=np.float64)
             aps = np.array([a for _, a in rows], dtype=np.int32)
+            if times.size > 1:
+                order = np.argsort(times, kind="stable")
+                times, aps = times[order], aps[order]
             if old is not None and len(old):
-                times = np.concatenate([old.times, times])
-                aps = np.concatenate([old.ap_indices, aps])
-            order = np.argsort(times, kind="stable")
+                positions = np.searchsorted(old.times, times, side="right")
+                merged_times = np.insert(old.times, positions, times)
+                merged_aps = np.insert(old.ap_indices, positions, aps)
+            else:
+                merged_times, merged_aps = times, aps
             device = self.registry.get(mac)
-            self._logs[mac] = DeviceLog(device, times[order], aps[order],
+            self._logs[mac] = DeviceLog(device, merged_times, merged_aps,
                                         self._ap_vocab)
+            self._device_generation[mac] = self._generation
+            journal = self._changes.setdefault(mac, [])
+            journal.append(
+                (self._generation, float(times[0]), float(times[-1])))
+            if len(journal) > self._CHANGE_JOURNAL_CAP:
+                half = len(journal) // 2
+                merged = (journal[half - 1][0],
+                          min(entry[1] for entry in journal[:half]),
+                          max(entry[2] for entry in journal[:half]))
+                self._changes[mac] = [merged, *journal[half:]]
         self._pending.clear()
         self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Change feed
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotone counter advanced by every freeze that merged rows."""
+        return self._generation
+
+    @property
+    def max_event_id(self) -> int:
+        """Largest event id ever appended (−1 when none was stamped)."""
+        return self._max_event_id
+
+    def device_generation(self, mac: str) -> int:
+        """Generation at which ``mac``'s log last changed (0 = never)."""
+        return self._device_generation.get(mac, 0)
+
+    def changed_since(self, generation: int) -> dict[str, TimeInterval]:
+        """Devices whose logs changed after ``generation``.
+
+        Returns, per changed MAC, a :class:`TimeInterval` whose start/end
+        are the earliest/latest timestamps merged since that generation —
+        the key consumers use for interval-scoped cache invalidation
+        (note ``end`` equals the latest merged timestamp itself; callers
+        widen by their validity slack).  Pending rows are frozen first so
+        the feed always reflects the current table.
+
+        The journal behind the feed is bounded (old entries coalesce),
+        so a query against a generation older than the oldest surviving
+        entry may return a *wider* interval than strictly changed —
+        over-invalidation, never staleness.
+        """
+        self._ensure_frozen()
+        out: dict[str, TimeInterval] = {}
+        for mac, entries in self._changes.items():
+            lo, hi = np.inf, -np.inf
+            for gen, start, end in entries:
+                if gen > generation:
+                    lo, hi = min(lo, start), max(hi, end)
+            if lo <= hi:
+                out[mac] = TimeInterval(lo, hi)
+        return out
 
     # ------------------------------------------------------------------
     # Reads

@@ -266,6 +266,25 @@ class DeviceAffinityIndex:
         """Drop all cached affinities (e.g. after new data arrives)."""
         self._cache.clear()
 
+    def set_history(self, history: "TimeInterval | None") -> None:
+        """Change the mining window and drop every cached affinity."""
+        self._history = history
+        self.clear()
+
+    def invalidate_devices(self, macs: Iterable[str]) -> int:
+        """Drop cached affinities involving any of the given devices.
+
+        An affinity is a pure function of its members' logs and δs, so
+        after an ingest only entries mentioning a changed device can be
+        stale; pairs/groups among unchanged devices keep their memo.
+        Returns how many cache entries were dropped.
+        """
+        changed = frozenset(macs)
+        stale = [key for key in self._cache if key & changed]
+        for key in stale:
+            del self._cache[key]
+        return len(stale)
+
 
 class GroupAffinityModel:
     """Group affinity α(D, r, t) per Eq. 1 of the paper.

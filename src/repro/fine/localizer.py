@@ -103,6 +103,33 @@ class FineSharedState:
             "rooms": len(self.room_affinities),
         }
 
+    def drop_device(self, mac: str) -> None:
+        """Forget every memo that mentions one device (see drop_devices)."""
+        self.drop_devices({mac})
+
+    def drop_devices(self, macs: "set[str]") -> None:
+        """Forget every memo mentioning any of the given devices.
+
+        After an ingest changes some logs, any memoized affinity a
+        changed device participates in — as the queried device or as a
+        neighbor/cluster member — may be stale; memos among unchanged
+        devices survive.  One pass per memo dict regardless of how many
+        devices changed.  (Priors and room affinities are
+        metadata-pure, but they are dropped too: the cost is a cheap
+        recompute, and "no memo mentioning a changed device survives"
+        is the easier invariant to audit.)
+        """
+        for key in [k for k in self.priors if k[0] in macs]:
+            del self.priors[key]
+        for key in [k for k in self.room_affinities if k[0] in macs]:
+            del self.room_affinities[key]
+        for key in [k for k in self.pair_affinities
+                    if k[0] in macs or k[2] in macs]:
+            del self.pair_affinities[key]
+        for key in [k for k in self.cluster_affinities
+                    if k[0] in macs or any(m in macs for m, _ in k[2])]:
+            del self.cluster_affinities[key]
+
 
 @dataclass(slots=True)
 class _Cluster:

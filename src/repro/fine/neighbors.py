@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.events.table import EventTable
 from repro.events.validity import valid_event_at
 from repro.space.building import Building
+from repro.util.timeutil import TimeInterval
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,15 +50,46 @@ class NeighborIndex:
     for the same arguments — same devices, same order, same cap — so the
     batch engine stays bitwise-equivalent to the sequential path.
 
-    The snapshot cache is unbounded; instances are meant to live for one
-    batch (``Locater.locate_batch`` creates a fresh one per call).
+    Instances live for one batch (``Locater.locate_batch`` creates a
+    fresh one per call, unbounded) or across a streaming session — then
+    ``max_snapshots`` bounds memory (snapshots are memos: evicting the
+    oldest-inserted only costs a recompute) and ingestion must call
+    :meth:`invalidate_interval` / :meth:`invalidate_all` so snapshots
+    never outlive the validity windows they were computed from.
     """
 
-    def __init__(self, building: Building, table: EventTable) -> None:
+    def __init__(self, building: Building, table: EventTable,
+                 max_snapshots: "int | None" = None) -> None:
         self._building = building
         self._table = table
+        self._max_snapshots = max_snapshots
         self._snapshots: dict[float, tuple] = {}
         self._region_rooms: dict[int, tuple[str, ...]] = {}
+
+    def invalidate_all(self) -> int:
+        """Drop every cached snapshot; returns how many were dropped."""
+        dropped = len(self._snapshots)
+        self._snapshots.clear()
+        return dropped
+
+    def invalidate_interval(self, interval: TimeInterval,
+                            slack: float = 0.0) -> int:
+        """Drop snapshots with timestamp in ``[start − slack, end + slack]``.
+
+        After events are merged into ``interval``, a device's validity —
+        hence its online status — can only change within δ of the new
+        rows (a new row truncates at most its immediate predecessor's
+        window, which also lies within δ of it), so callers pass the
+        changed device's δ as ``slack``.  If the device's *δ itself*
+        changed, validity shifts everywhere and
+        :meth:`invalidate_all` must be used instead.  Returns how many
+        snapshots were dropped.
+        """
+        lo, hi = interval.start - slack, interval.end + slack
+        stale = [t for t in self._snapshots if lo <= t <= hi]
+        for t in stale:
+            del self._snapshots[t]
+        return len(stale)
 
     def _candidate_rooms(self, region) -> tuple[str, ...]:
         rooms = self._region_rooms.get(region.region_id)
@@ -80,6 +112,12 @@ class NeighborIndex:
                     continue
                 online.append((mac, self._building.region_of_ap(hit.ap_id)))
             snap = tuple(online)
+            if self._max_snapshots is not None and \
+                    len(self._snapshots) >= self._max_snapshots:
+                # FIFO eviction (dicts preserve insertion order): a
+                # snapshot is a memo, so dropping one only costs a
+                # recompute on the next query at that timestamp.
+                self._snapshots.pop(next(iter(self._snapshots)))
             self._snapshots[timestamp] = snap
         return snap
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.errors import SimulationError
+from repro.events.event import ConnectivityEvent
 from repro.sim.profile import (
     PersonProfile,
     resident_profile,
@@ -30,7 +31,9 @@ from repro.space.blueprints import (
     university_blueprint,
 )
 from repro.space.building import Building
-from repro.util.timeutil import hours, minutes
+from repro.system.query import LocationQuery
+from repro.util.rng import make_rng
+from repro.util.timeutil import SECONDS_PER_DAY, TimeInterval, hours, minutes
 
 
 @dataclass(frozen=True, slots=True)
@@ -282,6 +285,127 @@ def _mall_events(building: Building) -> list[SemanticEvent]:
             event_id="foodcourt", room_id=rooms[-1], start_time=hours(12),
             duration=hours(1.5), days=alldays, capacity=80))
     return events
+
+
+# ---------------------------------------------------------------------------
+# Streaming workload
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class StreamingBatch:
+    """One tick of a streaming day: an ingest batch then a query burst.
+
+    Attributes:
+        index: Tick ordinal within the day.
+        interval: The time slice whose events arrive in this tick.
+        ingest: Events "received from the controllers" during the slice.
+        queries: The burst asked right after the tick's ingest; only
+            devices already observed by then are queried, and most
+            timestamps fall inside the freshly ingested slice so answers
+            demonstrably depend on the new data.
+    """
+
+    index: int
+    interval: TimeInterval
+    ingest: tuple[ConnectivityEvent, ...]
+    queries: tuple[LocationQuery, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamingWorkload:
+    """A live-serving day: warm-up history plus interleaved ticks.
+
+    The canonical event stream is ``warmup`` followed by each batch's
+    ``ingest`` in order — cold-rebuild oracles must consume exactly that
+    stream (see :meth:`events_through`) to be comparable with a system
+    that ingested it incrementally.
+    """
+
+    warmup: tuple[ConnectivityEvent, ...]
+    batches: tuple[StreamingBatch, ...]
+
+    def events_through(self, batch_index: int) -> list[ConnectivityEvent]:
+        """The full stream up to and including batch ``batch_index``."""
+        out = list(self.warmup)
+        for batch in self.batches[: batch_index + 1]:
+            out.extend(batch.ingest)
+        return out
+
+    @property
+    def event_count(self) -> int:
+        """Total events across warm-up and every tick."""
+        return len(self.warmup) + sum(len(b.ingest) for b in self.batches)
+
+    @property
+    def query_count(self) -> int:
+        """Total queries across every burst."""
+        return sum(len(b.queries) for b in self.batches)
+
+
+def streaming_day_workload(dataset, batches: int = 12,
+                           queries_per_burst: int = 16,
+                           seed: int = 0) -> StreamingWorkload:
+    """Carve a simulated dataset into a streaming day (ingest ⇄ query).
+
+    All but the last simulated day become the warm-up history; the final
+    day's events are replayed as ``batches`` equal time slices, each
+    followed by a deterministic query burst.  Burst queries prefer
+    devices active in the freshly ingested slice (two thirds, when
+    available) and time points inside it, with the rest sampling the
+    already-seen population across the day so far — the mix a live
+    tracking dashboard would produce.
+
+    Args:
+        dataset: A :class:`~repro.sim.dataset.Dataset` spanning ≥ 2 days.
+        batches: Ticks the final day is sliced into.
+        queries_per_burst: Queries per burst.
+        seed: Burst-sampling seed (the event stream itself is fixed).
+    """
+    if batches < 1:
+        raise SimulationError(f"batches must be >= 1, got {batches}")
+    if queries_per_burst < 1:
+        raise SimulationError(
+            f"queries_per_burst must be >= 1, got {queries_per_burst}")
+    span = dataset.span
+    if span.duration < 2 * SECONDS_PER_DAY:
+        raise SimulationError(
+            "streaming workload needs >= 2 simulated days "
+            f"(got {span.duration / SECONDS_PER_DAY:.1f})")
+    stream = sorted(
+        (event for mac in dataset.table.macs()
+         for event in dataset.table.events_of(mac)),
+        key=lambda e: (e.timestamp, e.mac, e.ap_id))
+    cut = span.end - SECONDS_PER_DAY
+    warmup = tuple(e for e in stream if e.timestamp < cut)
+    day = [e for e in stream if e.timestamp >= cut]
+    if not warmup or not day:
+        raise SimulationError(
+            "dataset has no events on one side of the streaming cut; "
+            "simulate more days or a denser population")
+
+    rng = make_rng(seed)
+    seen = sorted({e.mac for e in warmup})
+    width = (span.end - cut) / batches
+    out: list[StreamingBatch] = []
+    for index in range(batches):
+        lo = cut + index * width
+        hi = span.end if index == batches - 1 else cut + (index + 1) * width
+        ingest = tuple(e for e in day if lo <= e.timestamp < hi)
+        fresh = sorted({e.mac for e in ingest})
+        seen = sorted(set(seen).union(fresh))
+        queries = []
+        for _ in range(queries_per_burst):
+            if fresh and rng.random() < 2 / 3:
+                mac = fresh[int(rng.integers(len(fresh)))]
+                timestamp = float(rng.uniform(lo, hi))
+            else:
+                mac = seen[int(rng.integers(len(seen)))]
+                timestamp = float(rng.uniform(cut, hi))
+            queries.append(LocationQuery(mac=mac, timestamp=timestamp))
+        out.append(StreamingBatch(index=index,
+                                  interval=TimeInterval(lo, hi),
+                                  ingest=ingest, queries=tuple(queries)))
+    return StreamingWorkload(warmup=warmup, batches=tuple(out))
 
 
 def _airport_events(building: Building) -> list[SemanticEvent]:

@@ -9,8 +9,13 @@ entry point backed by the planner of :mod:`repro.system.planner`.
 
 from repro.system.baselines import Baseline1, Baseline2, CoarseBaseline
 from repro.system.config import LocaterConfig
-from repro.system.ingestion import IngestionEngine
-from repro.system.locater import Locater, LocationAnswer
+from repro.system.ingestion import IngestionEngine, IngestReport
+from repro.system.locater import (
+    BatchState,
+    InvalidationSummary,
+    Locater,
+    LocationAnswer,
+)
 from repro.system.planner import (
     DEFAULT_BUCKET_SECONDS,
     PlannedQuery,
@@ -20,14 +25,18 @@ from repro.system.planner import (
 )
 from repro.system.query import LocationQuery
 from repro.system.storage import InMemoryStorage, SqliteStorage, StorageEngine
+from repro.system.streaming import StreamingSession
 
 __all__ = [
     "Baseline1",
     "Baseline2",
+    "BatchState",
     "CoarseBaseline",
     "DEFAULT_BUCKET_SECONDS",
+    "IngestReport",
     "IngestionEngine",
     "InMemoryStorage",
+    "InvalidationSummary",
     "Locater",
     "LocaterConfig",
     "LocationAnswer",
@@ -37,5 +46,6 @@ __all__ = [
     "QueryPlan",
     "SqliteStorage",
     "StorageEngine",
+    "StreamingSession",
     "plan_queries",
 ]

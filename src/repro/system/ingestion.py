@@ -5,16 +5,54 @@ SNMP/NETCONF/Syslog; here any iterable of :class:`ConnectivityEvent`
 plays that role.  The engine assigns event ids, forwards rows to the
 storage engine in batches, and maintains the in-memory
 :class:`~repro.events.table.EventTable` the cleaning engine reads.
+
+Ingestion is an *online* operation: every :meth:`IngestionEngine.ingest`
+call merges the new rows incrementally (see ``EventTable.freeze``),
+re-estimates δ only for the devices whose logs actually changed, and
+publishes an :class:`IngestReport` to subscribers — which is how a
+:class:`~repro.system.locater.Locater` learns it must invalidate models
+trained on the pre-ingest table (``Locater.on_ingest``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
 
 from repro.events.event import ConnectivityEvent
 from repro.events.table import EventTable
 from repro.events.validity import DeltaEstimator
 from repro.system.storage import StorageEngine
+from repro.util.timeutil import TimeInterval
+
+
+@dataclass(frozen=True, slots=True)
+class IngestReport:
+    """What one :meth:`IngestionEngine.ingest` call changed.
+
+    Attributes:
+        count: Events ingested by this call.
+        generation: The table generation after the merge (pass to
+            ``EventTable.changed_since`` to resume the change feed).
+        changed: Per changed MAC, the interval spanning the timestamps of
+            the rows merged by this call (``end`` is the latest merged
+            timestamp itself).
+        delta_changes: MAC → (old δ, new δ) for devices whose validity
+            period estimate actually moved; consumers holding
+            validity-derived snapshots must treat these devices as
+            changed at *all* times, not just inside ``changed``.
+    """
+
+    count: int
+    generation: int
+    changed: Mapping[str, TimeInterval] = field(default_factory=dict)
+    delta_changes: Mapping[str, tuple[float, float]] = field(
+        default_factory=dict)
+
+    @property
+    def macs(self) -> frozenset[str]:
+        """The devices whose logs changed."""
+        return frozenset(self.changed)
 
 
 class IngestionEngine:
@@ -24,8 +62,16 @@ class IngestionEngine:
         table: Event table the cleaning engine queries.
         storage: Optional storage engine receiving the raw (dirty) rows.
         batch_size: Rows per storage write.
-        estimate_deltas: Re-estimate per-device δ after each ingest batch
-            (cheap, and keeps validity windows calibrated as data grows).
+        estimate_deltas: Re-estimate δ after each ingest batch for the
+            devices whose logs changed (cheap, and keeps validity windows
+            calibrated as data grows).
+
+    Event ids continue from whatever the table or storage already holds,
+    so a second engine — or one restarted over a persisted store — never
+    reissues ids that collide with existing rows.
+
+    Subscribers registered with :meth:`subscribe` receive the
+    :class:`IngestReport` of every ingest call, in registration order.
     """
 
     def __init__(self, table: EventTable,
@@ -39,15 +85,36 @@ class IngestionEngine:
         self._batch_size = batch_size
         self._estimate_deltas = estimate_deltas
         self._estimator = DeltaEstimator()
-        self._next_event_id = 0
+        seed = table.max_event_id
+        if storage is not None:
+            seed = max(seed, storage.max_event_id())
+        self._next_event_id = seed + 1
+        self._subscribers: list[Callable[[IngestReport], None]] = []
 
     @property
     def table(self) -> EventTable:
         """The event table maintained by this engine."""
         return self._table
 
-    def ingest(self, events: Iterable[ConnectivityEvent]) -> int:
-        """Consume a stream of events; returns how many were ingested."""
+    def subscribe(self, listener: Callable[[IngestReport], None]
+                  ) -> Callable[[], None]:
+        """Register a change-feed listener; returns an unsubscribe hook."""
+        self._subscribers.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._subscribers:
+                self._subscribers.remove(listener)
+
+        return unsubscribe
+
+    def ingest(self, events: Iterable[ConnectivityEvent]) -> IngestReport:
+        """Consume a stream of events; returns what changed.
+
+        The report's ``count`` says how many events were ingested; its
+        ``changed``/``delta_changes`` maps drive surgical invalidation in
+        subscribers.
+        """
+        generation_before = self._table.generation
         batch: list[ConnectivityEvent] = []
         count = 0
         for event in events:
@@ -64,9 +131,21 @@ class IngestionEngine:
         if batch:
             self._flush(batch)
         self._table.freeze()
-        if self._estimate_deltas and count:
-            self._estimator.fit_table(self._table)
-        return count
+        changed = self._table.changed_since(generation_before)
+        delta_changes: dict[str, tuple[float, float]] = {}
+        if self._estimate_deltas and changed:
+            old = {mac: self._table.registry.get(mac).delta
+                   for mac in changed}
+            new = self._estimator.fit_devices(self._table, sorted(changed))
+            delta_changes = {mac: (old[mac], new[mac]) for mac in changed
+                             if new[mac] != old[mac]}
+        report = IngestReport(count=count,
+                              generation=self._table.generation,
+                              changed=changed,
+                              delta_changes=delta_changes)
+        for listener in list(self._subscribers):
+            listener(report)
+        return report
 
     def _flush(self, batch: list[ConnectivityEvent]) -> None:
         if self._storage is not None:

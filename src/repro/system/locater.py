@@ -17,9 +17,11 @@ from repro.space.building import Building
 from repro.space.metadata import SpaceMetadata
 from repro.system.config import LocaterConfig
 from repro.system.planner import DEFAULT_BUCKET_SECONDS, plan_queries
+from repro.errors import EmptyHistoryError
+from repro.system.ingestion import IngestReport
 from repro.system.query import LocationQuery
 from repro.system.storage import StorageEngine
-from repro.util.timeutil import SECONDS_PER_DAY, TimeInterval
+from repro.util.timeutil import SECONDS_PER_DAY, TimeInterval, day_index
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,12 +59,49 @@ class LocationAnswer:
 
 
 @dataclass(slots=True)
-class _BatchState:
-    """Shared-computation state for one ``locate_batch`` call."""
+class BatchState:
+    """Shared-computation state threaded through ``locate_batch``.
+
+    Normally created fresh per call; a streaming session keeps one alive
+    across query bursts (every memo is a pure function of table state,
+    so reuse never changes answers) and prunes it on ingest via
+    :meth:`drop_device` / the neighbor index's invalidation hooks.
+    """
 
     neighbors: NeighborIndex
     coarse: CoarseSharedState = field(default_factory=CoarseSharedState)
     fine: FineSharedState = field(default_factory=FineSharedState)
+
+    def drop_device(self, mac: str) -> None:
+        """Forget every memo involving one device (its log changed)."""
+        self.drop_devices({mac})
+
+    def drop_devices(self, macs: "set[str]") -> None:
+        """Forget memos involving any given device, one pass per memo."""
+        self.coarse.drop_devices(macs)
+        self.fine.drop_devices(macs)
+
+
+@dataclass(frozen=True, slots=True)
+class InvalidationSummary:
+    """What :meth:`Locater.on_ingest` invalidated.
+
+    Attributes:
+        full: Every trained model and memo was dropped (the training
+            window itself moved — sliding ``history_days`` window, or
+            the table span's day range changed, which shifts the density
+            feature of *every* device).
+        macs: The devices invalidated surgically (empty when ``full``).
+        delta_changed: Devices whose δ estimate moved — their validity
+            windows shifted at all times, so time-keyed snapshots
+            involving them are stale everywhere.
+        answers_dropped: Cleaned answers purged from storage.
+    """
+
+    full: bool
+    macs: frozenset[str]
+    delta_changed: frozenset[str]
+    answers_dropped: int
 
 
 class Locater:
@@ -123,6 +162,7 @@ class Locater:
             affinity_noise_floor=self.config.affinity_noise_floor)
         self.cache = CachingEngine(sigma=self.config.cache_sigma) \
             if self.config.use_caching else None
+        self._history_fingerprint = self._span_fingerprint()
 
     def _resolve_history(self) -> "TimeInterval | None":
         if self.config.history_days is None:
@@ -131,6 +171,22 @@ class Locater:
         start = max(span.start, span.end -
                     self.config.history_days * SECONDS_PER_DAY)
         return TimeInterval(start, span.end)
+
+    def _span_fingerprint(self) -> "tuple[int, int] | None":
+        """(first day, last day) of the table span, or None when empty.
+
+        The coarse gap features depend on the training window only
+        through this day range (the density feature divides by the
+        number of days), so as long as the fingerprint is stable an
+        unchanged device's trained models stay valid under the grown
+        window — the invariant behind surgical invalidation.
+        """
+        try:
+            span = self._table.span()
+        except EmptyHistoryError:
+            return None
+        return (day_index(span.start),
+                day_index(max(span.start, span.end - 1e-9)))
 
     # ------------------------------------------------------------------
     @property
@@ -149,10 +205,23 @@ class Locater:
         return self._locate_one(LocationQuery(mac=mac, timestamp=timestamp),
                                 None)
 
+    def make_batch_state(self,
+                         max_snapshots: "int | None" = None) -> BatchState:
+        """A shared-computation state for :meth:`locate_batch`.
+
+        Create one per batch (the default), or keep one alive across
+        bursts in a streaming session — in that case every ingest must
+        prune it (see :class:`~repro.system.streaming.StreamingSession`)
+        and ``max_snapshots`` should bound the neighbor-snapshot memo.
+        """
+        return BatchState(neighbors=NeighborIndex(
+            self._building, self._table, max_snapshots=max_snapshots))
+
     def locate_batch(self, queries: Iterable[LocationQuery],
                      bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
                      timings: "list[tuple[int, float]] | None" = None,
-                     share_computation: bool = True
+                     share_computation: bool = True,
+                     state: "BatchState | None" = None
                      ) -> list[LocationAnswer]:
         """Answer a batch of queries with shared computation.
 
@@ -180,6 +249,9 @@ class Locater:
                 efficiency experiments need this so the *caching engine*
                 (not the batch memos) is the only thing amortizing work
                 across queries.
+            state: Externally owned shared-computation state (see
+                :meth:`make_batch_state`); defaults to a fresh one per
+                call.  Ignored when ``share_computation`` is False.
 
         Example:
             >>> answers = locater.locate_batch(
@@ -188,9 +260,10 @@ class Locater:
         """
         queries = list(queries)
         plan = plan_queries(queries, bucket_seconds=bucket_seconds)
-        state = _BatchState(neighbors=NeighborIndex(self._building,
-                                                    self._table)) \
-            if share_computation else None
+        if not share_computation:
+            state = None
+        elif state is None:
+            state = self.make_batch_state()
         answers: "list[LocationAnswer | None]" = [None] * len(queries)
         for group in plan.groups:
             for planned in group.queries:
@@ -206,7 +279,7 @@ class Locater:
         return answers  # type: ignore[return-value]  # every slot filled
 
     def _locate_one(self, query: LocationQuery,
-                    state: "_BatchState | None") -> LocationAnswer:
+                    state: "BatchState | None") -> LocationAnswer:
         """The per-query pipeline; ``state`` shares work across a batch."""
         mac, timestamp = query.mac, query.timestamp
         if self._storage is not None:
@@ -257,6 +330,60 @@ class Locater:
     def locate_query(self, query: LocationQuery) -> LocationAnswer:
         """Answer an explicit :class:`LocationQuery`."""
         return self.locate(query.mac, query.timestamp)
+
+    # ------------------------------------------------------------------
+    # Online ingestion
+    # ------------------------------------------------------------------
+    def on_ingest(self, report: IngestReport) -> InvalidationSummary:
+        """React to new events so served answers stay fresh.
+
+        Subscribe this to an :class:`~repro.system.ingestion
+        .IngestionEngine` wrapping the same table::
+
+            engine = IngestionEngine(locater.table, storage=storage)
+            engine.subscribe(locater.on_ingest)
+
+        Invalidation is *surgical* when provably safe: only the changed
+        devices' coarse models, affinity memos and (when they fed it)
+        the population aggregate are dropped, and everything else keeps
+        serving from cache — a rebuilt system would reproduce the
+        surviving state bit for bit, because each cached value is a pure
+        function of inputs the ingest did not touch.  When the training
+        window itself moved (``history_days`` sliding window, or the
+        span's day range grew, which changes every device's density
+        feature), invalidation escalates to a full drop.  Cleaned
+        answers in storage are always purged: co-location couples
+        devices, so no stored answer is provably unaffected.
+        """
+        if not report.changed:
+            # Nothing merged (e.g. an empty poll tick): every cached
+            # model, memo and stored answer is still exact.
+            return InvalidationSummary(full=False, macs=frozenset(),
+                                       delta_changed=frozenset(),
+                                       answers_dropped=0)
+        answers_dropped = self._storage.clear_answers() \
+            if self._storage is not None else 0
+        fingerprint = self._span_fingerprint()
+        full = self.config.history_days is not None or \
+            fingerprint != self._history_fingerprint
+        self._history_fingerprint = fingerprint
+        delta_changed = frozenset(report.delta_changes)
+        if full:
+            history = self._resolve_history()
+            self.coarse.set_history(history)
+            self._device_index.set_history(history)
+            return InvalidationSummary(full=True, macs=frozenset(),
+                                       delta_changed=delta_changed,
+                                       answers_dropped=answers_dropped)
+        # The span may have grown inside the same day range; models
+        # survive (see _span_fingerprint), but the lazily-cached window
+        # must track what a cold rebuild would resolve.
+        self.coarse.advance_history(self._table.span())
+        self.coarse.invalidate_devices(report.macs)
+        self._device_index.invalidate_devices(report.macs)
+        return InvalidationSummary(full=False, macs=report.macs,
+                                   delta_changed=delta_changed,
+                                   answers_dropped=answers_dropped)
 
     # ------------------------------------------------------------------
     def _persist(self, answer: LocationAnswer) -> None:

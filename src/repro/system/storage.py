@@ -37,6 +37,15 @@ class StorageEngine(ABC):
     def event_count(self) -> int:
         """Number of raw events stored."""
 
+    @abstractmethod
+    def max_event_id(self) -> int:
+        """Largest event id stored, or −1 when no row carries one.
+
+        Ingestion engines seed their id counters from this (and the
+        table's maximum) so restarts over a pre-populated store never
+        reissue colliding ids.
+        """
+
     # -- clean (answered) locations ------------------------------------
     @abstractmethod
     def store_answer(self, mac: str, timestamp: float, location: str) -> None:
@@ -45,6 +54,17 @@ class StorageEngine(ABC):
     @abstractmethod
     def find_answer(self, mac: str, timestamp: float) -> "str | None":
         """Exact-match lookup of a previously cleaned answer."""
+
+    @abstractmethod
+    def clear_answers(self) -> int:
+        """Drop every cleaned answer; returns how many were dropped.
+
+        Cleaned answers are a memo of the cleaning pipeline's output over
+        the *current* event table.  New events can change any answer —
+        even of devices that emitted nothing, because cleaning couples
+        devices through co-location — so ingestion invalidates the whole
+        store rather than guessing a safe subset.
+        """
 
     # -- metadata -------------------------------------------------------
     @abstractmethod
@@ -95,6 +115,10 @@ class InMemoryStorage(StorageEngine):
         self._check_open()
         return len(self._events)
 
+    def max_event_id(self) -> int:
+        self._check_open()
+        return max((e.event_id for e in self._events), default=-1)
+
     def store_answer(self, mac: str, timestamp: float, location: str) -> None:
         self._check_open()
         self._answers[(mac, timestamp)] = location
@@ -102,6 +126,12 @@ class InMemoryStorage(StorageEngine):
     def find_answer(self, mac: str, timestamp: float) -> "str | None":
         self._check_open()
         return self._answers.get((mac, timestamp))
+
+    def clear_answers(self) -> int:
+        self._check_open()
+        dropped = len(self._answers)
+        self._answers.clear()
+        return dropped
 
     def store_metadata(self, key: str, value: dict) -> None:
         self._check_open()
@@ -157,18 +187,25 @@ class SqliteStorage(StorageEngine):
 
     def store_events(self, events: Iterable[ConnectivityEvent]) -> int:
         self._check_open()
-        rows = [(e.mac, e.timestamp, e.ap_id) for e in events]
+        # Persist stamped ids verbatim (NULL lets SQLite autoassign for
+        # unstamped rows), so replaying from this backend reproduces the
+        # ids the ingestion engine issued, exactly like the in-memory one.
+        rows = [(e.event_id if e.event_id >= 0 else None,
+                 e.mac, e.timestamp, e.ap_id) for e in events]
         with self._conn:
             self._conn.executemany(
-                "INSERT INTO dirty_events (mac, timestamp, ap_id) "
-                "VALUES (?, ?, ?)", rows)
+                "INSERT INTO dirty_events (event_id, mac, timestamp, ap_id) "
+                "VALUES (?, ?, ?, ?)", rows)
         return len(rows)
 
     def load_events(self) -> Iterator[ConnectivityEvent]:
         self._check_open()
+        # event_id breaks timestamp/mac/ap ties so replay order matches
+        # InMemoryStorage, which sorts full ConnectivityEvent tuples
+        # (timestamp, mac, ap_id, event_id).
         cursor = self._conn.execute(
             "SELECT event_id, mac, timestamp, ap_id FROM dirty_events "
-            "ORDER BY timestamp, mac, ap_id")
+            "ORDER BY timestamp, mac, ap_id, event_id")
         for event_id, mac, timestamp, ap_id in cursor:
             yield ConnectivityEvent(timestamp=timestamp, mac=mac,
                                     ap_id=ap_id, event_id=event_id)
@@ -177,6 +214,13 @@ class SqliteStorage(StorageEngine):
         self._check_open()
         row = self._conn.execute(
             "SELECT COUNT(*) FROM dirty_events").fetchone()
+        return int(row[0])
+
+    def max_event_id(self) -> int:
+        self._check_open()
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(event_id), -1) FROM dirty_events"
+        ).fetchone()
         return int(row[0])
 
     def store_answer(self, mac: str, timestamp: float, location: str) -> None:
@@ -193,6 +237,12 @@ class SqliteStorage(StorageEngine):
             "SELECT location FROM clean_answers "
             "WHERE mac = ? AND timestamp = ?", (mac, timestamp)).fetchone()
         return None if row is None else str(row[0])
+
+    def clear_answers(self) -> int:
+        self._check_open()
+        with self._conn:
+            cursor = self._conn.execute("DELETE FROM clean_answers")
+        return int(cursor.rowcount)
 
     def store_metadata(self, key: str, value: dict) -> None:
         self._check_open()

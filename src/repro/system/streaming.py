@@ -1,0 +1,145 @@
+"""Online serving: interleave ingestion with query answering (Fig. 5, live).
+
+LOCATER is a *live* system — association events stream in from wireless
+controllers while location queries keep arriving.  The pieces involved
+are all independently usable (``IngestionEngine.subscribe``,
+``Locater.on_ingest``, ``Locater.make_batch_state``); this module wires
+them into one object so a deployment loop is three lines::
+
+    session = StreamingSession(locater)          # wraps locater.table
+    session.ingest(new_events)                   # merge + invalidate
+    answers = session.query(burst)               # fresh, shared-work
+
+The session owns a persistent :class:`~repro.system.locater.BatchState`
+so query bursts keep reusing neighbor snapshots and affinity memos
+*across* bursts, and prunes exactly the entries each ingest staled:
+memos mentioning a changed device, and online-device snapshots within
+validity reach of the new rows (all snapshots, when a device's δ
+estimate moved).  Because every cached value is a pure function of table
+state, the answers are bitwise identical to what a system rebuilt from
+scratch over the merged log would produce — the equivalence suite in
+``tests/integration/test_streaming_equivalence.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.events.event import ConnectivityEvent
+from repro.system.ingestion import IngestionEngine, IngestReport
+from repro.system.locater import Locater, LocationAnswer
+from repro.system.planner import DEFAULT_BUCKET_SECONDS
+from repro.system.query import LocationQuery
+
+
+#: Bound on the session's neighbor-snapshot memo (one entry per distinct
+#: query timestamp); oldest-inserted snapshots evict first.
+MAX_SNAPSHOTS = 4096
+
+#: When any one of the session's affinity/feature memo dicts outgrows
+#: this, it is cleared wholesale — memos are pure caches, so the only
+#: cost is recomputation, and wholesale clearing keeps the steady-state
+#: bookkeeping trivial.
+MAX_MEMO_ENTRIES = 65536
+
+
+class StreamingSession:
+    """A long-running serve loop: ingest batches, answer query bursts.
+
+    Args:
+        locater: The cleaning system to keep fresh.
+        engine: Optional ingestion engine; must wrap the locater's table.
+            Defaults to a new storage-less engine over that table.  The
+            session subscribes itself — do not additionally subscribe
+            ``locater.on_ingest`` to the same engine, or invalidation
+            runs twice (harmless, but wasted work).
+        bucket_seconds: Planning bucket width for query bursts.
+    """
+
+    def __init__(self, locater: Locater,
+                 engine: "IngestionEngine | None" = None,
+                 bucket_seconds: float = DEFAULT_BUCKET_SECONDS) -> None:
+        if engine is None:
+            engine = IngestionEngine(locater.table)
+        elif engine.table is not locater.table:
+            raise ConfigurationError(
+                "ingestion engine and locater must share one event table")
+        self._locater = locater
+        self._engine = engine
+        self._bucket_seconds = bucket_seconds
+        self._state = locater.make_batch_state(max_snapshots=MAX_SNAPSHOTS)
+        self._unsubscribe = engine.subscribe(self._on_ingest)
+        self.ingests = 0
+        self.full_invalidations = 0
+
+    @property
+    def locater(self) -> Locater:
+        """The cleaning system served by this session."""
+        return self._locater
+
+    @property
+    def engine(self) -> IngestionEngine:
+        """The ingestion engine feeding the session."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    def ingest(self, events: Iterable[ConnectivityEvent]) -> IngestReport:
+        """Merge new events; stale models and memos are pruned en route."""
+        return self._engine.ingest(events)
+
+    def query(self, queries: Sequence[LocationQuery]
+              ) -> list[LocationAnswer]:
+        """Answer a burst of queries against the current table."""
+        return self._locater.locate_batch(
+            queries, bucket_seconds=self._bucket_seconds, state=self._state)
+
+    def locate(self, mac: str, timestamp: float) -> LocationAnswer:
+        """Answer a single query (still sharing the session's memos)."""
+        return self.query([LocationQuery(mac=mac, timestamp=timestamp)])[0]
+
+    def close(self) -> None:
+        """Detach from the engine's change feed."""
+        self._unsubscribe()
+
+    def __enter__(self) -> "StreamingSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _on_ingest(self, report: IngestReport) -> None:
+        """Invalidate the locater and prune the persistent batch state."""
+        self.ingests += 1
+        summary = self._locater.on_ingest(report)
+        if summary.full:
+            self.full_invalidations += 1
+            self._state = self._locater.make_batch_state(
+                max_snapshots=MAX_SNAPSHOTS)
+            return
+        if summary.macs:
+            self._state.drop_devices(set(summary.macs))
+        if summary.delta_changed:
+            # A moved δ shifts the device's validity windows everywhere,
+            # so any online-devices snapshot may list it wrongly.
+            self._state.neighbors.invalidate_all()
+        else:
+            registry = self._locater.table.registry
+            for mac, interval in report.changed.items():
+                self._state.neighbors.invalidate_interval(
+                    interval, slack=registry.get(mac).delta)
+        self._trim_memos()
+
+    def _trim_memos(self) -> None:
+        """Bound the persistent memos (timestamp-keyed entries accrue
+        across bursts; clearing an oversized memo only costs
+        recomputation)."""
+        state = self._state
+        for memo in (state.coarse.features, state.coarse.building_labels,
+                     state.coarse.region_ids, state.fine.priors,
+                     state.fine.pair_affinities,
+                     state.fine.cluster_affinities,
+                     state.fine.room_affinities):
+            if len(memo) > MAX_MEMO_ENTRIES:
+                memo.clear()

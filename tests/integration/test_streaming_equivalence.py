@@ -1,0 +1,119 @@
+"""Streaming equivalence suite: incremental ingest ≡ cold rebuild.
+
+The correctness contract of the online-ingestion subsystem: a
+long-running :class:`~repro.system.streaming.StreamingSession` that
+merges event batches incrementally and invalidates surgically must
+serve, at every burst, answers **bitwise identical** to a system built
+from scratch over the same stream.  The systems run without the caching
+engine and storage — their warm state is deliberate cross-query memory,
+not a cache of table-derived values — so answers are pure functions of
+the table and the comparison is exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.table import EventTable
+from repro.events.validity import DeltaEstimator
+from repro.sim.scenarios import ScenarioSpec, streaming_day_workload
+from repro.sim.simulator import Simulator
+from repro.system.config import LocaterConfig
+from repro.system.ingestion import IngestionEngine
+from repro.system.locater import Locater
+from repro.system.streaming import StreamingSession
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = Simulator(
+        ScenarioSpec.dbh_like(seed=13, population=10)).run(days=4)
+    workload = streaming_day_workload(dataset, batches=6,
+                                      queries_per_burst=8, seed=3)
+    return dataset, workload
+
+
+def _cold_system(dataset, events, config):
+    table = EventTable.from_events(events)
+    DeltaEstimator().fit_table(table)
+    return Locater(dataset.building, dataset.metadata, table,
+                   config=config)
+
+
+def _streaming_session(dataset, workload, config):
+    table = EventTable()
+    engine = IngestionEngine(table)
+    engine.ingest(workload.warmup)
+    locater = Locater(dataset.building, dataset.metadata, table,
+                      config=config)
+    return StreamingSession(locater, engine)
+
+
+class TestStreamingEquivalence:
+    def test_every_burst_matches_cold_rebuild(self, world):
+        dataset, workload = world
+        config = LocaterConfig(use_caching=False)
+        session = _streaming_session(dataset, workload, config)
+        for batch in workload.batches:
+            session.ingest(batch.ingest)
+            streamed = session.query(batch.queries)
+            cold = _cold_system(
+                dataset, workload.events_through(batch.index), config)
+            expected = cold.locate_batch(batch.queries)
+            # Full LocationAnswer equality: coarse route, room, the
+            # entire fine posterior and edge weights, float for float.
+            assert streamed == expected
+
+    def test_sequential_path_matches_too(self, world):
+        # The session's persistent batch state must also agree with the
+        # cold system's *sequential* (memo-free) path — memos may only
+        # share work, never change an answer.
+        dataset, workload = world
+        config = LocaterConfig(use_caching=False)
+        session = _streaming_session(dataset, workload, config)
+        for batch in workload.batches[:3]:
+            session.ingest(batch.ingest)
+            streamed = session.query(batch.queries)
+            cold = _cold_system(
+                dataset, workload.events_through(batch.index), config)
+            expected = [cold.locate(q.mac, q.timestamp)
+                        for q in batch.queries]
+            for answer, reference in zip(streamed, expected):
+                assert answer.inside == reference.inside
+                assert answer.room_id == reference.room_id
+                assert answer.region_id == reference.region_id
+
+    def test_sliding_history_window_stays_fresh(self, world):
+        # history_days forces a full invalidation on every ingest (the
+        # window moves); answers must still match a cold rebuild that
+        # resolves the same window.
+        dataset, workload = world
+        config = LocaterConfig(use_caching=False, history_days=2)
+        session = _streaming_session(dataset, workload, config)
+        nonempty = 0
+        for batch in workload.batches:
+            session.ingest(batch.ingest)
+            streamed = session.query(batch.queries)
+            cold = _cold_system(
+                dataset, workload.events_through(batch.index), config)
+            assert streamed == cold.locate_batch(batch.queries)
+            nonempty += bool(batch.ingest)
+        assert session.full_invalidations == nonempty
+
+    def test_table_state_matches_cold_rebuild(self, world):
+        dataset, workload = world
+        session = _streaming_session(dataset, workload,
+                                     LocaterConfig(use_caching=False))
+        for batch in workload.batches:
+            session.ingest(batch.ingest)
+        table = session.locater.table
+        cold = EventTable.from_events(workload.events_through(
+            len(workload.batches) - 1))
+        DeltaEstimator().fit_table(cold)
+        assert len(table) == len(cold)
+        assert table.ap_ids == cold.ap_ids
+        assert sorted(table.macs()) == sorted(cold.macs())
+        for mac in cold.macs():
+            assert list(table.log(mac).times) == list(cold.log(mac).times)
+            assert table.registry.get(mac).delta == \
+                cold.registry.get(mac).delta

@@ -66,6 +66,53 @@ def test_incremental_equals_batch(rows):
             list(incremental.log(mac).times)
 
 
+@given(raw_events, st.lists(st.integers(min_value=0, max_value=60),
+                            min_size=0, max_size=5))
+@settings(max_examples=60)
+def test_streamed_freezes_equal_from_events(rows, cut_points):
+    """Append-after-freeze over any chunking ≡ one-shot from_events.
+
+    The incremental searchsorted/insert merge must reproduce, chunk
+    schedule notwithstanding: per-device log order (stable under ties),
+    the AP vocabulary in first-seen order, the table length, and the δ
+    estimates installed by the estimator (pure functions of the logs).
+    """
+    from repro.events.validity import DeltaEstimator
+
+    events = [ConnectivityEvent(t, mac, ap) for t, mac, ap in rows]
+    batch = EventTable.from_events(events)
+    DeltaEstimator().fit_table(batch)
+
+    streamed = EventTable()
+    cuts = sorted({min(c, len(events)) for c in cut_points})
+    edges = [0, *cuts, len(events)]
+    generation = streamed.generation
+    changed_macs: set[str] = set()
+    for lo, hi in zip(edges, edges[1:]):
+        streamed.extend(events[lo:hi])
+        streamed.freeze()
+    changed = streamed.changed_since(generation)
+    changed_macs = set(changed)
+
+    assert len(streamed) == len(batch)
+    assert streamed.ap_ids == batch.ap_ids
+    assert sorted(streamed.macs()) == sorted(batch.macs())
+    assert changed_macs == {mac for _, mac, _ in rows}
+    DeltaEstimator().fit_devices(streamed, sorted(changed_macs))
+    for mac in batch.macs():
+        expected = batch.log(mac)
+        got = streamed.log(mac)
+        assert list(got.times) == list(expected.times)
+        assert [got.ap_at(i) for i in range(len(got))] == \
+            [expected.ap_at(i) for i in range(len(expected))]
+        assert streamed.registry.get(mac).delta == \
+            batch.registry.get(mac).delta
+        # The change feed brackets every event of the device.
+        interval = changed[mac]
+        assert interval.start <= min(got.times)
+        assert max(got.times) <= interval.end
+
+
 @given(raw_events, st.floats(min_value=0.0, max_value=1e6),
        st.floats(min_value=0.0, max_value=1e6))
 @settings(max_examples=40)

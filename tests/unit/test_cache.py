@@ -154,6 +154,22 @@ class TestCachingEngine:
         assert [n.mac for n in ordered] == ["d3", "d2", "d2"]
         assert ordered[1] is dup_a and ordered[2] is dup_b
 
+    def test_zero_weight_edges_count_as_hit(self):
+        # Regression: a cached edge with weight 0.0 is information
+        # ("these two are not companions") and must count as a hit, per
+        # order_neighbors' documented contract — the old code treated
+        # an all-zero cache row as a miss.
+        engine = CachingEngine()
+        engine.record("d1", 0.0, {"d2": 0.0, "d3": 0.0})
+        ordered, caps = engine.prepare_neighbors(
+            "d1", [_neighbor("d3"), _neighbor("d2")], 0.0)
+        assert engine.stats() == {"hits": 1, "misses": 0, "edges": 2,
+                                  "nodes": 3}
+        # All-zero weights rank by MAC (GlobalAffinityGraph.rank's tie
+        # rule), and zero-weight edges still produce (tiny) caps.
+        assert [n.mac for n in ordered] == ["d2", "d3"]
+        assert not np.isnan(caps).any()
+
     def test_order_neighbors_duplicates_on_cold_cache(self):
         engine = CachingEngine()
         neighbors = [_neighbor("d2"), _neighbor("d2")]

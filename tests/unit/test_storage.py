@@ -45,6 +45,23 @@ class TestStorageEngines:
         storage.store_answer("m1", 100.0, "outside")
         assert storage.find_answer("m1", 100.0) == "outside"
 
+    def test_max_event_id_empty(self, storage):
+        assert storage.max_event_id() == -1
+
+    def test_max_event_id_tracks_stamped_rows(self, storage):
+        storage.store_events([
+            ConnectivityEvent(10.0, "m1", "wap1", event_id=4),
+            ConnectivityEvent(20.0, "m1", "wap1", event_id=9),
+        ])
+        assert storage.max_event_id() == 9
+
+    def test_clear_answers(self, storage):
+        storage.store_answer("m1", 100.0, "2061")
+        storage.store_answer("m2", 50.0, "outside")
+        assert storage.clear_answers() == 2
+        assert storage.find_answer("m1", 100.0) is None
+        assert storage.clear_answers() == 0
+
     def test_metadata_roundtrip(self, storage):
         doc = {"rooms": ["a", "b"], "count": 2}
         storage.store_metadata("building", doc)
@@ -76,3 +93,58 @@ class TestSqliteSpecifics:
             engine.store_events(EVENTS)
         with SqliteStorage(path) as engine:
             assert engine.event_count() == 3
+
+    def test_stamped_ids_persisted_verbatim(self):
+        with SqliteStorage(":memory:") as engine:
+            engine.store_events([
+                ConnectivityEvent(10.0, "m1", "wap1", event_id=0),
+                ConnectivityEvent(20.0, "m1", "wap1", event_id=7),
+            ])
+            assert sorted(e.event_id for e in engine.load_events()) == [0, 7]
+
+
+class TestReplayEquivalence:
+    """Both backends must replay the same stream in the same order.
+
+    Regression: SQLite ordered by (timestamp, mac, ap_id) only, while
+    the in-memory store sorts full event tuples — so stamped events
+    tied on all three columns replayed in different orders per backend.
+    """
+
+    TIED = [
+        ConnectivityEvent(50.0, "m1", "wap1", event_id=3),
+        ConnectivityEvent(50.0, "m1", "wap1", event_id=1),
+        ConnectivityEvent(50.0, "m1", "wap1", event_id=2),
+        ConnectivityEvent(10.0, "m2", "wap2", event_id=0),
+        ConnectivityEvent(50.0, "m1", "wap2", event_id=4),
+    ]
+
+    def test_cross_backend_replay_order(self):
+        with InMemoryStorage() as memory, SqliteStorage(":memory:") as sql:
+            memory.store_events(self.TIED)
+            sql.store_events(self.TIED)
+            assert list(memory.load_events()) == list(sql.load_events())
+
+    def test_ties_break_on_event_id(self):
+        with SqliteStorage(":memory:") as sql:
+            sql.store_events(self.TIED)
+            replayed = [e.event_id for e in sql.load_events()
+                        if e.timestamp == 50.0 and e.ap_id == "wap1"]
+            assert replayed == [1, 2, 3]
+
+    def test_replayed_tables_identical(self):
+        # The order matters because EventTable interns devices and APs
+        # in first-seen order; replaying from either backend must build
+        # the same table.
+        from repro.events.table import EventTable
+        with InMemoryStorage() as memory, SqliteStorage(":memory:") as sql:
+            memory.store_events(self.TIED)
+            sql.store_events(self.TIED)
+            a = EventTable.from_events(memory.load_events())
+            b = EventTable.from_events(sql.load_events())
+            assert a.ap_ids == b.ap_ids
+            assert a.macs() == b.macs()
+            for mac in a.macs():
+                assert list(a.log(mac).times) == list(b.log(mac).times)
+                assert list(a.log(mac).ap_indices) == \
+                    list(b.log(mac).ap_indices)

@@ -1,0 +1,249 @@
+"""Unit tests for online-ingestion invalidation across the layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coarse.localizer import CoarseLocalizer, CoarseSharedState
+from repro.coarse.aggregate import PopulationAggregate
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.fine.affinity import DeviceAffinityIndex
+from repro.fine.localizer import FineSharedState
+from repro.fine.neighbors import NeighborIndex
+from repro.system.ingestion import IngestionEngine
+from repro.system.locater import Locater
+from repro.system.storage import InMemoryStorage
+from repro.util.timeutil import TimeInterval, hours, minutes
+
+
+def _evts(mac, pairs):
+    return [ConnectivityEvent(timestamp=t, mac=mac, ap_id=ap)
+            for t, ap in pairs]
+
+
+class TestEventTableChangeFeed:
+    def test_generation_advances_only_on_merge(self):
+        table = EventTable()
+        assert table.generation == 0
+        table.append(ConnectivityEvent(10.0, "m1", "wap1"))
+        table.freeze()
+        assert table.generation == 1
+        table.freeze()  # nothing pending
+        assert table.generation == 1
+
+    def test_changed_since_scopes_by_generation(self):
+        table = EventTable()
+        table.append(ConnectivityEvent(10.0, "m1", "wap1"))
+        table.freeze()
+        first = table.generation
+        table.extend(_evts("m2", [(50.0, "wap1"), (70.0, "wap1")]))
+        table.freeze()
+        assert set(table.changed_since(first)) == {"m2"}
+        assert table.changed_since(first)["m2"] == TimeInterval(50.0, 70.0)
+        assert set(table.changed_since(0)) == {"m1", "m2"}
+        assert table.changed_since(table.generation) == {}
+
+    def test_changed_since_freezes_pending(self):
+        table = EventTable()
+        table.append(ConnectivityEvent(10.0, "m1", "wap1"))
+        assert set(table.changed_since(0)) == {"m1"}
+
+    def test_change_journal_is_bounded(self):
+        table = EventTable()
+        for i in range(5 * EventTable._CHANGE_JOURNAL_CAP):
+            table.append(ConnectivityEvent(float(i), "m1", "wap1"))
+            table.freeze()
+        assert len(table._changes["m1"]) <= EventTable._CHANGE_JOURNAL_CAP
+        # Compaction may widen old-generation queries, never narrow:
+        # the feed still covers every timestamp ever merged.
+        interval = table.changed_since(0)["m1"]
+        assert interval.start == 0.0
+        assert interval.end == float(5 * EventTable._CHANGE_JOURNAL_CAP - 1)
+
+    def test_incremental_merge_interleaves(self):
+        table = EventTable()
+        table.extend(_evts("m1", [(10.0, "wap1"), (30.0, "wap2")]))
+        table.freeze()
+        table.extend(_evts("m1", [(20.0, "wap3"), (5.0, "wap1")]))
+        table.freeze()
+        log = table.log("m1")
+        assert list(log.times) == [5.0, 10.0, 20.0, 30.0]
+        assert [log.ap_at(i) for i in range(4)] == \
+            ["wap1", "wap1", "wap3", "wap2"]
+
+
+class TestCoarseInvalidation:
+    def _localizer(self, building):
+        table = EventTable.from_events(
+            _evts("d1", [(hours(8) + i * 600, "wap3") for i in range(12)]) +
+            _evts("d2", [(hours(8) + i * 600, "wap1") for i in range(12)]))
+        for mac in ("d1", "d2"):
+            table.registry.get(mac).delta = minutes(10)
+        return CoarseLocalizer(building, table)
+
+    def test_invalidate_device_is_surgical(self, fig1_building):
+        localizer = self._localizer(fig1_building)
+        kept = localizer.models_for("d1")
+        localizer.models_for("d2")
+        localizer.invalidate_device("d2")
+        assert localizer.models_for("d1") is kept
+        assert localizer._models.keys() == {"d1"}
+
+    def test_aggregate_survives_unsampled_changes(self, fig1_building):
+        localizer = self._localizer(fig1_building)
+        aggregate = localizer._aggregate
+        aggregate.modal_inside(hours(9))  # force build
+        assert not aggregate.invalidate_if_affected(["ghost"])
+        assert aggregate._hours is not None
+        assert aggregate.invalidate_if_affected(["d1"])
+        assert aggregate._hours is None
+
+    def test_aggregate_detects_sample_shift(self, fig1_building):
+        table = EventTable.from_events(
+            _evts("d9", [(hours(8), "wap1"), (hours(12), "wap1")]))
+        aggregate = PopulationAggregate(fig1_building, table, max_devices=1)
+        aggregate.modal_inside(hours(9))
+        # A new device that sorts ahead of d9 shifts the 1-device sample.
+        table.extend(_evts("a0", [(hours(9), "wap1")]))
+        table.freeze()
+        assert aggregate.invalidate_if_affected(["a0"])
+
+
+class TestDeviceAffinityInvalidation:
+    def test_only_entries_with_changed_macs_drop(self):
+        table = EventTable.from_events(
+            _evts("a", [(0.0, "wap1")]) + _evts("b", [(10.0, "wap1")]) +
+            _evts("c", [(20.0, "wap1")]))
+        index = DeviceAffinityIndex(table)
+        index.pairwise("a", "b")
+        index.pairwise("b", "c")
+        index.pairwise("a", "c")
+        assert index.invalidate_devices(["b"]) == 2
+        assert set(index._cache) == {frozenset(("a", "c"))}
+
+
+class TestNeighborIndexInvalidation:
+    def _index(self, fig1_building, fig1_table):
+        return NeighborIndex(fig1_building, fig1_table)
+
+    def test_invalidate_interval_scopes_by_slack(self, fig1_building,
+                                                 fig1_table):
+        index = self._index(fig1_building, fig1_table)
+        for t in (hours(8), hours(9), hours(13)):
+            index.snapshot(t)
+        dropped = index.invalidate_interval(
+            TimeInterval(hours(9) - 60, hours(9) + 60), slack=120.0)
+        assert dropped == 1
+        assert set(index._snapshots) == {hours(8), hours(13)}
+
+    def test_invalidate_all(self, fig1_building, fig1_table):
+        index = self._index(fig1_building, fig1_table)
+        index.snapshot(hours(8))
+        assert index.invalidate_all() == 1
+        assert not index._snapshots
+
+    def test_max_snapshots_evicts_oldest(self, fig1_building, fig1_table):
+        index = NeighborIndex(fig1_building, fig1_table, max_snapshots=2)
+        for t in (hours(8), hours(9), hours(10)):
+            index.snapshot(t)
+        assert set(index._snapshots) == {hours(9), hours(10)}
+
+
+class TestSharedStateDrops:
+    def test_coarse_shared_state_drop_device(self):
+        state = CoarseSharedState()
+        state.features[("d1", 0.0, 1.0)] = np.zeros(2)
+        state.features[("d2", 0.0, 1.0)] = np.zeros(2)
+        state.building_labels[("d1", 0.0, 1.0)] = "inside"
+        state.region_ids[("d1", 0.0, 1.0)] = 3
+        state.drop_device("d1")
+        assert set(state.features) == {("d2", 0.0, 1.0)}
+        assert not state.building_labels and not state.region_ids
+
+    def test_fine_shared_state_drop_device_any_position(self):
+        state = FineSharedState()
+        rooms = ("r1", "r2")
+        state.priors[("d1", rooms, 5.0)] = np.zeros(2)
+        state.room_affinities[("d2", rooms)] = np.zeros(2)
+        state.pair_affinities[("d2", rooms, "d1", rooms)] = np.zeros(2)
+        state.pair_affinities[("d2", rooms, "d3", rooms)] = np.zeros(2)
+        state.cluster_affinities[
+            ("d2", rooms, (("d1", rooms), ("d3", rooms)))] = np.zeros(2)
+        state.cluster_affinities[
+            ("d2", rooms, (("d3", rooms),))] = np.zeros(2)
+        state.drop_device("d1")
+        assert not state.priors
+        assert set(state.room_affinities) == {("d2", rooms)}
+        assert set(state.pair_affinities) == {("d2", rooms, "d3", rooms)}
+        assert set(state.cluster_affinities) == \
+            {("d2", rooms, (("d3", rooms),))}
+
+
+class TestLocaterOnIngest:
+    """The minimal wiring: subscribe ``locater.on_ingest`` to the engine."""
+
+    def test_stale_stored_answer_regression(self, fig1_building,
+                                            fig1_metadata, fig1_table):
+        # Regression for the headline bug: with a storage engine
+        # attached, a pre-ingest answer was served verbatim after new
+        # events arrived at that very timestamp.
+        storage = InMemoryStorage()
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          storage=storage)
+        engine = IngestionEngine(fig1_table, storage=storage)
+        engine.subscribe(locater.on_ingest)
+        t_evening = hours(15)  # after d3's last event: answered outside
+        assert not locater.locate("d3", t_evening).inside
+        engine.ingest(_evts("d3", [(t_evening - 120, "wap3"),
+                                   (t_evening + 120, "wap3")]))
+        fresh = locater.locate("d3", t_evening)
+        assert fresh.inside and fresh.from_event
+
+    def test_empty_ingest_keeps_stored_answers(self, fig1_building,
+                                               fig1_metadata, fig1_table):
+        # An empty poll tick must not purge the answer store: nothing
+        # changed, so every stored answer is still exact.
+        storage = InMemoryStorage()
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          storage=storage)
+        engine = IngestionEngine(fig1_table, storage=storage)
+        engine.subscribe(locater.on_ingest)
+        locater.locate("d1", hours(9))
+        summary = locater.on_ingest(engine.ingest([]))
+        assert summary.answers_dropped == 0
+        assert storage.find_answer("d1", hours(9)) is not None
+
+    def test_models_invalidated_for_changed_device_only(
+            self, fig1_building, fig1_metadata, fig1_table):
+        locater = Locater(fig1_building, fig1_metadata, fig1_table)
+        engine = IngestionEngine(fig1_table)
+        engine.subscribe(locater.on_ingest)
+        locater.coarse.models_for("d1")
+        kept = locater.coarse.models_for("d2")
+        # Same-day ingest: the span's day range is unchanged, so the
+        # invalidation is surgical.
+        engine.ingest(_evts("d1", [(hours(15), "wap3")]))
+        assert "d1" not in locater.coarse._models
+        assert locater.coarse.models_for("d2") is kept
+
+    def test_day_range_change_escalates_to_full(
+            self, fig1_building, fig1_metadata, fig1_table):
+        locater = Locater(fig1_building, fig1_metadata, fig1_table)
+        engine = IngestionEngine(fig1_table)
+        locater.coarse.models_for("d2")
+        # Next-day events change every device's density denominator.
+        summary = locater.on_ingest(
+            engine.ingest(_evts("d1", [(hours(30), "wap3")])))
+        assert summary.full
+        assert not locater.coarse._models
+
+    def test_sliding_history_always_full(self, fig1_building,
+                                         fig1_metadata, fig1_table):
+        from repro.system.config import LocaterConfig
+        locater = Locater(fig1_building, fig1_metadata, fig1_table,
+                          config=LocaterConfig(history_days=2))
+        engine = IngestionEngine(fig1_table)
+        summary = locater.on_ingest(
+            engine.ingest(_evts("d1", [(hours(15), "wap3")])))
+        assert summary.full
