@@ -53,6 +53,13 @@ class PopulationAggregate:
         max_devices: Sample cap — the aggregate needs the population's
             *shape*, not every device (keeps construction cheap on large
             tables).
+
+    The sampling pass rides the array-native coarse machinery: gap
+    extraction is the vectorized :func:`~repro.events.gaps
+    .extract_gap_arrays` core and each inside gap's region heuristic
+    resolves through the bootstrapper's bulk ``searchsorted``/``bincount``
+    visit counts, so building the aggregate costs a few array ops per
+    sampled device rather than per-gap-per-day Python loops.
     """
 
     def __init__(self, building: Building, table: EventTable,

@@ -14,13 +14,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
+from repro.coarse.features import RegionCodeResolver
 from repro.events.gaps import Gap
 from repro.events.table import DeviceLog
 from repro.space.building import Building
 from repro.util.timeutil import (
     SECONDS_PER_DAY,
     TimeInterval,
-    day_index,
+    day_span,
     minutes,
     seconds_of_day,
 )
@@ -80,6 +83,7 @@ class BootstrapLabeler:
         self.tau_high = tau_high
         self.tau_region_low = tau_region_low
         self.tau_region_high = tau_region_high
+        self._region_codes = RegionCodeResolver(building)
 
     # ------------------------------------------------------------------
     # Building level
@@ -121,23 +125,29 @@ class BootstrapLabeler:
 
     def _region_visit_counts(self, gap: Gap, log: DeviceLog,
                              history: TimeInterval) -> dict[int, int]:
-        """Event counts per region within the gap's time-of-day window."""
+        """Event counts per region within the gap's time-of-day window.
+
+        Vectorized: one ``searchsorted`` pair finds every day's window
+        slice, the slices' AP codes are gathered in bulk, and each
+        distinct AP resolves to its region once (instead of once per
+        event per day).
+        """
         window_start = seconds_of_day(gap.interval.start)
         window_end = seconds_of_day(gap.interval.end)
         if window_end <= window_start:
             window_end = SECONDS_PER_DAY
-        counts: dict[int, int] = {}
-        first_day = day_index(history.start)
-        last_day = day_index(max(history.start, history.end - 1e-9))
-        for day in range(first_day, last_day + 1):
-            base = day * SECONDS_PER_DAY
-            _, ap_indices = log.slice_interval(
-                TimeInterval(base + window_start, base + window_end))
-            for ap_index in ap_indices:
-                ap_id = log.resolve_ap(int(ap_index))
-                region_id = self._building.region_of_ap(ap_id).region_id
-                counts[region_id] = counts.get(region_id, 0) + 1
-        return counts
+        first_day, last_day = day_span(history)
+        base = np.arange(first_day, last_day + 1) * SECONDS_PER_DAY
+        lo, hi = log.window_bounds(base + window_start, base + window_end)
+        segments = [log.ap_indices[int(a):int(b)]
+                    for a, b in zip(lo, hi) if b > a]
+        if not segments:
+            return {}
+        codes = np.concatenate(segments)
+        regions = self._region_codes.regions_of(log, codes)
+        counts = np.bincount(regions)
+        return {int(region_id): int(count)
+                for region_id, count in enumerate(counts) if count}
 
     def label_region_level(self, inside_gaps: Sequence[Gap], log: DeviceLog,
                            history: TimeInterval) -> BootstrapResult:

@@ -20,7 +20,10 @@ from repro.coarse.bootstrap import (
     LABEL_INSIDE,
     LABEL_OUTSIDE,
 )
-from repro.coarse.features import GapFeatureExtractor
+from repro.coarse.features import (
+    GapFeatureExtractor,
+    RegionCodeResolver,
+)
 from repro.coarse.semi_supervised import SelfTrainingClassifier
 from repro.events.gaps import extract_gaps, find_gap_at
 from repro.events.table import EventTable
@@ -84,10 +87,22 @@ class CoarseSharedState:
         self.drop_devices({mac})
 
     def drop_devices(self, macs: "set[str]") -> None:
-        """Forget the memos of many devices in one pass per memo dict."""
-        for memo in (self.features, self.building_labels, self.region_ids):
-            for key in [k for k in memo if k[0] in macs]:
-                del memo[key]
+        """Forget the memos of many devices.
+
+        Each memo is partitioned in a single pass — the survivors are
+        rebuilt into a fresh dict — instead of collecting a doomed-key
+        list and deleting entry by entry.
+        """
+        if not macs:
+            return
+        self.features = {key: value for key, value in self.features.items()
+                         if key[0] not in macs}
+        self.building_labels = {key: value for key, value
+                                in self.building_labels.items()
+                                if key[0] not in macs}
+        self.region_ids = {key: value for key, value
+                           in self.region_ids.items()
+                           if key[0] not in macs}
 
 
 @dataclass(slots=True)
@@ -125,6 +140,12 @@ class CoarseLocalizer:
         self._history = history
         self._batch_size = batch_size
         self._extractor = GapFeatureExtractor(building)
+        # Template pipeline: per-device pipelines spawn from it, sharing
+        # the fixed categorical vocabularies and encoder instances.
+        self._pipeline_template = FeaturePipeline(
+            self._extractor.numeric_columns,
+            self._extractor.categorical_vocab)
+        self._region_codes = RegionCodeResolver(building)
         self._models: dict[str, _DeviceModels] = {}
         self._aggregate = PopulationAggregate(building, table,
                                               bootstrap=self._bootstrap,
@@ -195,8 +216,7 @@ class CoarseLocalizer:
         history = self.history
         gaps = extract_gaps(log, window=history)
 
-        pipeline = FeaturePipeline(self._extractor.numeric_columns,
-                                   self._extractor.categorical_vocab)
+        pipeline = self._pipeline_template.spawn()
 
         if not gaps:
             # No gap history: the paper (§3 fn. 5) labels such devices by
@@ -208,9 +228,10 @@ class CoarseLocalizer:
                 fallback_inside=True,
                 fallback_region=self._modal_region(mac))
 
-        rows = self._extractor.rows(gaps, log, history)
-        pipeline.fit(rows)
-        matrix = pipeline.transform(rows)
+        features = self._extractor.matrix(gaps, log, history)
+        pipeline.fit_arrays(features.numeric)
+        matrix = pipeline.transform_arrays(features.numeric,
+                                           features.categorical_codes)
         row_of_gap = {id(gap): i for i, gap in enumerate(gaps)}
 
         # ---- building level ------------------------------------------
@@ -261,12 +282,11 @@ class CoarseLocalizer:
         times, ap_indices = log.slice_interval(self.history)
         if times.size == 0:
             return None
-        counts: dict[int, int] = {}
-        for ap_index in ap_indices:
-            region_id = self._building.region_of_ap(
-                log.resolve_ap(int(ap_index))).region_id
-            counts[region_id] = counts.get(region_id, 0) + 1
-        return max(sorted(counts), key=counts.get)
+        regions = self._region_codes.regions_of(log, ap_indices)
+        counts = np.bincount(regions)
+        # Ties break to the lowest region id, as the historical
+        # max-over-sorted-dict-keys did.
+        return int(np.flatnonzero(counts == counts.max())[0])
 
     def models_for(self, mac: str) -> _DeviceModels:
         """Trained models for a device, training on first use."""
@@ -275,6 +295,47 @@ class CoarseLocalizer:
             models = self._train_device(mac)
             self._models[mac] = models
         return models
+
+    def needs_model(self, mac: str, timestamp: float) -> bool:
+        """Whether answering (mac, timestamp) consults trained models.
+
+        True exactly when the lazy per-query path would train: the
+        device is known, non-empty, the timestamp misses every validity
+        window, and an enclosing gap exists.  Two binary searches — the
+        batch pre-pass uses this to bulk-train precisely the devices a
+        plan will need, no more (a query answered straight from an event
+        never touches a model).
+        """
+        if mac not in self._table.registry:
+            return False
+        log = self._table.log(mac)
+        if log.is_empty:
+            return False
+        if valid_event_at(log, timestamp) is not None:
+            return False
+        return find_gap_at(log, timestamp) is not None
+
+    def train_devices(self, macs: Iterable[str]
+                      ) -> dict[str, _DeviceModels]:
+        """Train many devices in one bulk pass (the batch/streaming entry).
+
+        Devices are trained in sorted order for determinism, reusing the
+        shared extractor state and spawning per-device pipelines from one
+        template (fixed vocabularies and encoders are built once, not per
+        device).  Already-trained devices are returned from cache, and
+        MACs the table has never observed are skipped — a batch plan may
+        legitimately mention them, and the per-query path raises for them
+        at their own turn.  Training is a pure function of the table and
+        the history window, so eager bulk training never changes an
+        answer; it only moves the cost out of the first query per device.
+        """
+        out: dict[str, _DeviceModels] = {}
+        registry = self._table.registry
+        for mac in sorted(set(macs)):
+            if mac not in registry:
+                continue
+            out[mac] = self.models_for(mac)
+        return out
 
     # ------------------------------------------------------------------
     # Query answering
@@ -373,12 +434,16 @@ class CoarseLocalizer:
                       shared: "CoarseSharedState | None") -> np.ndarray:
         """The transformed feature row of one gap, memoized per batch."""
         if shared is None:
-            row = self._extractor.rows([gap], log, self.history)
-            return models.pipeline.transform(row)[0]
+            return self._transform_gap(gap, log, models)
         key = (mac, gap.interval.start, gap.interval.end)
         features = shared.features.get(key)
         if features is None:
-            row = self._extractor.rows([gap], log, self.history)
-            features = models.pipeline.transform(row)[0]
+            features = self._transform_gap(gap, log, models)
             shared.features[key] = features
         return features
+
+    def _transform_gap(self, gap, log, models: _DeviceModels) -> np.ndarray:
+        """One gap's design row through the device's fitted pipeline."""
+        batch = self._extractor.matrix([gap], log, self.history)
+        return models.pipeline.transform_arrays(
+            batch.numeric, batch.categorical_codes)[0]

@@ -11,6 +11,14 @@ is O(U) retrains for U unlabeled gaps.  ``batch_size`` promotes the top-k
 per round instead, which cuts retrains ~k× with negligible quality impact;
 the default of 1 follows the paper, and warm starts keep each retrain
 cheap either way.
+
+The loop runs on preallocated pools: one (n+m) × f training matrix filled
+once, a boolean remaining mask over the unlabeled pool, integer label
+codes, and warm-start retrains reading growing *views* of that matrix —
+no per-promotion ``np.vstack`` (O(U²·f) copying) and no ``list.remove``
+(O(U²) shifts).  Everything observable is bit-identical to the historical
+loop retained in :mod:`repro.coarse.reference`, which the property suite
+``tests/property/test_prop_coarse_core.py`` enforces.
 """
 
 from __future__ import annotations
@@ -68,15 +76,14 @@ class SelfTrainingClassifier:
         :attr:`promotions_` for inspection/testing.
         """
         work_x = np.asarray(labeled, dtype=float)
-        work_y = list(labels)
         pool = np.asarray(unlabeled, dtype=float)
         if pool.ndim == 1 and pool.size:
             pool = pool.reshape(1, -1)
-        remaining = list(range(pool.shape[0])) if pool.size else []
+        m = pool.shape[0] if pool.size else 0
         if work_x.size == 0:
             raise TrainingError("self-training needs at least one labeled gap")
 
-        distinct = set(work_y)
+        distinct = set(labels)
         if len(distinct) < 2:
             # Degenerate but common: every bootstrapped gap got one label
             # (e.g. a device never away long enough to look "outside").
@@ -85,31 +92,46 @@ class SelfTrainingClassifier:
             only = next(iter(distinct))
             self._constant_label = only
             self.rounds_ = 0
-            for row in remaining:
+            for row in range(m):
                 self.promotions_.append((row, only, 1.0))
             return self
 
         self._constant_label = None
-        self._model.fit(work_x, work_y)
+        label_codes = self._model.encode(labels)
+        self._model.fit_encoded(work_x, label_codes)
         self.rounds_ = 1
-        while remaining:
-            probs = self._model.predict_proba(pool[remaining])
+        if not m:
+            return self
+        # Preallocated pools: the training matrix holds the labeled rows
+        # followed by promoted pool rows in promotion order; each retrain
+        # reads a growing view — one O(f) row copy per promotion total.
+        n = work_x.shape[0]
+        codes = np.empty(n + m, dtype=int)
+        codes[:n] = label_codes
+        train = np.empty((n + m, work_x.shape[1]))
+        train[:n] = work_x
+        remaining = np.ones(m, dtype=bool)
+        promoted = 0
+        while promoted < m:
+            # flatnonzero keeps ascending pool order — exactly the order
+            # the historical remaining-list walked.
+            active = np.flatnonzero(remaining)
+            probs = self._model.predict_proba(pool[active])
             confidences = probs.var(axis=1)
             order = np.argsort(-confidences, kind="stable")
-            take = order[: self.batch_size]
-            promoted_rows: list[int] = []
-            for k in take:
-                row = remaining[int(k)]
+            for k in order[: self.batch_size]:
+                row = int(active[int(k)])
                 row_probs = probs[int(k)]
-                label = self.classes[int(row_probs.argmax())]
+                code = int(row_probs.argmax())
                 self.promotions_.append(
-                    (row, label, prediction_confidence(row_probs)))
-                work_x = np.vstack([work_x, pool[row]])
-                work_y.append(label)
-                promoted_rows.append(row)
-            for row in promoted_rows:
-                remaining.remove(row)
-            self._model.fit(work_x, work_y, warm_start=True)
+                    (row, self.classes[code],
+                     prediction_confidence(row_probs)))
+                train[n + promoted] = pool[row]
+                codes[n + promoted] = code
+                promoted += 1
+                remaining[row] = False
+            self._model.fit_encoded(train[: n + promoted],
+                                    codes[: n + promoted], warm_start=True)
             self.rounds_ += 1
         return self
 

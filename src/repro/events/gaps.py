@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.events.table import DeviceLog
 from repro.util.timeutil import TimeInterval
 
@@ -45,6 +47,74 @@ class Gap:
                 f"[{self.ap_before} → {self.ap_after}]")
 
 
+@dataclass(frozen=True, slots=True)
+class GapArrays:
+    """Column-oriented view of a device's gaps (the array-native core).
+
+    Parallel arrays, one entry per gap in chronological order.  ``starts``
+    and ``ends`` are the gap bounds ``[t0 + δ, t1 − δ]``;
+    ``before_positions`` indexes the event e0 preceding each gap, and
+    ``ap_before_codes`` / ``ap_after_codes`` are AP *vocabulary indices*
+    (resolve via :meth:`DeviceLog.resolve_ap`).  The coarse training
+    pipeline consumes these columns directly; :meth:`to_gaps` materializes
+    the classic :class:`Gap` records for the object-based boundary APIs.
+    """
+
+    mac: str
+    starts: np.ndarray
+    ends: np.ndarray
+    before_positions: np.ndarray
+    ap_before_codes: np.ndarray
+    ap_after_codes: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.starts.size)
+
+    def to_gaps(self, log: DeviceLog) -> list[Gap]:
+        """Materialize :class:`Gap` records (bit-identical to the loop)."""
+        return [Gap(
+            mac=self.mac,
+            interval=TimeInterval(float(self.starts[i]),
+                                  float(self.ends[i])),
+            before_position=int(self.before_positions[i]),
+            after_position=int(self.before_positions[i]) + 1,
+            ap_before=log.resolve_ap(int(self.ap_before_codes[i])),
+            ap_after=log.resolve_ap(int(self.ap_after_codes[i])),
+        ) for i in range(len(self))]
+
+
+def extract_gap_arrays(log: DeviceLog, delta: "float | None" = None,
+                       window: "TimeInterval | None" = None) -> GapArrays:
+    """All gaps of a device log as :class:`GapArrays`, fully vectorized.
+
+    One pass of array arithmetic over the sorted timestamp array replaces
+    the per-event-pair Python loop: consecutive spacings are diffed, the
+    ``> 2δ`` mask (and the optional window mask on the start event) selects
+    the gap positions, and the bound/AP columns are gathered in bulk.
+    """
+    if delta is None:
+        delta = log.device.delta
+    times = log.times
+    if times.size < 2:
+        empty = np.empty(0, dtype=np.int64)
+        return GapArrays(mac=log.device.mac,
+                         starts=np.empty(0), ends=np.empty(0),
+                         before_positions=empty,
+                         ap_before_codes=empty, ap_after_codes=empty)
+    mask = (times[1:] - times[:-1]) > 2 * delta
+    if window is not None:
+        mask &= (times[:-1] >= window.start) & (times[:-1] < window.end)
+    positions = np.flatnonzero(mask)
+    return GapArrays(
+        mac=log.device.mac,
+        starts=times[positions] + delta,
+        ends=times[positions + 1] - delta,
+        before_positions=positions,
+        ap_before_codes=log.ap_indices[positions],
+        ap_after_codes=log.ap_indices[positions + 1],
+    )
+
+
 def extract_gaps(log: DeviceLog, delta: "float | None" = None,
                  window: "TimeInterval | None" = None) -> list[Gap]:
     """All gaps of a device log (GAP(d)), optionally restricted to a window.
@@ -53,27 +123,12 @@ def extract_gaps(log: DeviceLog, delta: "float | None" = None,
     exceeds ``2δ``; otherwise their validity windows tile the whole span.
     With ``window``, only gaps whose *start* event lies in the window are
     returned (how the training history E_T is assembled in Section 3).
+
+    Built on :func:`extract_gap_arrays`; answers are identical to the
+    historical per-pair loop (retained as the oracle in
+    :mod:`repro.coarse.reference`).
     """
-    if delta is None:
-        delta = log.device.delta
-    gaps: list[Gap] = []
-    n = len(log)
-    for i in range(n - 1):
-        t0 = log.time_at(i)
-        t1 = log.time_at(i + 1)
-        if t1 - t0 <= 2 * delta:
-            continue
-        if window is not None and not window.contains(t0):
-            continue
-        gaps.append(Gap(
-            mac=log.device.mac,
-            interval=TimeInterval(t0 + delta, t1 - delta),
-            before_position=i,
-            after_position=i + 1,
-            ap_before=log.ap_at(i),
-            ap_after=log.ap_at(i + 1),
-        ))
-    return gaps
+    return extract_gap_arrays(log, delta=delta, window=window).to_gaps(log)
 
 
 def find_gap_at(log: DeviceLog, timestamp: float,

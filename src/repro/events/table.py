@@ -42,6 +42,11 @@ class DeviceLog:
     def is_empty(self) -> bool:
         return self.times.size == 0
 
+    @property
+    def ap_vocab(self) -> Sequence[str]:
+        """The table-wide AP vocabulary this log's indices point into."""
+        return self._ap_vocab
+
     def ap_at(self, position: int) -> str:
         """AP id of the event at array position ``position``."""
         return self._ap_vocab[int(self.ap_indices[position])]
@@ -65,6 +70,30 @@ class DeviceLog:
         lo = int(np.searchsorted(self.times, interval.start, side="left"))
         hi = int(np.searchsorted(self.times, interval.end, side="left"))
         return hi - lo
+
+    def count_in_windows(self, starts: np.ndarray,
+                         ends: np.ndarray) -> np.ndarray:
+        """Event counts for many half-open windows ``[starts, ends)`` at once.
+
+        ``starts`` and ``ends`` may be any (matching) shape; the result has
+        the same shape.  Each entry equals ``count_in`` on that window, but
+        the whole batch costs two vectorized binary searches — the hot path
+        of the coarse density feature, which counts every gap's time-of-day
+        window on every history day in one call.
+        """
+        lo, hi = self.window_bounds(starts, ends)
+        return hi - lo
+
+    def window_bounds(self, starts: np.ndarray,
+                      ends: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """(lo, hi) array positions of events inside many windows at once.
+
+        Positions satisfy ``times[lo:hi]`` in ``[start, end)`` per window,
+        exactly as :meth:`slice_interval` would return them one by one.
+        """
+        lo = np.searchsorted(self.times, starts, side="left")
+        hi = np.searchsorted(self.times, ends, side="left")
+        return lo, hi
 
     def nearest_before(self, timestamp: float) -> "int | None":
         """Position of the latest event with t <= timestamp, or None."""

@@ -118,17 +118,25 @@ class FineSharedState:
         metadata-pure, but they are dropped too: the cost is a cheap
         recompute, and "no memo mentioning a changed device survives"
         is the easier invariant to audit.)
+
+        Each memo is partitioned in one pass — survivors rebuilt into a
+        fresh dict — rather than collecting doomed keys and deleting one
+        by one.
         """
-        for key in [k for k in self.priors if k[0] in macs]:
-            del self.priors[key]
-        for key in [k for k in self.room_affinities if k[0] in macs]:
-            del self.room_affinities[key]
-        for key in [k for k in self.pair_affinities
-                    if k[0] in macs or k[2] in macs]:
-            del self.pair_affinities[key]
-        for key in [k for k in self.cluster_affinities
-                    if k[0] in macs or any(m in macs for m, _ in k[2])]:
-            del self.cluster_affinities[key]
+        if not macs:
+            return
+        self.priors = {key: value for key, value in self.priors.items()
+                       if key[0] not in macs}
+        self.room_affinities = {key: value for key, value
+                                in self.room_affinities.items()
+                                if key[0] not in macs}
+        self.pair_affinities = {key: value for key, value
+                                in self.pair_affinities.items()
+                                if key[0] not in macs and key[2] not in macs}
+        self.cluster_affinities = {
+            key: value for key, value in self.cluster_affinities.items()
+            if key[0] not in macs
+            and not any(mac in macs for mac, _ in key[2])}
 
 
 @dataclass(slots=True)

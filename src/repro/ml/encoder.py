@@ -52,6 +52,24 @@ class OneHotEncoder:
                 out[row, col] = 1.0
         return out
 
+    def transform_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Encode precomputed *column codes* into an ``(n, width)`` matrix.
+
+        ``codes[i]`` is the output column of row ``i`` (the position of
+        its category in this encoder's vocabulary); out-of-range codes —
+        conventionally −1 — encode as all zeros, mirroring how
+        :meth:`transform` treats unseen categories.  This is the
+        vectorized fast path: one fancy-indexed assignment instead of a
+        per-row dict lookup.
+        """
+        if self._index is None:
+            raise TrainingError("encoder used before fit()")
+        codes = np.asarray(codes)
+        out = np.zeros((codes.size, len(self._index)), dtype=float)
+        valid = (codes >= 0) & (codes < len(self._index))
+        out[np.flatnonzero(valid), codes[valid]] = 1.0
+        return out
+
     def fit_transform(self, values: Sequence[Hashable]) -> np.ndarray:
         """Fit then transform in one call."""
         return self.fit(values).transform(values)

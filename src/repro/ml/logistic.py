@@ -58,6 +58,25 @@ class LogisticRegression:
         return self.weights_ is not None
 
     # ------------------------------------------------------------------
+    def encode(self, labels: Sequence[Hashable]) -> np.ndarray:
+        """Map labels to class codes (positions in :attr:`classes_`).
+
+        Learns the class vocabulary from ``labels`` when none was fixed.
+        Self-training precomputes codes once and feeds the integer array
+        to :meth:`fit_encoded` on every retrain, skipping the per-label
+        dict mapping in the hot loop.
+        """
+        if self.classes_ is None:
+            self.classes_ = sorted(set(labels), key=repr)
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        try:
+            return np.array([class_index[label] for label in labels],
+                            dtype=int)
+        except KeyError as exc:
+            raise TrainingError(
+                f"label {exc.args[0]!r} not in fixed class set "
+                f"{self.classes_!r}") from None
+
     def fit(self, matrix: np.ndarray, labels: Sequence[Hashable],
             warm_start: bool = False) -> "LogisticRegression":
         """Train on ``matrix`` (n × f) and ``labels`` (n).
@@ -68,23 +87,39 @@ class LogisticRegression:
         data = np.asarray(matrix, dtype=float)
         if data.ndim != 2:
             raise TrainingError(f"matrix must be 2-D, got shape {data.shape}")
-        n, f = data.shape
+        n, _ = data.shape
         if n == 0:
             raise TrainingError("cannot fit on an empty training set")
         if len(labels) != n:
             raise TrainingError(
                 f"labels length {len(labels)} != rows {n}")
+        return self.fit_encoded(data, self.encode(labels),
+                                warm_start=warm_start)
 
+    def fit_encoded(self, matrix: np.ndarray, codes: np.ndarray,
+                    warm_start: bool = False) -> "LogisticRegression":
+        """Train on precomputed class codes (see :meth:`encode`).
+
+        The optimization is identical to :meth:`fit`; only the label →
+        code mapping is skipped.  Requires a fixed class vocabulary.
+        """
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2:
+            raise TrainingError(f"matrix must be 2-D, got shape {data.shape}")
+        n, f = data.shape
+        if n == 0:
+            raise TrainingError("cannot fit on an empty training set")
         if self.classes_ is None:
-            self.classes_ = sorted(set(labels), key=repr)
-        class_index = {c: i for i, c in enumerate(self.classes_)}
-        try:
-            y = np.array([class_index[label] for label in labels], dtype=int)
-        except KeyError as exc:
+            raise TrainingError("fit_encoded() needs a fixed class set")
+        y = np.asarray(codes, dtype=int)
+        if y.shape != (n,):
             raise TrainingError(
-                f"label {exc.args[0]!r} not in fixed class set "
-                f"{self.classes_!r}") from None
+                f"codes shape {y.shape} != ({n},)")
         k = len(self.classes_)
+        if y.size and (y.min() < 0 or y.max() >= k):
+            raise TrainingError(
+                f"class codes must lie in [0, {k}), got "
+                f"[{y.min()}, {y.max()}]")
 
         onehot = np.zeros((n, k), dtype=float)
         onehot[np.arange(n), y] = 1.0

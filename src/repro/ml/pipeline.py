@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
@@ -74,3 +74,61 @@ class FeaturePipeline:
     def fit_transform(self, rows: Sequence[dict]) -> np.ndarray:
         """Fit then transform in one call."""
         return self.fit(rows).transform(rows)
+
+    # ------------------------------------------------------------------
+    # Array-native path (coarse training)
+    # ------------------------------------------------------------------
+    def spawn(self) -> "FeaturePipeline":
+        """A fresh pipeline sharing this one's vocabularies and encoders.
+
+        Fixed-vocabulary :class:`OneHotEncoder` instances are stateless
+        after construction, so they are shared rather than rebuilt; only
+        the scaler — which is fit per device — is new.  Bulk training
+        (``CoarseLocalizer.train_devices``) spawns one pipeline per device
+        from a single template instead of re-deriving the vocab each time.
+        """
+        if any(not enc.is_fitted for enc in self._encoders.values()):
+            raise TrainingError("spawn() needs fixed encoder vocabularies")
+        clone = FeaturePipeline.__new__(FeaturePipeline)
+        clone.numeric_columns = self.numeric_columns
+        clone.categorical_columns = self.categorical_columns
+        clone._encoders = self._encoders
+        clone._scaler = StandardScaler()
+        clone._fitted = False
+        return clone
+
+    def fit_arrays(self, numeric: np.ndarray) -> "FeaturePipeline":
+        """Fit the scaler straight on a numeric matrix (no dict rows)."""
+        numeric = np.asarray(numeric, dtype=float)
+        if numeric.shape[0] == 0:
+            raise TrainingError("no feature rows supplied")
+        if numeric.shape[1] != len(self.numeric_columns):
+            raise TrainingError(
+                f"numeric width {numeric.shape[1]} != declared "
+                f"{len(self.numeric_columns)} columns")
+        if numeric.shape[1]:
+            self._scaler.fit(numeric)
+        self._fitted = True
+        return self
+
+    def transform_arrays(self, numeric: np.ndarray,
+                         categorical_codes: "Mapping[str, np.ndarray]"
+                         ) -> np.ndarray:
+        """Design matrix from a numeric matrix and one-hot column codes.
+
+        Bit-identical to :meth:`transform` on the equivalent dict rows;
+        the categorical inputs are already *codes* (vocabulary positions),
+        so encoding is a fancy-indexed assignment per column.
+        """
+        if not self._fitted:
+            raise TrainingError("pipeline used before fit()")
+        parts: list[np.ndarray] = []
+        if self.numeric_columns:
+            parts.append(self._scaler.transform(
+                np.asarray(numeric, dtype=float)))
+        for name, _ in self.categorical_columns:
+            parts.append(self._encoders[name].transform_codes(
+                categorical_codes[name]))
+        if not parts:
+            return np.zeros((np.asarray(numeric).shape[0], 0))
+        return np.hstack(parts)

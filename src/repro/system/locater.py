@@ -21,7 +21,7 @@ from repro.errors import EmptyHistoryError
 from repro.system.ingestion import IngestReport
 from repro.system.query import LocationQuery
 from repro.system.storage import StorageEngine
-from repro.util.timeutil import SECONDS_PER_DAY, TimeInterval, day_index
+from repro.util.timeutil import SECONDS_PER_DAY, TimeInterval, day_span
 
 
 @dataclass(frozen=True, slots=True)
@@ -185,8 +185,7 @@ class Locater:
             span = self._table.span()
         except EmptyHistoryError:
             return None
-        return (day_index(span.start),
-                day_index(max(span.start, span.end - 1e-9)))
+        return day_span(span)
 
     # ------------------------------------------------------------------
     @property
@@ -262,8 +261,17 @@ class Locater:
         plan = plan_queries(queries, bucket_seconds=bucket_seconds)
         if not share_computation:
             state = None
-        elif state is None:
-            state = self.make_batch_state()
+        else:
+            # Bulk-train before executing: one vectorized sweep over the
+            # devices whose queries will actually consult models (a gap
+            # query; event hits never train), instead of lazy
+            # one-at-a-time training inside the burst.  Training is
+            # pure, so answers are unchanged; with sharing disabled the
+            # pre-pass is skipped too, keeping the paper-cost ablations
+            # honest.
+            self.coarse.train_devices(self._devices_needing_models(plan))
+            if state is None:
+                state = self.make_batch_state()
         answers: "list[LocationAnswer | None]" = [None] * len(queries)
         for group in plan.groups:
             for planned in group.queries:
@@ -277,6 +285,32 @@ class Locater:
                     timings.append((planned.index,
                                     time.perf_counter() - start))
         return answers  # type: ignore[return-value]  # every slot filled
+
+    def _devices_needing_models(self, plan) -> list[str]:
+        """Devices of a plan with at least one gap query (training needed).
+
+        Mirrors the lazy criterion exactly — including the storage
+        short-circuit: a query whose answer is already persisted never
+        reaches the coarse models, so it must not trigger training
+        either.  The pre-pass therefore trains the same device set a
+        sequential run would, just in one bulk sweep up front.
+        """
+        needed: set[str] = set()
+        for group in plan.groups:
+            if group.mac in needed:
+                continue
+            for planned in group.queries:
+                # Cheap binary-search check first; the storage lookup
+                # only runs for the gap queries that would train.
+                if not self.coarse.needs_model(group.mac,
+                                               planned.query.timestamp):
+                    continue
+                if self._storage is not None and self._storage.find_answer(
+                        group.mac, planned.query.timestamp) is not None:
+                    continue
+                needed.add(group.mac)
+                break
+        return sorted(needed)
 
     def _locate_one(self, query: LocationQuery,
                     state: "BatchState | None") -> LocationAnswer:
@@ -354,6 +388,15 @@ class Locater:
         feature), invalidation escalates to a full drop.  Cleaned
         answers in storage are always purged: co-location couples
         devices, so no stored answer is provably unaffected.
+
+        Invalidated devices are *not* retrained here: a device may change
+        on many consecutive ingest ticks before it is queried again, so
+        training inside the ingest path would redo work lazily-trained
+        systems never pay.  The retrain instead happens in bulk at the
+        next serve — ``locate_batch`` pre-trains every device its plan
+        touches via ``CoarseLocalizer.train_devices``, so the first
+        post-ingest burst pays one vectorized sweep over exactly the
+        devices it needs.
         """
         if not report.changed:
             # Nothing merged (e.g. an empty poll tick): every cached

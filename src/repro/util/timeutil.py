@@ -50,6 +50,25 @@ def seconds_of_day(timestamp: float) -> float:
     return timestamp % SECONDS_PER_DAY
 
 
+def day_span(interval: "TimeInterval") -> "tuple[int, int]":
+    """Inclusive ``(first_day, last_day)`` day indices touched by an interval.
+
+    The interval is half-open, so a window ending exactly on midnight does
+    not touch the day that starts there: ``day_span([0, 86400)) == (0, 0)``.
+    A zero-length interval touches only the day containing its start.  This
+    replaces the fragile ``day_index(end - 1e-9)`` epsilon pattern, which
+    silently spilled into the next day for ends within 1e-9 above midnight.
+    """
+    first = day_index(interval.start)
+    if interval.end <= interval.start:
+        return first, first
+    last = day_index(interval.end)
+    if interval.end == last * SECONDS_PER_DAY:
+        # End lands exactly on a midnight: [.., end) excludes that day.
+        last -= 1
+    return first, max(first, last)
+
+
 def format_timestamp(timestamp: float) -> str:
     """Render a timestamp as ``day N (Ddd) HH:MM:SS`` for logs and reports."""
     day = day_index(timestamp)

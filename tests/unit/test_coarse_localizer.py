@@ -129,6 +129,35 @@ class TestTrainingOverHistory:
             fig1_building.region_of_ap("wap1").region_id
 
 
+class TestTrainDevices:
+    def test_bulk_matches_lazy(self, fig1_building, fig1_table):
+        import numpy as np
+        bulk = CoarseLocalizer(fig1_building, fig1_table)
+        trained = bulk.train_devices(fig1_table.macs())
+        lazy = CoarseLocalizer(fig1_building, fig1_table)
+        for mac in fig1_table.macs():
+            expected = lazy.models_for(mac)
+            got = trained[mac]
+            assert (got.building_clf is None) == \
+                (expected.building_clf is None)
+            if got.building_clf is not None:
+                assert np.array_equal(got.building_clf.model.weights_,
+                                      expected.building_clf.model.weights_)
+            assert got.fallback_region == expected.fallback_region
+
+    def test_returns_cached_models(self, fig1_building, fig1_table):
+        localizer = CoarseLocalizer(fig1_building, fig1_table)
+        first = localizer.models_for("d1")
+        trained = localizer.train_devices(["d1", "d2"])
+        assert trained["d1"] is first
+        assert localizer.models_for("d2") is trained["d2"]
+
+    def test_unknown_macs_skipped(self, fig1_building, fig1_table):
+        localizer = CoarseLocalizer(fig1_building, fig1_table)
+        trained = localizer.train_devices(["ghost", "d1"])
+        assert set(trained) == {"d1"}
+
+
 class TestLocateMany:
     def test_matches_repeated_locate(self, fig1_building, fig1_table):
         h = 3600.0

@@ -151,6 +151,33 @@ class TestLocateBatch:
         assert first.fine is not None   # computed by the pipeline
         assert second.fine is None      # served from the clean store
 
+    def test_pretrain_pass_trains_only_gap_query_devices(
+            self, fig1_building, fig1_metadata, fig1_table):
+        from repro.system.query import LocationQuery
+        locater = Locater(fig1_building, fig1_metadata, fig1_table)
+        # d1 @ 08:30 hits a validity window (no model consulted); d2 is
+        # queried in a gap (model needed).
+        locater.locate_batch([LocationQuery("d1", 8.5 * 3600),
+                              LocationQuery("d2", 11.0 * 3600)])
+        assert "d1" not in locater.coarse._models
+        assert "d2" in locater.coarse._models
+
+    def test_pretrain_pass_respects_storage_short_circuit(
+            self, fig1_building, fig1_metadata, fig1_table):
+        from repro.system.query import LocationQuery
+        storage = InMemoryStorage()
+        warm = Locater(fig1_building, fig1_metadata, fig1_table,
+                       storage=storage)
+        query = LocationQuery("d1", 11.0 * 3600)  # a gap query
+        warm.locate_batch([query])
+        # A fresh system over the same store answers from storage and,
+        # like the lazy path, must not train any model for it.
+        cold = Locater(fig1_building, fig1_metadata, fig1_table,
+                       storage=storage)
+        answer = cold.locate_batch([query])[0]
+        assert answer.fine is None  # served from the store
+        assert "d1" not in cold.coarse._models
+
     def test_empty_batch(self, fig1_building, fig1_metadata, fig1_table):
         locater = Locater(fig1_building, fig1_metadata, fig1_table)
         assert locater.locate_batch([]) == []

@@ -161,6 +161,39 @@ class TestSharedStateDrops:
         assert set(state.features) == {("d2", 0.0, 1.0)}
         assert not state.building_labels and not state.region_ids
 
+    def test_coarse_shared_state_multi_device_drop(self):
+        # One partition pass must drop every listed device and only them.
+        state = CoarseSharedState()
+        for mac in ("d1", "d2", "d3"):
+            state.features[(mac, 0.0, 1.0)] = np.zeros(2)
+            state.building_labels[(mac, 0.0, 1.0)] = "inside"
+            state.region_ids[(mac, 0.0, 1.0)] = 1
+        state.drop_devices({"d1", "d3"})
+        for memo in (state.features, state.building_labels,
+                     state.region_ids):
+            assert set(memo) == {("d2", 0.0, 1.0)}
+        state.drop_devices(set())  # no-op, keeps survivors
+        assert set(state.features) == {("d2", 0.0, 1.0)}
+
+    def test_fine_shared_state_multi_device_drop(self):
+        state = FineSharedState()
+        rooms = ("r1",)
+        state.priors[("d1", rooms, 5.0)] = np.zeros(1)
+        state.priors[("d4", rooms, 5.0)] = np.zeros(1)
+        state.room_affinities[("d2", rooms)] = np.zeros(1)
+        state.pair_affinities[("d4", rooms, "d2", rooms)] = np.zeros(1)
+        state.pair_affinities[("d4", rooms, "d5", rooms)] = np.zeros(1)
+        state.cluster_affinities[
+            ("d4", rooms, (("d2", rooms), ("d5", rooms)))] = np.zeros(1)
+        state.cluster_affinities[
+            ("d4", rooms, (("d5", rooms),))] = np.zeros(1)
+        state.drop_devices({"d1", "d2"})
+        assert set(state.priors) == {("d4", rooms, 5.0)}
+        assert not state.room_affinities
+        assert set(state.pair_affinities) == {("d4", rooms, "d5", rooms)}
+        assert set(state.cluster_affinities) == \
+            {("d4", rooms, (("d5", rooms),))}
+
     def test_fine_shared_state_drop_device_any_position(self):
         state = FineSharedState()
         rooms = ("r1", "r2")
@@ -222,7 +255,8 @@ class TestLocaterOnIngest:
         locater.coarse.models_for("d1")
         kept = locater.coarse.models_for("d2")
         # Same-day ingest: the span's day range is unchanged, so the
-        # invalidation is surgical.
+        # invalidation is surgical.  The retrain happens in bulk at the
+        # next serve (locate_batch's train_devices pre-pass), not here.
         engine.ingest(_evts("d1", [(hours(15), "wap3")]))
         assert "d1" not in locater.coarse._models
         assert locater.coarse.models_for("d2") is kept

@@ -12,6 +12,7 @@ from repro.util.timeutil import (
     TimeInterval,
     day_index,
     day_of_week,
+    day_span,
     format_timestamp,
     hours,
     minutes,
@@ -47,6 +48,38 @@ class TestConversions:
         text = format_timestamp(SECONDS_PER_DAY + 2 * SECONDS_PER_HOUR)
         assert "day 1" in text
         assert "02:00:00" in text
+
+
+class TestDaySpan:
+    def test_interval_inside_one_day(self):
+        assert day_span(TimeInterval(100.0, 200.0)) == (0, 0)
+
+    def test_interval_across_days(self):
+        interval = TimeInterval(SECONDS_PER_DAY - 1,
+                                2 * SECONDS_PER_DAY + 1)
+        assert day_span(interval) == (0, 2)
+
+    def test_history_ending_exactly_on_midnight_excludes_next_day(self):
+        # Regression: the historical ``day_index(end - 1e-9)`` epsilon is
+        # gone; a half-open window ending exactly on midnight must not
+        # touch the day starting there (its density denominator counted
+        # one day exactly).
+        assert day_span(TimeInterval(0.0, SECONDS_PER_DAY)) == (0, 0)
+        assert day_span(TimeInterval(0.0, 3 * SECONDS_PER_DAY)) == (0, 2)
+        assert day_span(
+            TimeInterval(SECONDS_PER_DAY, 2 * SECONDS_PER_DAY)) == (1, 1)
+
+    def test_end_just_past_midnight_touches_next_day(self):
+        # The epsilon pattern misclassified ends within 1e-9 above
+        # midnight; the exact half-open rule includes the new day for any
+        # end strictly past it.
+        interval = TimeInterval(0.0, SECONDS_PER_DAY + 1e-10)
+        assert day_span(interval) == (0, 1)
+
+    def test_zero_length_interval(self):
+        assert day_span(TimeInterval(SECONDS_PER_DAY,
+                                     SECONDS_PER_DAY)) == (1, 1)
+        assert day_span(TimeInterval(500.0, 500.0)) == (0, 0)
 
 
 class TestTimeInterval:
