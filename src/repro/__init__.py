@@ -87,9 +87,56 @@ eval harness) as thin adapters — see :mod:`repro.fine` for the
 contract, :mod:`repro.fine.reference` for the retained scalar oracle,
 and ``benchmarks/test_bench_fine_core.py`` for the tracked
 sequential-path speedup.
+
+Sharded cluster layer
+---------------------
+
+Past one process, :class:`~repro.cluster.ShardedLocater` serves the
+same query surface from N shards.  The event log is *replicated* to
+every shard (cleaning couples devices through co-location — neighbor
+discovery, affinity mining and the population aggregate read the whole
+log) while serving state is *partitioned* by a pluggable
+:class:`~repro.cluster.ShardRouter`: each device's queries, trained
+models, storage namespace (:meth:`StorageEngine.namespace
+<repro.system.storage.StorageEngine.namespace>`) and cache warm state
+live on exactly one shard.  A swappable
+:class:`~repro.cluster.ShardExecutor` decides placement — serial and
+thread-pool shards share the cluster's table in-process; the
+process-pool executor forks one actor worker per shard with a
+copy-on-write replica.  Answers are bitwise identical to a lone
+``Locater`` whenever they are pure functions of the table
+(``tests/integration/test_cluster_equivalence.py``), and ``ingest``
+merges once, then fans invalidation out through the existing
+``on_ingest`` machinery, so ``StreamingSession``, the CLI, analytics
+and the eval runner work unchanged against a cluster::
+
+    from repro import ShardedLocater, ThreadShardExecutor
+
+    cluster = ShardedLocater(building, metadata, table, shard_count=4,
+                             executor=ThreadShardExecutor())
+    answers = cluster.locate_batch(queries)   # route → execute → merge
+    cluster.ingest(new_events)                # merge once, fan out
+    cluster.close()
+
+See :mod:`repro.cluster` for the architecture (router / executor /
+shard lifecycle), ``examples/campus_cluster.py`` for a 3-building
+campus on a 4-shard cluster with streaming ingest, and
+``benchmarks/test_bench_cluster.py`` (archived in
+``results/bench_cluster.txt``) for throughput versus shard count.
 """
 
 from repro.cache import CachingEngine, GlobalAffinityGraph, LocalAffinityGraph
+from repro.cluster import (
+    BuildingAffinityRouter,
+    ClusterIngestReport,
+    HashRouter,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    ShardRouter,
+    ShardedLocater,
+    ThreadShardExecutor,
+)
 from repro.coarse import (
     BootstrapLabeler,
     CoarseLocalizer,
@@ -134,6 +181,8 @@ from repro.space import (
     RoomType,
     SpaceMetadata,
     airport_blueprint,
+    campus_ap_buildings,
+    campus_blueprint,
     dbh_blueprint,
     mall_blueprint,
     office_blueprint,
@@ -164,8 +213,10 @@ __all__ = [
     "Baseline2",
     "BootstrapLabeler",
     "Building",
+    "BuildingAffinityRouter",
     "BuildingBuilder",
     "CachingEngine",
+    "ClusterIngestReport",
     "CoarseLocalizer",
     "CoarseResult",
     "ConfigurationError",
@@ -181,6 +232,7 @@ __all__ = [
     "Gap",
     "GlobalAffinityGraph",
     "GroupAffinityModel",
+    "HashRouter",
     "IngestReport",
     "IngestionEngine",
     "InMemoryStorage",
@@ -191,6 +243,7 @@ __all__ = [
     "LocationAnswer",
     "LocationQuery",
     "PersonProfile",
+    "ProcessShardExecutor",
     "QueryGroup",
     "QueryPlan",
     "Region",
@@ -202,6 +255,10 @@ __all__ = [
     "RoomType",
     "ScenarioSpec",
     "SelfTrainingClassifier",
+    "SerialShardExecutor",
+    "ShardExecutor",
+    "ShardRouter",
+    "ShardedLocater",
     "SimulationError",
     "Simulator",
     "SpaceMetadata",
@@ -209,8 +266,11 @@ __all__ = [
     "SqliteStorage",
     "StorageError",
     "StreamingSession",
+    "ThreadShardExecutor",
     "TrainingError",
     "airport_blueprint",
+    "campus_ap_buildings",
+    "campus_blueprint",
     "dbh_blueprint",
     "extract_gaps",
     "find_gap_at",

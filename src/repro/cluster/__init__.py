@@ -1,0 +1,106 @@
+"""The sharded cluster layer: LOCATER scaled past one serving process.
+
+Single-node LOCATER is vectorized end to end; the remaining axis of
+scale is *across* devices and buildings.  This package turns one
+:class:`~repro.system.locater.Locater` into N of them behind the same
+query surface:
+
+Architecture
+------------
+
+Three orthogonal pieces, each swappable:
+
+* **Router** (:mod:`repro.cluster.router`) — which shard *owns* which
+  device.  Ownership covers a device's queries, trained coarse models,
+  cleaned-answer storage namespace and cache warm state.  Routers must
+  be deterministic and sticky (a moved device strands its models).
+  :class:`HashRouter` spreads devices uniformly;
+  :class:`BuildingAffinityRouter` keeps a campus building's population
+  on one shard so shared-computation memos hit across its query stream.
+* **Executor** (:mod:`repro.cluster.executor`) — where shards live and
+  how calls reach them.  :class:`SerialShardExecutor` and
+  :class:`ThreadShardExecutor` keep shards in-process (sharing the
+  cluster's event table object); :class:`ProcessShardExecutor` forks
+  one actor worker per shard with a copy-on-write table replica and
+  speaks pickled (method, args) over a pipe.  All three return results
+  in shard order, so executor choice never changes an answer.
+* **Shard** (:mod:`repro.cluster.shard`) — one full ``Locater`` plus,
+  for process workers, its own ingestion engine and streaming session.
+  Shards are created by the executor from a factory at
+  :meth:`ShardedLocater <repro.cluster.sharded.ShardedLocater>`
+  construction and torn down by ``close()`` (context manager
+  supported); worker sessions unsubscribe from their engines on close,
+  so no callback leaks outlive the cluster.
+
+Data placement is the key decision: the event log is **replicated** to
+every shard, serving state is **partitioned**.  Cleaning couples
+devices through co-location — neighbor discovery, device-affinity
+mining and the population aggregate read the whole log — so partial
+logs would change answers; replication keeps the load-bearing
+invariant instead:
+
+    With any deterministic router, any shard count and any executor,
+    cluster answers are bitwise identical to a lone ``Locater`` over
+    the same table whenever answers are pure functions of the table
+    (caching engine off).  Per-shard caches and storage namespaces
+    behave exactly like N independent deployments of the paper system.
+
+Ingest fans out through the same routers: one merge into the
+authoritative table stamps ids and re-estimates δ exactly like a lone
+engine, the router observes the stamped batch (binding first-seen
+devices), each shard's slice of the dirty stream is persisted under its
+storage namespace, and shards invalidate surgically via the existing
+:meth:`Locater.on_ingest` path (replica shards merge the stamped batch
+themselves, reproducing identical ids).
+
+Typical use::
+
+    from repro import ShardedLocater, ThreadShardExecutor
+
+    cluster = ShardedLocater(building, metadata, table, shard_count=4,
+                             executor=ThreadShardExecutor())
+    answers = cluster.locate_batch(queries)     # partition → merge
+    cluster.ingest(new_events)                  # merge once, fan out
+    cluster.close()
+
+``examples/campus_cluster.py`` walks a 3-building campus on a 4-shard
+cluster with streaming ingest;
+``benchmarks/test_bench_cluster.py`` tracks throughput versus shard
+count and executor choice.
+"""
+
+from repro.cluster.executor import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    ThreadShardExecutor,
+)
+from repro.cluster.router import (
+    BuildingAffinityRouter,
+    HashRouter,
+    ShardRouter,
+    partition_events,
+    stable_hash,
+)
+from repro.cluster.shard import Shard
+from repro.cluster.sharded import (
+    ClusterBatchState,
+    ClusterIngestReport,
+    ShardedLocater,
+)
+
+__all__ = [
+    "BuildingAffinityRouter",
+    "ClusterBatchState",
+    "ClusterIngestReport",
+    "HashRouter",
+    "ProcessShardExecutor",
+    "SerialShardExecutor",
+    "Shard",
+    "ShardExecutor",
+    "ShardRouter",
+    "ShardedLocater",
+    "ThreadShardExecutor",
+    "partition_events",
+    "stable_hash",
+]

@@ -1,0 +1,343 @@
+"""Shard executors: where shards live and how their calls run.
+
+An executor owns the shard lifecycle — :meth:`ShardExecutor.start`
+builds the shards from a factory, :meth:`ShardExecutor.close` tears
+them down — and dispatches method calls to all shards (or one).  The
+cluster layer never touches shards directly; swapping the executor
+swaps the deployment shape without changing any cluster logic:
+
+* :class:`SerialShardExecutor` — shards in-process, calls run one after
+  another.  Zero overhead; the baseline every benchmark compares
+  against, and the executor under which equivalence proofs are easiest
+  to read.
+* :class:`ThreadShardExecutor` — shards in-process, calls run on a
+  thread pool.  Python's GIL serializes the pure-Python parts, so the
+  win is bounded by the numpy fraction of the pipeline; what it buys
+  cheaply is overlap of shard calls that block (storage I/O) and a
+  drop-in dress rehearsal for the process executor.
+* :class:`ProcessShardExecutor` — each shard is an *actor* in a forked
+  worker process with a private copy-on-write replica of everything the
+  factory closed over.  Calls travel a pipe as pickled (method, args)
+  tuples; results return pickled, which roundtrips floats and numpy
+  arrays bitwise, so answers are indistinguishable from in-process
+  ones.  True parallelism, at the cost of per-call serialization and
+  no shared mutable state (a cluster with process shards therefore
+  refuses external storage and batch states).
+
+Determinism contract shared by all three: ``call_all`` returns results
+in shard order no matter which shard finished first, and each shard
+executes its own calls sequentially — so any per-shard computation is
+bit-for-bit reproducible across executor choices.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.errors import ClusterError, ConfigurationError
+
+#: Factory signature: shard_id → shard object.  The cluster provides it;
+#: executors decide where (and in which process) it runs.
+ShardFactory = Callable[[int], Any]
+
+
+class ShardExecutor(ABC):
+    """Owns N shards and runs method calls against them."""
+
+    #: Whether shards live in the calling process (and may therefore
+    #: share objects — the event table, storage views, batch states —
+    #: with the cluster).  Process-based executors set this False.
+    in_process: bool = True
+
+    def __init__(self) -> None:
+        self._started = False
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards started (0 before :meth:`start`)."""
+        return self._count if self._started else 0
+
+    def start(self, factory: ShardFactory, shard_count: int) -> None:
+        """Build ``shard_count`` shards via ``factory``; idempotence error."""
+        if self._started:
+            raise ConfigurationError("executor already started")
+        if shard_count < 1:
+            raise ConfigurationError(
+                f"shard_count must be >= 1, got {shard_count}")
+        self._count = shard_count
+        try:
+            self._start(factory, shard_count)
+        except BaseException:
+            # A failed start must not leak half-built shards or workers.
+            try:
+                self._close()
+            except Exception:
+                pass
+            raise
+        self._started = True
+
+    def call_all(self, method: str,
+                 args_per_shard: "Sequence[tuple] | None" = None
+                 ) -> list[Any]:
+        """Call ``method`` on every shard; results in shard order.
+
+        Args:
+            method: Shard method name.
+            args_per_shard: One positional-args tuple per shard
+                (defaults to no-arg calls).
+        """
+        self._check_started()
+        if args_per_shard is None:
+            args_per_shard = [()] * self._count
+        if len(args_per_shard) != self._count:
+            raise ConfigurationError(
+                f"need {self._count} argument tuples, "
+                f"got {len(args_per_shard)}")
+        return self._call_all(method, args_per_shard)
+
+    def call_one(self, shard_id: int, method: str, *args: Any) -> Any:
+        """Call ``method`` on one shard."""
+        self._check_started()
+        if not 0 <= shard_id < self._count:
+            raise ConfigurationError(
+                f"shard_id {shard_id} out of range(0, {self._count})")
+        return self._call_one(shard_id, method, args)
+
+    def close(self) -> None:
+        """Tear the shards down; further calls raise.  Idempotent."""
+        if self._started:
+            self._close()
+            self._started = False
+
+    def _check_started(self) -> None:
+        if not self._started:
+            raise ConfigurationError("executor not started (or closed)")
+
+    # -- template methods ----------------------------------------------
+    @abstractmethod
+    def _start(self, factory: ShardFactory, shard_count: int) -> None: ...
+
+    @abstractmethod
+    def _call_all(self, method: str,
+                  args_per_shard: Sequence[tuple]) -> list[Any]: ...
+
+    @abstractmethod
+    def _call_one(self, shard_id: int, method: str, args: tuple) -> Any: ...
+
+    @abstractmethod
+    def _close(self) -> None: ...
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _InProcessExecutor(ShardExecutor):
+    """Common base for executors whose shards live in this process."""
+
+    in_process = True
+
+    def _start(self, factory: ShardFactory, shard_count: int) -> None:
+        self._shards = [factory(shard_id) for shard_id in range(shard_count)]
+
+    @property
+    def shards(self) -> list[Any]:
+        """The live shard objects (cluster wiring needs direct access)."""
+        self._check_started()
+        return self._shards
+
+    def _call_one(self, shard_id: int, method: str, args: tuple) -> Any:
+        return getattr(self._shards[shard_id], method)(*args)
+
+    def _close(self) -> None:
+        for shard in self._shards:
+            close = getattr(shard, "close", None)
+            if close is not None:
+                close()
+        self._shards = []
+
+
+class SerialShardExecutor(_InProcessExecutor):
+    """Run every shard call sequentially in the calling thread."""
+
+    def _call_all(self, method: str,
+                  args_per_shard: Sequence[tuple]) -> list[Any]:
+        return [getattr(shard, method)(*args)
+                for shard, args in zip(self._shards, args_per_shard)]
+
+    def __repr__(self) -> str:
+        return "SerialShardExecutor()"
+
+
+class ThreadShardExecutor(_InProcessExecutor):
+    """Run shard calls on a thread pool (one worker per shard by default).
+
+    Each ``call_all`` dispatches one task per shard; a shard never sees
+    concurrent calls (the pool is fed at most one task per shard per
+    dispatch, and the cluster layer issues dispatches sequentially), so
+    per-shard state needs no locking.
+    """
+
+    def __init__(self, max_workers: "int | None" = None) -> None:
+        super().__init__()
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}")
+        self._max_workers = max_workers
+
+    def _start(self, factory: ShardFactory, shard_count: int) -> None:
+        super()._start(factory, shard_count)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._max_workers or shard_count,
+            thread_name_prefix="shard")
+
+    def _call_all(self, method: str,
+                  args_per_shard: Sequence[tuple]) -> list[Any]:
+        futures = [
+            self._pool.submit(getattr(shard, method), *args)
+            for shard, args in zip(self._shards, args_per_shard)]
+        # Collect in shard order; a raised shard call surfaces here with
+        # its original traceback.
+        return [future.result() for future in futures]
+
+    def _close(self) -> None:
+        self._pool.shutdown(wait=True)
+        super()._close()
+
+    def __repr__(self) -> str:
+        return f"ThreadShardExecutor(max_workers={self._max_workers})"
+
+
+def _worker_main(connection, factory: ShardFactory, shard_id: int) -> None:
+    """Actor loop of one forked shard worker.
+
+    Builds the shard from the (fork-inherited) factory, then serves
+    pickled ``(method, args)`` commands until the parent sends ``None``.
+    Failures are answered as ``(False, message)`` rather than killing
+    the worker, so one bad call doesn't take the shard down.
+    """
+    try:
+        shard = factory(shard_id)
+    except BaseException:
+        connection.send((False, f"shard {shard_id} factory failed:\n"
+                         f"{traceback.format_exc()}"))
+        connection.close()
+        return
+    connection.send((True, None))  # ready handshake
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        method, args = message
+        try:
+            result = getattr(shard, method)(*args)
+            connection.send((True, result))
+        except BaseException:
+            connection.send((False, f"shard {shard_id}.{method} failed:\n"
+                             f"{traceback.format_exc()}"))
+    close = getattr(shard, "close", None)
+    if close is not None:
+        close()
+    connection.close()
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """One forked worker process per shard, spoken to over a pipe.
+
+    Requires the ``fork`` start method (the factory and its closure —
+    building, metadata, the replicated event table — are *inherited*
+    copy-on-write, never pickled), so each worker starts with a private
+    bitwise-identical replica of the cluster's state at start time.
+    After start, workers receive only picklable payloads: stamped event
+    batches in, answers and reports out.
+    """
+
+    in_process = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                "ProcessShardExecutor requires the 'fork' start method "
+                "(unavailable on this platform); use "
+                "ThreadShardExecutor or SerialShardExecutor instead")
+        self._context = multiprocessing.get_context("fork")
+
+    def _start(self, factory: ShardFactory, shard_count: int) -> None:
+        self._connections = []
+        self._workers = []
+        for shard_id in range(shard_count):
+            parent_end, worker_end = self._context.Pipe(duplex=True)
+            worker = self._context.Process(
+                target=_worker_main, args=(worker_end, factory, shard_id),
+                name=f"shard-{shard_id}", daemon=True)
+            worker.start()
+            worker_end.close()
+            self._connections.append(parent_end)
+            self._workers.append(worker)
+        for shard_id, connection in enumerate(self._connections):
+            self._receive(shard_id, connection)  # ready handshake
+
+    def _receive(self, shard_id: int, connection) -> Any:
+        try:
+            ok, payload = connection.recv()
+        except EOFError as exc:
+            raise ClusterError(
+                f"shard worker {shard_id} died (pipe closed)") from exc
+        if not ok:
+            raise ClusterError(payload)
+        return payload
+
+    def _call_all(self, method: str,
+                  args_per_shard: Sequence[tuple]) -> list[Any]:
+        # Send every command first (each worker holds at most one
+        # in-flight command, so sends never deadlock), then collect in
+        # shard order — workers compute concurrently in between.  Every
+        # response is drained even when one shard fails, or the pipes
+        # would desynchronize and the next call read stale results.
+        for connection, args in zip(self._connections, args_per_shard):
+            connection.send((method, args))
+        results: list[Any] = []
+        failure: "ClusterError | None" = None
+        for shard_id, connection in enumerate(self._connections):
+            try:
+                results.append(self._receive(shard_id, connection))
+            except ClusterError as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+        return results
+
+    def _call_one(self, shard_id: int, method: str, args: tuple) -> Any:
+        connection = self._connections[shard_id]
+        connection.send((method, args))
+        return self._receive(shard_id, connection)
+
+    def _close(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)
+        for connection in self._connections:
+            connection.close()
+        self._connections = []
+        self._workers = []
+
+    def __repr__(self) -> str:
+        return "ProcessShardExecutor()"

@@ -1,0 +1,226 @@
+"""Shard routing: which shard owns which device.
+
+A :class:`~repro.cluster.sharded.ShardedLocater` replicates the event
+log to every shard (cleaning couples devices through co-location, so a
+shard answering queries from a partial log would change answers) and
+partitions *serving ownership*: each device's queries, trained coarse
+models, cleaned-answer storage and cache warm state live on exactly one
+shard.  The router decides that assignment.
+
+Routers must be **deterministic and stable**: ``shard_of`` may never
+depend on query order, process identity or Python's salted ``hash``,
+and a *bound* device never moves (a moved device strands its trained
+models and stored answers on the old shard).  Binding itself may
+upgrade a route exactly once: a device the affinity router has not yet
+bound serves from its hash-fallback shard, and its first observation
+at a mapped AP — always during an ingest, never during a query — binds
+it to its building's shard from then on.  The upgrade strands only the
+fallback shard's warm state (models and memos are pure functions of
+the replicated log, so answers are unaffected); pinning the fallback
+forever would instead require remembering query history, making
+placement depend on query order — the thing this contract forbids.
+Two routers ship:
+
+* :class:`HashRouter` — a stable CRC32 of the MAC, modulo the shard
+  count.  Uniform, metadata-free, the right default.
+* :class:`BuildingAffinityRouter` — for multi-building campuses whose
+  AP ids map to buildings: a device is assigned to the shard of the
+  building where it was *first observed* (sticky thereafter), so
+  co-located populations land on the same shard and the shard's
+  shared-computation memos (neighbor snapshots, pair affinities) hit
+  across its whole query stream.  Devices never observed at a mapped AP
+  fall back to the hash route.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+
+T = TypeVar("T")
+
+
+def stable_hash(mac: str) -> int:
+    """A process-independent, salt-free hash of a device id."""
+    return zlib.crc32(mac.encode("utf-8"))
+
+
+class ShardRouter(ABC):
+    """Maps a device id to the shard that owns it."""
+
+    @abstractmethod
+    def shard_of(self, mac: str, shard_count: int) -> int:
+        """The owning shard of ``mac``, in ``range(shard_count)``.
+
+        Must be a pure function of (mac, shard_count) and the
+        assignment state accumulated through the observe hooks — which
+        only ever run during ingests — never of query order (see the
+        module docstring for the one-time bind upgrade this allows).
+        """
+
+    def observe(self, events: Iterable[ConnectivityEvent]) -> None:
+        """Feed routing-relevant events (default: routers are stateless).
+
+        Assignment-learning routers (building affinity) bind first-seen
+        devices here.  Implementations must keep already-assigned
+        devices where they are.
+        """
+
+    def observe_table(self, table: EventTable,
+                      macs: Iterable[str]) -> None:
+        """Bind ``macs`` from their merged logs (default: stateless).
+
+        The cluster calls this on *every* ingest path — including
+        ``on_ingest``, which carries only a change report, no events —
+        so devices are bound no matter which entry point their first
+        events arrived through.  Binding reads each device's log in
+        chronological order; implementations must keep already-assigned
+        devices where they are.
+        """
+
+    def partition(self, items: Sequence[T], macs: Sequence[str],
+                  shard_count: int) -> "list[list[T]]":
+        """Split ``items`` (with parallel ``macs``) into per-shard lists.
+
+        Order within each shard preserves input order — which is what
+        keeps duplicate (mac, timestamp) queries short-circuiting
+        through storage exactly as the single-system path does.
+        """
+        if len(items) != len(macs):
+            raise ConfigurationError(
+                f"items and macs must align, got {len(items)} vs "
+                f"{len(macs)}")
+        out: "list[list[T]]" = [[] for _ in range(shard_count)]
+        for item, mac in zip(items, macs):
+            out[self.shard_of(mac, shard_count)].append(item)
+        return out
+
+
+class HashRouter(ShardRouter):
+    """Uniform device-hash routing (stable CRC32, no metadata needed)."""
+
+    def shard_of(self, mac: str, shard_count: int) -> int:
+        return stable_hash(mac) % shard_count
+
+    def __repr__(self) -> str:
+        return "HashRouter()"
+
+
+class BuildingAffinityRouter(ShardRouter):
+    """Route by the building a device was first observed in.
+
+    Args:
+        ap_buildings: AP id → building key (e.g. from
+            :func:`repro.space.blueprints.campus_ap_buildings`).  APs
+            absent from the map contribute nothing to assignment.
+        fallback: Router consulted for devices with no building
+            assignment (never observed, or only at unmapped APs).
+
+    Buildings are mapped to shards round-robin over the sorted distinct
+    building keys, so a 3-building campus on 4 shards uses 3 of them
+    and a 6-building campus doubles buildings up deterministically.
+    Assignments are *sticky*: commuter devices that later roam to other
+    buildings keep their first shard, because moving them would strand
+    trained models and stored answers.  Until a device is bound it
+    serves from its fallback (hash) shard; the binding upgrade happens
+    at most once, at its first mapped-AP observation during an ingest
+    (see the module docstring for why this beats pinning the fallback).
+    """
+
+    def __init__(self, ap_buildings: Mapping[str, str],
+                 fallback: "ShardRouter | None" = None) -> None:
+        if not ap_buildings:
+            raise ConfigurationError(
+                "building-affinity routing needs at least one AP→building "
+                "mapping")
+        self._ap_buildings = dict(ap_buildings)
+        self._building_index = {
+            building: index for index, building in
+            enumerate(sorted(set(self._ap_buildings.values())))}
+        self._assigned: dict[str, int] = {}
+        self._fallback = fallback if fallback is not None else HashRouter()
+
+    @classmethod
+    def from_table(cls, table: EventTable,
+                   ap_buildings: Mapping[str, str],
+                   fallback: "ShardRouter | None" = None
+                   ) -> "BuildingAffinityRouter":
+        """Bind every device already in ``table`` to its first-seen building.
+
+        The scan is chronological per device (each log is sorted), so
+        the assignment equals what observing the original stream would
+        have produced.
+        """
+        router = cls(ap_buildings, fallback=fallback)
+        router.observe_table(table, table.macs())
+        return router
+
+    def _assign(self, mac: str, ap_id: str) -> bool:
+        """Bind ``mac`` to ``ap_id``'s building; True when now assigned."""
+        if mac in self._assigned:
+            return True
+        building = self._ap_buildings.get(ap_id)
+        if building is None:
+            return False
+        self._assigned[mac] = self._building_index[building]
+        return True
+
+    def observe(self, events: Iterable[ConnectivityEvent]) -> None:
+        """Bind devices appearing in ``events`` to their first mapped AP."""
+        for event in events:
+            self._assign(event.mac, event.ap_id)
+
+    def observe_table(self, table: EventTable,
+                      macs: Iterable[str]) -> None:
+        """Bind each unassigned device from its merged, sorted log.
+
+        A full chronological scan per still-unassigned device: merges
+        may insert late-arriving rows anywhere in the log, so a resume
+        offset could skip a mapped AP.  The scan usually stops at the
+        first event; only devices that never touch a mapped AP pay the
+        full log length, and only while they stay unassigned.
+        """
+        for mac in sorted(set(macs)):
+            if mac in self._assigned or mac not in table.registry:
+                continue
+            log = table.log(mac)
+            for position in range(len(log)):
+                if self._assign(mac, log.ap_at(position)):
+                    break
+
+    def building_of(self, mac: str) -> "str | None":
+        """The building key ``mac`` is bound to, or None (fallback route)."""
+        index = self._assigned.get(mac)
+        if index is None:
+            return None
+        for building, candidate in self._building_index.items():
+            if candidate == index:
+                return building
+        return None
+
+    def shard_of(self, mac: str, shard_count: int) -> int:
+        index = self._assigned.get(mac)
+        if index is None:
+            return self._fallback.shard_of(mac, shard_count)
+        return index % shard_count
+
+    def __repr__(self) -> str:
+        return (f"BuildingAffinityRouter({len(self._building_index)} "
+                f"buildings, {len(self._assigned)} devices bound)")
+
+
+def partition_events(events: Sequence[ConnectivityEvent],
+                     router: ShardRouter,
+                     shard_count: int) -> "list[list[ConnectivityEvent]]":
+    """Split an event batch into per-shard sub-batches by owner device.
+
+    The union of the partitions is the input batch exactly once — the
+    split a cluster uses to persist each shard's slice of the dirty
+    stream to its storage namespace without duplicating rows.
+    """
+    return router.partition(events, [e.mac for e in events], shard_count)

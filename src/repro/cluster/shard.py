@@ -1,0 +1,141 @@
+"""One shard of a cluster: a full ``Locater`` serving its owned devices.
+
+A shard wraps everything one serving slice needs — the cleaning system,
+optionally its own ingestion engine — behind the small method surface
+the executors dispatch to (see :mod:`repro.cluster.executor`).  Shards
+come in two wirings, chosen by the cluster from the executor's
+placement:
+
+* **shared-table** (in-process executors): every shard's ``Locater``
+  reads the *same* :class:`~repro.events.table.EventTable` object.  The
+  cluster merges each ingest batch once and fans the resulting
+  :class:`~repro.system.ingestion.IngestReport` out to
+  :meth:`Shard.on_ingest`, which invalidates that shard's models.
+* **replica** (process executor): the shard lives in a forked worker
+  with a private copy of the table and owns a
+  :class:`~repro.system.streaming.StreamingSession` over it, so
+  :meth:`Shard.ingest_events` merges the stamped batch into the replica
+  and prunes the shard's persistent memos, exactly like a single-node
+  streaming deployment would.  Event ids arrive already stamped by the
+  cluster and the replica engine re-derives identical ids (same seed,
+  same order), keeping replicas bitwise interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ClusterError
+from repro.events.event import ConnectivityEvent
+from repro.system.ingestion import IngestionEngine, IngestReport
+from repro.system.locater import (
+    BatchState,
+    InvalidationSummary,
+    Locater,
+    LocationAnswer,
+)
+from repro.system.planner import DEFAULT_BUCKET_SECONDS
+from repro.system.query import LocationQuery
+from repro.system.streaming import StreamingSession
+
+
+class Shard:
+    """One slice of a :class:`~repro.cluster.sharded.ShardedLocater`.
+
+    Args:
+        shard_id: Position in the cluster (also the storage namespace
+            the cluster derived for this shard).
+        locater: The cleaning system; shares the cluster's table in
+            shared-table wiring, owns a replica in worker processes.
+        engine: In replica wiring, the shard's own ingestion engine over
+            its table; the shard then runs a persistent
+            :class:`StreamingSession` so repeated bursts share memos and
+            every ingest prunes them.  None in shared-table wiring.
+    """
+
+    def __init__(self, shard_id: int, locater: Locater,
+                 engine: "IngestionEngine | None" = None) -> None:
+        self.shard_id = shard_id
+        self.locater = locater
+        self._session = StreamingSession(locater, engine) \
+            if engine is not None else None
+
+    @property
+    def is_replica(self) -> bool:
+        """Whether this shard owns a private table replica."""
+        return self._session is not None
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def locate_query(self, query: LocationQuery) -> LocationAnswer:
+        """Answer one query (the cluster routed it here)."""
+        return self.locater.locate_query(query)
+
+    def locate_batch(self, queries: Sequence[LocationQuery],
+                     bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+                     collect_timings: bool = False,
+                     share_computation: bool = True,
+                     state: "BatchState | None" = None
+                     ) -> "tuple[list[LocationAnswer], list[tuple[int, float]] | None]":
+        """Answer this shard's slice of a batch.
+
+        Returns the answers in slice order plus, when requested, the
+        per-query timings as (slice index, seconds) pairs — the cluster
+        maps both back to the caller's input indices.  A replica shard
+        substitutes its session's persistent state when none is given,
+        so streaming bursts keep their memos warm worker-side.
+        """
+        timings: "list[tuple[int, float]] | None" = \
+            [] if collect_timings else None
+        if state is None and self._session is not None and share_computation:
+            state = self._session.state
+        answers = self.locater.locate_batch(
+            queries, bucket_seconds=bucket_seconds, timings=timings,
+            share_computation=share_computation, state=state)
+        return answers, timings
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def on_ingest(self, report: IngestReport) -> InvalidationSummary:
+        """Shared-table wiring: the cluster merged; invalidate locally."""
+        if self._session is not None:
+            raise ClusterError(
+                "replica shards merge events themselves; send the batch "
+                "via ingest_events")
+        return self.locater.on_ingest(report)
+
+    def ingest_events(self, events: Sequence[ConnectivityEvent]
+                      ) -> IngestReport:
+        """Replica wiring: merge a stamped batch into the private table."""
+        if self._session is None:
+            raise ClusterError(
+                "shared-table shards do not merge events; the cluster "
+                "ingests once and fans out on_ingest")
+        return self._session.ingest(events)
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> "dict[str, int] | None":
+        """The shard's caching-engine counters (None when caching off)."""
+        cache = self.locater.cache
+        return cache.stats() if cache is not None else None
+
+    def stats(self) -> dict[str, int]:
+        """Serving counters: table size plus session ingest counts."""
+        out = {
+            "shard_id": self.shard_id,
+            "events": len(self.locater.table),
+            "devices": self.locater.table.device_count,
+        }
+        if self._session is not None:
+            out["ingests"] = self._session.ingests
+            out["full_invalidations"] = self._session.full_invalidations
+        return out
+
+    def close(self) -> None:
+        """Detach the session (replica wiring); idempotent."""
+        if self._session is not None:
+            self._session.close()

@@ -1,0 +1,541 @@
+"""``ShardedLocater``: one query surface over N independent shards.
+
+The cluster replicates the event log to every shard and partitions
+*serving ownership* by a :class:`~repro.cluster.router.ShardRouter`:
+each device's queries, trained coarse models, cleaned-answer storage
+namespace and cache warm state live on exactly one shard.  Replication
+is not an implementation shortcut — it is what makes the cluster
+*correct*: cleaning couples devices through co-location (neighbor
+discovery, device-affinity mining and the population aggregate all read
+the whole log), so a shard serving from a partial log would change
+answers.  What scales out is everything downstream of the log: model
+training, gap-feature extraction, fine-grained inference, caching and
+answer storage — the dominant costs.
+
+The serving contract is the repo's strongest invariant, extended to the
+cluster: with any deterministic router, any shard count and any
+executor, answers are **bitwise identical** to a lone
+:class:`~repro.system.locater.Locater` over the same table whenever
+answers are pure functions of the table (the caching engine off — its
+global graph is deliberately shared warm state that couples devices
+across queries, so per-shard caches warm independently exactly like N
+separate deployments would).  The equivalence suite in
+``tests/integration/test_cluster_equivalence.py`` enforces this on
+batch and streaming workloads.
+
+The public surface mirrors ``Locater`` (``locate``, ``locate_batch``,
+``locate_query``, ``make_batch_state``, ``on_ingest``, ``table``), so
+:class:`~repro.system.streaming.StreamingSession`, the CLI, analytics
+and the eval runner work unchanged against a cluster; ``ingest`` is the
+cluster-native entry point that also works with process shards.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import weakref
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cluster.executor import SerialShardExecutor, ShardExecutor
+from repro.cluster.router import HashRouter, ShardRouter, partition_events
+from repro.cluster.shard import Shard
+from repro.errors import ClusterError, ConfigurationError
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.space.building import Building
+from repro.space.metadata import SpaceMetadata
+from repro.system.config import LocaterConfig
+from repro.system.ingestion import IngestionEngine, IngestReport
+from repro.system.locater import (
+    BatchState,
+    InvalidationSummary,
+    Locater,
+    LocationAnswer,
+)
+from repro.system.planner import DEFAULT_BUCKET_SECONDS
+from repro.system.query import LocationQuery
+from repro.system.storage import StorageEngine
+from repro.system.streaming import prune_batch_state
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterIngestReport:
+    """What one :meth:`ShardedLocater.ingest` call changed, per shard.
+
+    Attributes:
+        total: The merge-once report over the cluster's authoritative
+            table — exactly what a lone system's engine would publish.
+        shard_reports: The router's partition of ``total``: per shard,
+            the events routed to it and the changed *owned* devices.
+            Counts sum to ``total.count``; changed maps union to
+            ``total.changed``.
+    """
+
+    total: IngestReport
+    shard_reports: tuple[IngestReport, ...]
+
+    @property
+    def count(self) -> int:
+        """Events ingested by this call (all shards)."""
+        return self.total.count
+
+    @property
+    def generation(self) -> int:
+        """Table generation after the merge."""
+        return self.total.generation
+
+    @property
+    def macs(self) -> frozenset[str]:
+        """All devices whose logs changed."""
+        return self.total.macs
+
+
+class _NeighborsFanout:
+    """Invalidation hooks over every shard's neighbor index."""
+
+    def __init__(self, states: "Sequence[BatchState]") -> None:
+        self._indexes = [s.neighbors for s in states]
+
+    def invalidate_all(self) -> int:
+        return sum(index.invalidate_all() for index in self._indexes)
+
+    def invalidate_interval(self, interval, slack: float = 0.0) -> int:
+        return sum(index.invalidate_interval(interval, slack=slack)
+                   for index in self._indexes)
+
+
+class ClusterBatchState:
+    """Per-shard :class:`BatchState` bundle with a ``BatchState`` surface.
+
+    A :class:`~repro.system.streaming.StreamingSession` holds one of
+    these when serving a cluster: ``drop_devices``, the neighbor
+    invalidation hooks and ``memo_dicts`` fan out to every shard's
+    state, so the session's pruning logic works unchanged.
+    """
+
+    def __init__(self, shard_states: "tuple[BatchState, ...]") -> None:
+        self.shard_states = shard_states
+        self.neighbors = _NeighborsFanout(shard_states)
+
+    def drop_device(self, mac: str) -> None:
+        """Forget every memo involving one device, on every shard."""
+        self.drop_devices({mac})
+
+    def drop_devices(self, macs: "set[str]") -> None:
+        """Forget memos involving the given devices, on every shard."""
+        for state in self.shard_states:
+            state.drop_devices(macs)
+
+    def memo_dicts(self) -> list[dict]:
+        """Every memo dict across every shard (see BatchState.memo_dicts).
+
+        Freshly resolved per call — the drop paths rebind the dicts —
+        and flattened per shard, so a trim bound applies to each
+        shard's memo individually.
+        """
+        return [memo for state in self.shard_states
+                for memo in state.memo_dicts()]
+
+    def reset(self) -> None:
+        """Forget everything — the in-place equivalent of a fresh state.
+
+        Used on full invalidations: every memo dict is emptied and every
+        neighbor snapshot dropped, so serving from this state afterwards
+        behaves exactly like serving from ``make_batch_state()`` output
+        (the snapshot bound survives; it lives on the neighbor indexes).
+        """
+        for memo in self.memo_dicts():
+            memo.clear()
+        self.neighbors.invalidate_all()
+
+
+class ShardedLocater:
+    """N-shard cluster with the single-system query surface.
+
+    Args:
+        building: Space model (a single building or a merged campus).
+        metadata: Per-device preferred-room metadata.
+        table: The authoritative event table.  In-process shards share
+            this object; process shards inherit a bitwise replica at
+            fork time.
+        shard_count: Number of shards.
+        router: Device → shard assignment (default
+            :class:`~repro.cluster.router.HashRouter`).
+        executor: Shard placement and call dispatch (default
+            :class:`~repro.cluster.executor.SerialShardExecutor`).  The
+            cluster owns it from here: ``close`` tears it down.
+        config: Pipeline configuration shared by every shard.
+        storage: Optional shared backend; shard ``i`` persists its
+            answers under namespace ``"shard<i>"`` and its slice of the
+            dirty event stream (globally unique ids, stored once).
+            Incompatible with process executors, whose shards cannot
+            reach the caller's backend.
+
+    Example:
+        >>> cluster = ShardedLocater(building, metadata, table,
+        ...                          shard_count=4,
+        ...                          executor=ThreadShardExecutor())
+        >>> answers = cluster.locate_batch(queries)
+        >>> cluster.ingest(new_events)       # merge once, fan out
+        >>> cluster.close()
+    """
+
+    def __init__(self, building: Building, metadata: SpaceMetadata,
+                 table: EventTable, *, shard_count: int,
+                 router: "ShardRouter | None" = None,
+                 executor: "ShardExecutor | None" = None,
+                 config: "LocaterConfig | None" = None,
+                 storage: "StorageEngine | None" = None) -> None:
+        if shard_count < 1:
+            raise ConfigurationError(
+                f"shard_count must be >= 1, got {shard_count}")
+        self._building = building
+        self._metadata = metadata
+        self._table = table
+        self._config = config
+        self._router = router if router is not None else HashRouter()
+        self._executor = executor if executor is not None \
+            else SerialShardExecutor()
+        self._shard_count = shard_count
+        if not self._executor.in_process and storage is not None:
+            raise ConfigurationError(
+                "process shards cannot share the caller's storage "
+                "backend; use an in-process executor or storage=None")
+        self._storage = storage
+        self._views = [
+            storage.namespace(f"shard{shard_id}") if storage is not None
+            else None
+            for shard_id in range(shard_count)]
+        self._tap = _EventTap(storage)
+        self._engine = IngestionEngine(table, storage=self._tap)
+        in_process = self._executor.in_process
+        views = self._views if in_process else [None] * shard_count
+
+        def factory(shard_id: int) -> Shard:
+            # In-process: every shard's Locater reads the shared table.
+            # In a forked worker this closure runs post-fork, so
+            # ``table`` is the worker's private copy-on-write replica
+            # and the shard gets its own engine + streaming session.
+            # (Closes over plain locals only — a worker must not drag a
+            # copy of the cluster object, executor pipes included,
+            # across the fork.)
+            locater = Locater(building, metadata, table, config=config,
+                              storage=views[shard_id])
+            engine = None if in_process else IngestionEngine(table)
+            return Shard(shard_id, locater, engine=engine)
+
+        self._executor.start(factory, shard_count)
+        # States handed out by make_batch_state, pruned on every ingest
+        # so held states never serve memos staled by new events.  Weak:
+        # the cluster must not keep abandoned states (and their neighbor
+        # snapshots) alive.
+        self._live_states: "weakref.WeakSet[ClusterBatchState]" = \
+            weakref.WeakSet()
+        self._closed = False
+        self._poisoned = False
+
+    # ------------------------------------------------------------------
+    @property
+    def building(self) -> Building:
+        """The space model every shard cleans against."""
+        return self._building
+
+    @property
+    def table(self) -> EventTable:
+        """The authoritative connectivity events table."""
+        return self._table
+
+    @property
+    def config(self) -> "LocaterConfig | None":
+        """The configuration shared by every shard."""
+        return self._config
+
+    @property
+    def router(self) -> ShardRouter:
+        """The device → shard assignment."""
+        return self._router
+
+    @property
+    def executor(self) -> ShardExecutor:
+        """The shard placement / dispatch layer."""
+        return self._executor
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards."""
+        return self._shard_count
+
+    def shard_of(self, mac: str) -> int:
+        """The shard that owns ``mac``."""
+        return self._router.shard_of(mac, self._shard_count)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def locate(self, mac: str, timestamp: float) -> LocationAnswer:
+        """Answer one query on its owning shard."""
+        return self.locate_query(
+            LocationQuery(mac=mac, timestamp=timestamp))
+
+    def locate_query(self, query: LocationQuery) -> LocationAnswer:
+        """Answer an explicit :class:`LocationQuery` on its owning shard."""
+        self._check_open()
+        return self._executor.call_one(self.shard_of(query.mac),
+                                       "locate_query", query)
+
+    def locate_batch(self, queries: Iterable[LocationQuery],
+                     bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+                     timings: "list[tuple[int, float]] | None" = None,
+                     share_computation: bool = True,
+                     state: "ClusterBatchState | None" = None
+                     ) -> list[LocationAnswer]:
+        """Answer a batch: partition by owner, execute shards, merge.
+
+        Same contract as :meth:`Locater.locate_batch` — answers return
+        in input order; ``timings`` entries carry input indices (their
+        *order* interleaves per shard rather than following the global
+        plan).  ``state`` must come from :meth:`make_batch_state`.
+        """
+        self._check_open()
+        queries = list(queries)
+        indexed = list(enumerate(queries))
+        parts = self._router.partition(
+            indexed, [q.mac for q in queries], self._shard_count)
+        if state is not None:
+            shard_states: "Sequence[BatchState | None]" = state.shard_states
+        else:
+            shard_states = [None] * self._shard_count
+        args = [
+            ([query for _, query in part], bucket_seconds,
+             timings is not None, share_computation, shard_state)
+            for part, shard_state in zip(parts, shard_states)]
+        results = self._executor.call_all("locate_batch", args)
+        answers: "list[LocationAnswer | None]" = [None] * len(queries)
+        for part, (part_answers, part_timings) in zip(parts, results):
+            for (index, _), answer in zip(part, part_answers):
+                answers[index] = answer
+            if timings is not None and part_timings:
+                timings.extend((part[local][0], seconds)
+                               for local, seconds in part_timings)
+        return answers  # type: ignore[return-value]  # every slot filled
+
+    def make_batch_state(self, max_snapshots: "int | None" = None
+                         ) -> ClusterBatchState:
+        """A persistent cluster state (one :class:`BatchState` per shard).
+
+        The cluster keeps a weak reference and prunes the state on
+        every :meth:`ingest` / :meth:`on_ingest`, so holding it across
+        ingests stays safe (memos never outlive the table state they
+        were derived from).  Only available with in-process executors;
+        process shards keep their persistent state worker-side (their
+        streaming sessions prune it on every :meth:`ingest`).
+        """
+        self._check_open()
+        self._require_in_process("make_batch_state")
+        state = ClusterBatchState(tuple(
+            shard.locater.make_batch_state(max_snapshots=max_snapshots)
+            for shard in self._executor.shards))
+        self._live_states.add(state)
+        return state
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, events: Iterable[ConnectivityEvent]
+               ) -> ClusterIngestReport:
+        """Merge new events once, then bring every shard up to date.
+
+        The cluster's engine stamps ids and merges into the
+        authoritative table (identically to a lone system's engine).
+        The stamped batch then feeds the router (so assignment-learning
+        routers bind first-seen devices), is partitioned to persist each
+        shard's slice of the dirty stream, and finally reaches the
+        shards: in-process shards invalidate against the shared table
+        (live batch states handed out by :meth:`make_batch_state` are
+        pruned along the way); replica shards merge the stamped batch
+        themselves.
+        """
+        self._check_open()
+        report = self._engine.ingest(events)
+        stamped = self._tap.take()
+        # Bind assignment-learning routers from the merged table (same
+        # first-seen-in-log-order semantics as the on_ingest path).
+        self._router.observe_table(self._table, report.macs)
+        partitions = partition_events(stamped, self._router,
+                                      self._shard_count)
+        for view, partition in zip(self._views, partitions):
+            if view is not None and partition:
+                view.store_events(partition)
+        with self._poison_on_failure():
+            if self._executor.in_process:
+                summaries = self._executor.call_all(
+                    "on_ingest", [(report,)] * self._shard_count)
+                self._prune_states(report,
+                                   self._merge_summaries(summaries))
+            else:
+                self._executor.call_all("ingest_events",
+                                        [(stamped,)] * self._shard_count)
+        return ClusterIngestReport(
+            total=report,
+            shard_reports=tuple(
+                self._slice_report(report, partitions[shard_id], shard_id)
+                for shard_id in range(self._shard_count)))
+
+    def on_ingest(self, report: IngestReport) -> InvalidationSummary:
+        """React to a merge some external engine performed on ``table``.
+
+        This is the :class:`~repro.system.streaming.StreamingSession`
+        wiring: the session's engine merged into the shared table, and
+        every shard now invalidates its own models.  The per-shard
+        summaries agree on everything except the per-namespace answer
+        counts (same report, same table, same escalation rule), so the
+        merge is a sum/union of identical decisions.  Live batch states
+        are pruned here too — a session prunes its own state again
+        afterwards, which is redundant but harmless (every pruning step
+        is idempotent).
+        """
+        self._check_open()
+        self._require_in_process("on_ingest")
+        # The external engine merged into the shared table already, so
+        # assignment-learning routers can bind the changed devices from
+        # their logs — queries must never route a device differently
+        # depending on which ingest entry point saw it first.
+        self._router.observe_table(self._table, report.macs)
+        with self._poison_on_failure():
+            summaries: list[InvalidationSummary] = \
+                self._executor.call_all(
+                    "on_ingest", [(report,)] * self._shard_count)
+            merged = self._merge_summaries(summaries)
+            self._prune_states(report, merged)
+        return merged
+
+    @staticmethod
+    def _merge_summaries(summaries: "Sequence[InvalidationSummary]"
+                         ) -> InvalidationSummary:
+        return InvalidationSummary(
+            full=any(s.full for s in summaries),
+            macs=frozenset().union(*(s.macs for s in summaries)),
+            delta_changed=frozenset().union(
+                *(s.delta_changed for s in summaries)),
+            answers_dropped=sum(s.answers_dropped for s in summaries))
+
+    def _prune_states(self, report: IngestReport,
+                      summary: InvalidationSummary) -> None:
+        """Bring every live :class:`ClusterBatchState` up to date.
+
+        Shares :func:`~repro.system.streaming.prune_batch_state` with
+        the streaming session — one surgical-invalidation policy, no
+        drift — and handles the full-invalidation case by resetting
+        each held state in place (a session would swap in a fresh one).
+        """
+        if not report.changed and not summary.full:
+            return
+        registry = self._table.registry
+        for state in list(self._live_states):
+            if summary.full:
+                state.reset()
+            else:
+                prune_batch_state(state, report, summary, registry)
+
+    def _slice_report(self, report: IngestReport,
+                      partition: "list[ConnectivityEvent]",
+                      shard_id: int) -> IngestReport:
+        """The owned slice of a cluster report for one shard."""
+        owned = {mac: interval for mac, interval in report.changed.items()
+                 if self.shard_of(mac) == shard_id}
+        return IngestReport(
+            count=len(partition), generation=report.generation,
+            changed=owned,
+            delta_changes={mac: move for mac, move
+                           in report.delta_changes.items() if mac in owned})
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> "list[dict[str, int] | None]":
+        """Per-shard caching-engine counters (None where caching is off)."""
+        self._check_open()
+        return self._executor.call_all("cache_stats")
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-shard serving counters (events, devices, ingests)."""
+        self._check_open()
+        return self._executor.call_all("stats")
+
+    def close(self) -> None:
+        """Tear down shards, workers and storage views.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.close()
+        for view in self._views:
+            if view is not None:
+                view.close()
+
+    def __enter__(self) -> "ShardedLocater":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClusterError("cluster already closed")
+        if self._poisoned:
+            raise ClusterError(
+                "cluster poisoned: an ingest fan-out failed part-way, so "
+                "some shards may hold stale models or replicas; rebuild "
+                "the cluster from the authoritative table (retrying the "
+                "ingest would double-merge the batch)")
+
+    @contextlib.contextmanager
+    def _poison_on_failure(self):
+        """Fail-stop guard around a shard fan-out.
+
+        If invalidation (or a replica merge) reaches some shards but not
+        others, the survivors silently diverge from the authoritative
+        table — worse than an outage under this layer's bitwise
+        contract.  Any fan-out failure therefore poisons the cluster:
+        every later serving call raises until the owner rebuilds.
+        """
+        try:
+            yield
+        except BaseException:
+            self._poisoned = True
+            raise
+
+    def _require_in_process(self, operation: str) -> None:
+        if not self._executor.in_process:
+            raise ConfigurationError(
+                f"{operation} needs in-process shards (they share the "
+                "cluster's table and state); with process shards, drive "
+                "ingest through ShardedLocater.ingest instead")
+
+
+class _EventTap:
+    """The engine-facing storage stub of a cluster.
+
+    Captures the stamped events of the current ingest call (the cluster
+    partitions and persists them *after* the router has observed them)
+    and answers ``max_event_id`` from the real backend so id seeding
+    matches a lone system's engine exactly.
+    """
+
+    def __init__(self, backend: "StorageEngine | None") -> None:
+        self._backend = backend
+        self._buffer: list[ConnectivityEvent] = []
+
+    def store_events(self, events: Iterable[ConnectivityEvent]) -> int:
+        batch = list(events)
+        self._buffer.extend(batch)
+        return len(batch)
+
+    def max_event_id(self) -> int:
+        return self._backend.max_event_id() \
+            if self._backend is not None else -1
+
+    def take(self) -> list[ConnectivityEvent]:
+        """The stamped events buffered since the last take."""
+        out, self._buffer = self._buffer, []
+        return out

@@ -10,7 +10,7 @@ self-trained classifiers decide (1) inside vs outside the building and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import ClassVar, Iterable, Sequence
 
 import numpy as np
 
@@ -74,6 +74,11 @@ class CoarseSharedState:
     gap).  Values are exactly what the sequential path computes, so
     sharing never changes an answer.
     """
+
+    #: The memo-dict attributes of this state — the single list the
+    #: trim/reset/fanout plumbing iterates (add new memos here too).
+    MEMO_ATTRS: ClassVar[tuple[str, ...]] = (
+        "features", "building_labels", "region_ids")
 
     features: "dict[tuple[str, float, float], np.ndarray]" = field(
         default_factory=dict)

@@ -53,3 +53,7 @@ class SimulationError(ReproError):
 
 class StorageError(ReproError):
     """The storage engine failed or was used after being closed."""
+
+
+class ClusterError(ReproError):
+    """A sharded cluster failed: a shard call raised, or a worker died."""

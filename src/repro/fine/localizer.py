@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import ClassVar, Sequence
 
 import numpy as np
 
@@ -88,6 +88,12 @@ class FineSharedState:
     preserve member *order* so memoized vectors are bitwise identical
     to what the sequential path multiplies out.
     """
+
+    #: The memo-dict attributes of this state — the single list the
+    #: trim/reset/fanout plumbing iterates (add new memos here too).
+    MEMO_ATTRS: ClassVar[tuple[str, ...]] = (
+        "priors", "pair_affinities", "cluster_affinities",
+        "room_affinities")
 
     priors: dict = field(default_factory=dict)
     pair_affinities: dict = field(default_factory=dict)

@@ -25,6 +25,7 @@ from repro.sim.profile import (
 from repro.sim.semantic_event import SemanticEvent
 from repro.space.blueprints import (
     airport_blueprint,
+    campus_blueprint,
     dbh_blueprint,
     mall_blueprint,
     office_blueprint,
@@ -203,12 +204,49 @@ class ScenarioSpec:
                    groups=groups, event_program=_airport_events, seed=seed)
 
     @classmethod
+    def campus(cls, seed: int = 0, population: int = 48,
+               buildings: int = 3) -> "ScenarioSpec":
+        """A multi-building campus: the cluster layer's native workload.
+
+        One space model holds ``buildings`` corridor buildings with
+        disjoint per-building AP vocabularies (see
+        :func:`~repro.space.blueprints.campus_blueprint`).  Most of the
+        population is building-resident — their preferred private
+        offices spread across the buildings, so their traffic stays on
+        one AP vocabulary — while a commuter tail (high wander, campus
+        events in building 0 open to everyone) keeps crossing building
+        boundaries, which is exactly what stresses a building-affinity
+        shard router: sticky assignments must stay correct for devices
+        whose logs span several buildings.
+        """
+        if buildings < 1:
+            raise SimulationError(
+                f"campus needs at least 1 building, got {buildings}")
+        from dataclasses import replace
+
+        staff = staff_profile("staff", 0.9)
+        resident = resident_profile("resident", 0.78)
+        commuter = replace(
+            roamer_profile("commuter", 0.45),
+            attendance_probability=0.85, wander_probability=0.7)
+        visitor = visitor_profile("visitor", 0.3)
+        groups = (
+            PopulationGroup(staff, max(1, population // 8)),
+            PopulationGroup(resident, max(1, population * 4 // 8)),
+            PopulationGroup(commuter, max(1, population * 2 // 8)),
+            PopulationGroup(visitor, max(1, population // 8)),
+        )
+        return cls(name=f"campus{buildings}",
+                   building_factory=lambda: campus_blueprint(buildings),
+                   groups=groups, event_program=_campus_events, seed=seed)
+
+    @classmethod
     def by_name(cls, name: str, seed: int = 0) -> "ScenarioSpec":
         """Look up a stock scenario by name."""
         factory = {
             "dbh": cls.dbh_like, "office": cls.office,
             "university": cls.university, "mall": cls.mall,
-            "airport": cls.airport,
+            "airport": cls.airport, "campus": cls.campus,
         }.get(name)
         if factory is None:
             raise SimulationError(f"unknown scenario {name!r}")
@@ -284,6 +322,44 @@ def _mall_events(building: Building) -> list[SemanticEvent]:
         events.append(SemanticEvent(
             event_id="foodcourt", room_id=rooms[-1], start_time=hours(12),
             duration=hours(1.5), days=alldays, capacity=80))
+    return events
+
+
+def _campus_events(building: Building) -> list[SemanticEvent]:
+    """Per-building routines plus campus-wide gatherings in building 0.
+
+    The in-building meetings keep residents on their own AP vocabulary;
+    the campus events (open to every profile, generous capacity) pull
+    attendees — commuters above all — across building boundaries.
+    """
+    by_building: dict[str, list[str]] = {}
+    for room_id in sorted(r.room_id for r in building.public_rooms()):
+        prefix, _, rest = room_id.partition("-")
+        if rest:
+            by_building.setdefault(prefix, []).append(room_id)
+    if not by_building:  # non-campus building: fall back to one program
+        return _office_events(building)
+    events: list[SemanticEvent] = []
+    weekdays = (0, 1, 2, 3, 4)
+    for index, (key, rooms) in enumerate(sorted(by_building.items())):
+        events.append(SemanticEvent(
+            event_id=f"{key}-meeting", room_id=rooms[0],
+            start_time=hours(9 + (index % 3)), duration=hours(1),
+            days=weekdays, capacity=20,
+            eligible_profiles=("staff", "resident")))
+        events.append(SemanticEvent(
+            event_id=f"{key}-lunch", room_id=rooms[-1],
+            start_time=hours(12), duration=minutes(45), days=weekdays,
+            capacity=40))
+    hub = sorted(by_building)[0]
+    events.append(SemanticEvent(
+        event_id="campus-seminar", room_id=by_building[hub][0],
+        start_time=hours(15), duration=hours(1.5), days=(1, 3),
+        capacity=120))
+    events.append(SemanticEvent(
+        event_id="campus-social", room_id=by_building[hub][-1],
+        start_time=hours(17), duration=hours(1), days=(4,),
+        capacity=120))
     return events
 
 

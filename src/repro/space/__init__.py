@@ -23,6 +23,8 @@ from repro.space.room import Room, RoomType
 from repro.space.room_index import RoomIndex
 from repro.space.blueprints import (
     airport_blueprint,
+    campus_ap_buildings,
+    campus_blueprint,
     dbh_blueprint,
     grid_building,
     mall_blueprint,
@@ -40,6 +42,8 @@ __all__ = [
     "RoomType",
     "SpaceMetadata",
     "airport_blueprint",
+    "campus_ap_buildings",
+    "campus_blueprint",
     "dbh_blueprint",
     "grid_building",
     "mall_blueprint",

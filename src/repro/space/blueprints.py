@@ -53,19 +53,21 @@ class GridSpec:
             raise SpaceModelError("public_fraction must be in [0, 1]")
 
 
-def grid_building(spec: GridSpec) -> Building:
-    """Generate a two-sided corridor building per ``spec``.
+def _emit_grid(builder: BuildingBuilder, spec: GridSpec, *,
+               id_prefix: str = "",
+               origin: tuple[float, float] = (0.0, 0.0)) -> None:
+    """Emit one corridor grid into ``builder``.
 
-    Rooms alternate sides of a straight corridor; every k-th room is public
-    (k chosen from ``public_fraction``).  APs sit on the corridor spine at
-    even spacing; coverage = rooms whose centre falls within
-    ``coverage_radius``, so adjacent regions overlap.
+    ``id_prefix`` namespaces room and AP ids and ``origin`` offsets every
+    position, so several grids can coexist in one building (a campus).
+    AP coverage is computed against this grid's rooms only — each
+    sub-building keeps its own AP vocabulary by construction.
     """
-    builder = BuildingBuilder(spec.name)
+    ox, oy = origin
     positions: dict[str, tuple[float, float]] = {}
 
     for i in range(spec.rooms):
-        room_id = f"{spec.room_prefix}{i:03d}"
+        room_id = f"{id_prefix}{spec.room_prefix}{i:03d}"
         side = 1.0 if i % 2 == 0 else -1.0
         x = (i // 2) * spec.room_width + spec.room_width / 2.0
         y = side * 5.0
@@ -76,10 +78,10 @@ def grid_building(spec: GridSpec) -> Building:
         is_public = int((i + 1) * f) > int(i * f)
         if is_public:
             builder.add_public_room(room_id, name=f"shared-{i}", capacity=30,
-                                    position=(x, y))
+                                    position=(x + ox, y + oy))
         else:
             builder.add_private_room(room_id, name=f"office-{i}", capacity=4,
-                                     position=(x, y))
+                                     position=(x + ox, y + oy))
 
     corridor_length = (spec.rooms // 2 + 1) * spec.room_width
     for j in range(spec.access_points):
@@ -95,8 +97,20 @@ def grid_building(spec: GridSpec) -> Building:
             # every AP defines a non-empty region.
             nearest = min(positions, key=lambda r: abs(positions[r][0] - ap_x))
             covered = [nearest]
-        builder.add_access_point(f"wap{j + 1}", covered, position=(ap_x, 0.0))
+        builder.add_access_point(f"{id_prefix}wap{j + 1}", covered,
+                                 position=(ap_x + ox, oy))
 
+
+def grid_building(spec: GridSpec) -> Building:
+    """Generate a two-sided corridor building per ``spec``.
+
+    Rooms alternate sides of a straight corridor; every k-th room is public
+    (k chosen from ``public_fraction``).  APs sit on the corridor spine at
+    even spacing; coverage = rooms whose centre falls within
+    ``coverage_radius``, so adjacent regions overlap.
+    """
+    builder = BuildingBuilder(spec.name)
+    _emit_grid(builder, spec)
     return builder.build()
 
 
@@ -157,3 +171,48 @@ def airport_blueprint() -> Building:
         name="airport", rooms=40, access_points=8, public_fraction=0.8,
         room_width=6.0, coverage_radius=18.0, room_prefix="A",
     ))
+
+
+def campus_blueprint(buildings: int = 3, rooms_per_building: int = 16,
+                     aps_per_building: int = 4,
+                     public_fraction: float = 0.25) -> Building:
+    """A multi-building campus as one space model.
+
+    Each sub-building is an independent corridor grid whose room and AP
+    ids carry a ``b<k>-`` prefix; the grids sit far apart, so every AP
+    covers rooms of its own building only — per-building AP
+    vocabularies, the partition boundary the cluster layer's
+    :class:`~repro.cluster.router.BuildingAffinityRouter` exploits.
+    Movement between buildings is entirely possible (one space graph),
+    it just never shares an AP region, exactly like a real campus WLAN.
+    """
+    if buildings < 1:
+        raise SpaceModelError(
+            f"campus needs at least 1 building, got {buildings}")
+    builder = BuildingBuilder(f"campus({buildings})")
+    for k in range(buildings):
+        _emit_grid(
+            builder,
+            GridSpec(name=f"campus-b{k}", rooms=rooms_per_building,
+                     access_points=aps_per_building,
+                     public_fraction=public_fraction, room_prefix="r"),
+            id_prefix=f"b{k}-",
+            # Far enough apart that no coverage radius could ever bridge
+            # two buildings, whatever the grid parameters.
+            origin=(0.0, k * 500.0))
+    return builder.build()
+
+
+def campus_ap_buildings(building: Building) -> dict[str, str]:
+    """AP id → building key for a :func:`campus_blueprint` campus.
+
+    Reads the ``b<k>-`` prefix convention; APs without a prefix (a
+    non-campus building) are absent from the map, which makes the
+    building-affinity router fall back to hash routing for them.
+    """
+    out: dict[str, str] = {}
+    for ap_id in building.access_points:
+        prefix, _, rest = ap_id.partition("-")
+        if rest and prefix.startswith("b") and prefix[1:].isdigit():
+            out[ap_id] = prefix
+    return out

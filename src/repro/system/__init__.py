@@ -24,7 +24,12 @@ from repro.system.planner import (
     plan_queries,
 )
 from repro.system.query import LocationQuery
-from repro.system.storage import InMemoryStorage, SqliteStorage, StorageEngine
+from repro.system.storage import (
+    InMemoryStorage,
+    NamespacedStorage,
+    SqliteStorage,
+    StorageEngine,
+)
 from repro.system.streaming import StreamingSession
 
 __all__ = [
@@ -41,6 +46,7 @@ __all__ = [
     "LocaterConfig",
     "LocationAnswer",
     "LocationQuery",
+    "NamespacedStorage",
     "PlannedQuery",
     "QueryGroup",
     "QueryPlan",

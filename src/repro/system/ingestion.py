@@ -98,14 +98,45 @@ class IngestionEngine:
 
     def subscribe(self, listener: Callable[[IngestReport], None]
                   ) -> Callable[[], None]:
-        """Register a change-feed listener; returns an unsubscribe hook."""
+        """Register a change-feed listener; returns an unsubscribe hook.
+
+        The returned zero-arg handle and :meth:`unsubscribe` are
+        equivalent; both are idempotent, so teardown paths (e.g. a
+        cluster closing its shards, a streaming session exiting its
+        context) can call either without tracking registration state.
+        """
         self._subscribers.append(listener)
+        return lambda: self.unsubscribe(listener)
 
-        def unsubscribe() -> None:
-            if listener in self._subscribers:
-                self._subscribers.remove(listener)
+    def unsubscribe(self, listener: Callable[[IngestReport], None]) -> bool:
+        """Remove a change-feed listener; returns whether it was registered.
 
-        return unsubscribe
+        Listeners hold references to whole serving stacks (a
+        ``Locater.on_ingest`` bound method keeps its models and memos
+        alive), so long-lived engines must drop them on teardown or the
+        stacks leak and keep receiving reports.
+        """
+        if listener in self._subscribers:
+            self._subscribers.remove(listener)
+            return True
+        return False
+
+    def resync_event_ids(self) -> int:
+        """Catch the id counter up with the table and storage maxima.
+
+        Two engines over one table each seed their counter at
+        construction — if both then ingest, the second would reissue
+        the first's ids.  :meth:`ingest` therefore resyncs before
+        stamping (the counter only ever moves forward, so with a single
+        engine this is a no-op); the method is public for owners that
+        want the next id without ingesting.  Returns the next id that
+        will be issued.
+        """
+        seed = self._table.max_event_id
+        if self._storage is not None:
+            seed = max(seed, self._storage.max_event_id())
+        self._next_event_id = max(self._next_event_id, seed + 1)
+        return self._next_event_id
 
     def ingest(self, events: Iterable[ConnectivityEvent]) -> IngestReport:
         """Consume a stream of events; returns what changed.
@@ -114,6 +145,10 @@ class IngestionEngine:
         ``changed``/``delta_changes`` maps drive surgical invalidation in
         subscribers.
         """
+        # Another engine over the same table (a cluster's and a
+        # streaming session's, say) may have stamped ids since this one
+        # last looked; never reissue them.
+        self.resync_event_ids()
         generation_before = self._table.generation
         batch: list[ConnectivityEvent] = []
         count = 0

@@ -81,6 +81,18 @@ class BatchState:
         self.coarse.drop_devices(macs)
         self.fine.drop_devices(macs)
 
+    def memo_dicts(self) -> list[dict]:
+        """Every memo dict of this state, freshly resolved.
+
+        The single enumeration the trim/reset plumbing iterates (the
+        shared states declare their own ``MEMO_ATTRS``); resolved on
+        each call because the drop paths rebind the dicts.
+        """
+        return [getattr(self.coarse, name)
+                for name in CoarseSharedState.MEMO_ATTRS] + \
+               [getattr(self.fine, name)
+                for name in FineSharedState.MEMO_ATTRS]
+
 
 @dataclass(frozen=True, slots=True)
 class InvalidationSummary:
@@ -201,8 +213,17 @@ class Locater:
     # ------------------------------------------------------------------
     def locate(self, mac: str, timestamp: float) -> LocationAnswer:
         """Answer Q = (mac, timestamp) through the full cleaning pipeline."""
-        return self._locate_one(LocationQuery(mac=mac, timestamp=timestamp),
-                                None)
+        return self.locate_query(LocationQuery(mac=mac, timestamp=timestamp))
+
+    def locate_query(self, query: LocationQuery,
+                     state: "BatchState | None" = None) -> LocationAnswer:
+        """Answer one :class:`LocationQuery` — the single-query code path.
+
+        ``locate`` and the batch engine's per-query execution both funnel
+        through here (``locate_batch`` passes its shared ``state``);
+        cluster shards route to this entry point too.
+        """
+        return self._locate_one(query, state)
 
     def make_batch_state(self,
                          max_snapshots: "int | None" = None) -> BatchState:
@@ -276,12 +297,12 @@ class Locater:
         for group in plan.groups:
             for planned in group.queries:
                 if timings is None:
-                    answers[planned.index] = self._locate_one(planned.query,
-                                                              state)
+                    answers[planned.index] = self.locate_query(planned.query,
+                                                               state)
                 else:
                     start = time.perf_counter()
-                    answers[planned.index] = self._locate_one(planned.query,
-                                                              state)
+                    answers[planned.index] = self.locate_query(planned.query,
+                                                               state)
                     timings.append((planned.index,
                                     time.perf_counter() - start))
         return answers  # type: ignore[return-value]  # every slot filled
@@ -360,10 +381,6 @@ class Locater:
                                 from_event=coarse.from_event, fine=fine)
         self._persist(answer)
         return answer
-
-    def locate_query(self, query: LocationQuery) -> LocationAnswer:
-        """Answer an explicit :class:`LocationQuery`."""
-        return self.locate(query.mac, query.timestamp)
 
     # ------------------------------------------------------------------
     # Online ingestion

@@ -44,6 +44,42 @@ MAX_SNAPSHOTS = 4096
 MAX_MEMO_ENTRIES = 65536
 
 
+def prune_batch_state(state, report: IngestReport, summary,
+                      registry) -> None:
+    """Drop from a persistent batch state everything one ingest staled.
+
+    THE surgical-invalidation policy for held states — shared by
+    :class:`StreamingSession` and the cluster layer's ingest fan-out so
+    the rule cannot drift between them (the bitwise-equivalence suites
+    of both depend on it): memos mentioning a changed device are
+    dropped, and online-device snapshots within validity reach of the
+    new rows are invalidated (all snapshots, when any device's δ
+    estimate moved — a moved δ shifts that device's validity windows
+    everywhere).
+
+    Full invalidations are the *caller's* job (a session swaps in a
+    fresh state; a cluster resets in place) — this handles the
+    surgical case only.
+
+    Args:
+        state: A :class:`~repro.system.locater.BatchState` or any
+            object with the same ``drop_devices``/``neighbors`` surface
+            (e.g. a cluster's fan-out state).
+        report: The ingest report that triggered the invalidation.
+        summary: The :class:`~repro.system.locater.InvalidationSummary`
+            the locater derived from it.
+        registry: The table's device registry (for per-device δ slack).
+    """
+    if summary.macs:
+        state.drop_devices(set(summary.macs))
+    if summary.delta_changed:
+        state.neighbors.invalidate_all()
+    else:
+        for mac, interval in report.changed.items():
+            state.neighbors.invalidate_interval(
+                interval, slack=registry.get(mac).delta)
+
+
 class StreamingSession:
     """A long-running serve loop: ingest batches, answer query bursts.
 
@@ -83,6 +119,15 @@ class StreamingSession:
         """The ingestion engine feeding the session."""
         return self._engine
 
+    @property
+    def state(self):
+        """The persistent shared-computation state (pruned on ingest).
+
+        Replaced wholesale after a full invalidation, so hold the
+        session — not this object — across ingests.
+        """
+        return self._state
+
     # ------------------------------------------------------------------
     def ingest(self, events: Iterable[ConnectivityEvent]) -> IngestReport:
         """Merge new events; stale models and memos are pruned en route."""
@@ -118,28 +163,14 @@ class StreamingSession:
             self._state = self._locater.make_batch_state(
                 max_snapshots=MAX_SNAPSHOTS)
             return
-        if summary.macs:
-            self._state.drop_devices(set(summary.macs))
-        if summary.delta_changed:
-            # A moved δ shifts the device's validity windows everywhere,
-            # so any online-devices snapshot may list it wrongly.
-            self._state.neighbors.invalidate_all()
-        else:
-            registry = self._locater.table.registry
-            for mac, interval in report.changed.items():
-                self._state.neighbors.invalidate_interval(
-                    interval, slack=registry.get(mac).delta)
+        prune_batch_state(self._state, report, summary,
+                          self._locater.table.registry)
         self._trim_memos()
 
     def _trim_memos(self) -> None:
         """Bound the persistent memos (timestamp-keyed entries accrue
         across bursts; clearing an oversized memo only costs
         recomputation)."""
-        state = self._state
-        for memo in (state.coarse.features, state.coarse.building_labels,
-                     state.coarse.region_ids, state.fine.priors,
-                     state.fine.pair_affinities,
-                     state.fine.cluster_affinities,
-                     state.fine.room_affinities):
+        for memo in self._state.memo_dicts():
             if len(memo) > MAX_MEMO_ENTRIES:
                 memo.clear()

@@ -1,0 +1,301 @@
+"""Cluster equivalence suite: ``ShardedLocater`` ≡ a lone ``Locater``.
+
+The load-bearing invariant of the cluster layer: with any deterministic
+router, any shard count and any executor, cluster answers are **bitwise
+identical** to a lone system over the same table whenever answers are
+pure functions of the table.  The suite therefore runs with the caching
+engine off for every multi-shard comparison — the global affinity graph
+is deliberate cross-query warm state whose edges couple devices across
+shards (it is undirected), so per-shard caches warm exactly like N
+independent paper deployments, not like one shared one.  A dedicated
+single-shard case keeps caching and storage on and demands bitwise
+equality *including* the cache counters and graph contents, proving the
+cluster plumbing itself adds zero distortion.
+
+Mirrors ``test_batch_equivalence.py`` (batch workloads) and
+``test_streaming_equivalence.py`` (interleaved ingest ⇄ query).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    BuildingAffinityRouter,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardedLocater,
+    ThreadShardExecutor,
+)
+from repro.eval.queries import generated_query_set, labeled_query_set
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+from repro.events.validity import DeltaEstimator
+from repro.sim.scenarios import ScenarioSpec, streaming_day_workload
+from repro.sim.simulator import Simulator
+from repro.space.blueprints import campus_ap_buildings
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+from repro.system.storage import InMemoryStorage, SqliteStorage
+from repro.system.streaming import StreamingSession
+
+EXECUTORS = {
+    "serial": SerialShardExecutor,
+    "thread": ThreadShardExecutor,
+    "process": ProcessShardExecutor,
+}
+
+
+@pytest.fixture(scope="module")
+def world(small_dataset):
+    queries = labeled_query_set(small_dataset, per_device=3, seed=2)
+    queries += generated_query_set(small_dataset, count=20, seed=3)
+    queries += queries[:3]  # duplicates exercise storage short-circuits
+    return small_dataset, queries
+
+
+@pytest.fixture(scope="module")
+def campus_world():
+    dataset = Simulator(
+        ScenarioSpec.campus(seed=17, population=24)).run(days=3)
+    return dataset, generated_query_set(dataset, count=30, seed=5)
+
+
+def _lone_answers(dataset, queries, config, storage=None):
+    lone = Locater(dataset.building, dataset.metadata, dataset.table,
+                   config=config, storage=storage)
+    return lone.locate_batch(queries)
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_identical_to_lone_locater(self, world, shards, executor):
+        dataset, queries = world
+        config = LocaterConfig(use_caching=False)
+        expected = _lone_answers(dataset, queries, config)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=shards,
+                            executor=EXECUTORS[executor](),
+                            config=config) as cluster:
+            # Full LocationAnswer equality: coarse route, room, the
+            # entire fine posterior and edge weights, float for float.
+            assert cluster.locate_batch(queries) == expected
+
+    def test_storage_side_effects_match(self, world):
+        dataset, queries = world
+        config = LocaterConfig(use_caching=False)
+        lone_storage = InMemoryStorage()
+        expected = _lone_answers(dataset, queries, config,
+                                 storage=lone_storage)
+        backend = InMemoryStorage()
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=3,
+                            config=config, storage=backend) as cluster:
+            assert cluster.locate_batch(queries) == expected
+            # Every answer the lone system persisted exists under the
+            # owning shard's namespace, byte for byte.
+            for query in queries:
+                namespace = f"shard{cluster.shard_of(query.mac)}"
+                assert backend.find_answer(
+                    f"{namespace}:{query.mac}", query.timestamp) == \
+                    lone_storage.find_answer(query.mac, query.timestamp)
+
+    def test_single_query_path_matches(self, world):
+        dataset, queries = world
+        config = LocaterConfig(use_caching=False)
+        lone = Locater(dataset.building, dataset.metadata, dataset.table,
+                       config=config)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=2,
+                            config=config) as cluster:
+            for query in queries[:6]:
+                assert cluster.locate(query.mac, query.timestamp) == \
+                    lone.locate(query.mac, query.timestamp)
+
+    def test_one_shard_with_caching_and_storage_bitwise(self, world):
+        # A 1-shard cluster is the degenerate case where even the warm
+        # cache state must match the lone system exactly — the cluster
+        # plumbing (routing, dispatch, namespacing) adds nothing.
+        dataset, queries = world
+        lone_storage = InMemoryStorage()
+        lone = Locater(dataset.building, dataset.metadata, dataset.table,
+                       storage=lone_storage)
+        expected = lone.locate_batch(queries)
+        backend = InMemoryStorage()
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=1,
+                            storage=backend) as cluster:
+            assert cluster.locate_batch(queries) == expected
+            assert cluster.cache_stats() == [lone.cache.stats()]
+
+    def test_campus_building_affinity_router(self, campus_world):
+        dataset, queries = campus_world
+        config = LocaterConfig(use_caching=False)
+        expected = _lone_answers(dataset, queries, config)
+        router = BuildingAffinityRouter.from_table(
+            dataset.table, campus_ap_buildings(dataset.building))
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=4, router=router,
+                            executor=ThreadShardExecutor(),
+                            config=config) as cluster:
+            assert cluster.locate_batch(queries) == expected
+            # The campus population actually spreads over several shards
+            # (otherwise this parametrization proves nothing).
+            assert len({cluster.shard_of(mac)
+                        for mac in dataset.macs()}) >= 3
+
+    def test_router_binds_devices_on_every_ingest_entry_point(
+            self, campus_world):
+        # Regression: a device whose first events arrive through the
+        # StreamingSession wiring (on_ingest carries a report, not
+        # events) must still be bound by the affinity router — never
+        # left hash-routed only to be reassigned by a later
+        # cluster.ingest.
+        dataset, _ = campus_world
+        config = LocaterConfig(use_caching=False)
+        router = BuildingAffinityRouter(
+            campus_ap_buildings(dataset.building))  # nothing pre-bound
+        # Private copy: this test appends events and the fixture table
+        # is shared module-wide.
+        table = dataset.table.restrict(dataset.table.span())
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            table, shard_count=3, router=router,
+                            config=config) as cluster:
+            session = StreamingSession(cluster)
+            start = table.span().end + 60.0
+            session.ingest([ConnectivityEvent(
+                timestamp=start, mac="fresh-device", ap_id="b2-wap1")])
+            assert router.building_of("fresh-device") == "b2"
+            before = cluster.shard_of("fresh-device")
+            cluster.ingest([ConnectivityEvent(
+                timestamp=start + 30.0, mac="fresh-device",
+                ap_id="b0-wap1")])
+            assert cluster.shard_of("fresh-device") == before  # sticky
+            session.close()
+
+
+class TestStreamingEquivalence:
+    @pytest.fixture(scope="class")
+    def streaming_world(self, small_dataset):
+        workload = streaming_day_workload(small_dataset, batches=4,
+                                          queries_per_burst=6, seed=3)
+        return small_dataset, workload
+
+    @staticmethod
+    def _cold(dataset, events, config):
+        table = EventTable.from_events(events)
+        DeltaEstimator().fit_table(table)
+        return Locater(dataset.building, dataset.metadata, table,
+                       config=config)
+
+    @staticmethod
+    def _warm_table(workload):
+        table = EventTable.from_events(workload.warmup)
+        DeltaEstimator().fit_table(table)
+        return table
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_cluster_ingest_matches_cold_rebuild(self, streaming_world,
+                                                 shards, executor):
+        dataset, workload = streaming_world
+        config = LocaterConfig(use_caching=False)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            self._warm_table(workload),
+                            shard_count=shards,
+                            executor=EXECUTORS[executor](),
+                            config=config) as cluster:
+            for batch in workload.batches:
+                report = cluster.ingest(batch.ingest)
+                assert report.count == len(batch.ingest)
+                assert sum(r.count for r in report.shard_reports) == \
+                    report.count
+                cold = self._cold(dataset,
+                                  workload.events_through(batch.index),
+                                  config)
+                assert cluster.locate_batch(batch.queries) == \
+                    cold.locate_batch(batch.queries)
+
+    def test_streaming_session_serves_a_cluster_unchanged(
+            self, streaming_world):
+        # The existing StreamingSession drives the cluster through the
+        # same duck-typed surface a lone Locater offers: shared table,
+        # on_ingest fan-out, a persistent (cluster) batch state.
+        dataset, workload = streaming_world
+        config = LocaterConfig(use_caching=False)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            self._warm_table(workload), shard_count=3,
+                            executor=ThreadShardExecutor(),
+                            config=config) as cluster:
+            session = StreamingSession(cluster)
+            for batch in workload.batches:
+                session.ingest(batch.ingest)
+                cold = self._cold(dataset,
+                                  workload.events_through(batch.index),
+                                  config)
+                assert session.query(batch.queries) == \
+                    cold.locate_batch(batch.queries)
+            # The first tick extends the span's day range (full drop);
+            # later ticks stay inside the day and invalidate surgically.
+            assert session.full_invalidations == 1
+            session.close()
+
+    def test_held_batch_state_stays_fresh_across_cluster_ingest(
+            self, streaming_world):
+        # Regression: a ClusterBatchState held across cluster.ingest
+        # must be pruned by the ingest itself (no StreamingSession in
+        # the loop), or its memos would serve pre-ingest table state.
+        dataset, workload = streaming_world
+        config = LocaterConfig(use_caching=False)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            self._warm_table(workload), shard_count=2,
+                            config=config) as cluster:
+            state = cluster.make_batch_state(max_snapshots=256)
+            for batch in workload.batches:
+                cluster.ingest(batch.ingest)
+                cold = self._cold(dataset,
+                                  workload.events_through(batch.index),
+                                  config)
+                assert cluster.locate_batch(batch.queries,
+                                            state=state) == \
+                    cold.locate_batch(batch.queries)
+
+    def test_thread_shards_share_a_storage_backend_safely(
+            self, streaming_world):
+        # Regression: concurrent shard threads persist answers and
+        # clear their namespaces on one shared backend; both backends
+        # serialize internally (SQLite additionally needs
+        # check_same_thread=False), so no call may raise or corrupt.
+        dataset, workload = streaming_world
+        config = LocaterConfig(use_caching=False)
+        backend = SqliteStorage()
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            self._warm_table(workload), shard_count=4,
+                            executor=ThreadShardExecutor(),
+                            config=config, storage=backend) as cluster:
+            for batch in workload.batches:
+                cluster.ingest(batch.ingest)  # concurrent clear_answers
+                answers = cluster.locate_batch(batch.queries)
+                for query, answer in zip(batch.queries, answers):
+                    namespace = f"shard{cluster.shard_of(query.mac)}"
+                    assert backend.find_answer(
+                        f"{namespace}:{query.mac}", query.timestamp) == \
+                        answer.location_label
+        backend.close()
+
+    def test_replica_tables_track_the_authoritative_one(
+            self, streaming_world):
+        dataset, workload = streaming_world
+        config = LocaterConfig(use_caching=False)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            self._warm_table(workload), shard_count=2,
+                            executor=ProcessShardExecutor(),
+                            config=config) as cluster:
+            for batch in workload.batches:
+                cluster.ingest(batch.ingest)
+            stats = cluster.shard_stats()
+            for shard in stats:
+                assert shard["events"] == len(cluster.table)
+                assert shard["devices"] == cluster.table.device_count
+                assert shard["ingests"] == len(workload.batches)

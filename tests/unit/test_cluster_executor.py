@@ -1,0 +1,122 @@
+"""Unit tests of the shard executors (lifecycle, dispatch, failures)."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cluster.executor import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ThreadShardExecutor,
+)
+from repro.errors import ClusterError, ConfigurationError
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+class Echo:
+    """A trivial shard: remembers its id, echoes calls, counts closes."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.closed = False
+
+    def whoami(self) -> "tuple[int, int]":
+        return self.shard_id, os.getpid()
+
+    def add(self, a: int, b: int) -> int:
+        return self.shard_id * 100 + a + b
+
+    def boom(self) -> None:
+        raise ValueError(f"shard {self.shard_id} exploded")
+
+    def close(self) -> None:
+        self.closed = True
+
+
+IN_PROCESS = {"serial": SerialShardExecutor, "thread": ThreadShardExecutor}
+ALL = dict(IN_PROCESS, process=ProcessShardExecutor)
+
+
+@pytest.mark.parametrize("kind", list(ALL))
+def test_call_all_returns_results_in_shard_order(kind):
+    if kind == "process" and not FORK_AVAILABLE:
+        pytest.skip("fork start method unavailable")
+    with ALL[kind]() as executor:
+        executor.start(Echo, 3)
+        results = executor.call_all("add", [(1, 2), (3, 4), (5, 6)])
+        assert results == [3, 107, 211]
+        assert executor.call_one(1, "add", 10, 20) == 130
+
+
+@pytest.mark.parametrize("kind", list(IN_PROCESS))
+def test_in_process_shards_share_the_calling_process(kind):
+    with IN_PROCESS[kind]() as executor:
+        executor.start(Echo, 2)
+        for shard_id, (echo_id, pid) in enumerate(
+                executor.call_all("whoami")):
+            assert echo_id == shard_id
+            assert pid == os.getpid()
+        assert [shard.shard_id for shard in executor.shards] == [0, 1]
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="fork unavailable")
+def test_process_shards_live_in_distinct_worker_processes():
+    with ProcessShardExecutor() as executor:
+        executor.start(Echo, 3)
+        results = executor.call_all("whoami")
+        pids = [pid for _, pid in results]
+        assert [echo_id for echo_id, _ in results] == [0, 1, 2]
+        assert os.getpid() not in pids
+        assert len(set(pids)) == 3
+
+
+@pytest.mark.parametrize("kind", list(ALL))
+def test_shard_exceptions_surface_and_workers_survive(kind):
+    if kind == "process" and not FORK_AVAILABLE:
+        pytest.skip("fork start method unavailable")
+    with ALL[kind]() as executor:
+        executor.start(Echo, 2)
+        with pytest.raises((ValueError, ClusterError)) as excinfo:
+            executor.call_all("boom")
+        assert "exploded" in str(excinfo.value)
+        # The failure did not take the shards down.
+        assert executor.call_all("add", [(1, 1), (2, 2)]) == [2, 104]
+
+
+def test_lifecycle_guards():
+    executor = SerialShardExecutor()
+    with pytest.raises(ConfigurationError):
+        executor.call_all("whoami")       # not started
+    executor.start(Echo, 2)
+    with pytest.raises(ConfigurationError):
+        executor.start(Echo, 2)           # double start
+    with pytest.raises(ConfigurationError):
+        executor.call_all("add", [(1, 2)])  # wrong arg arity
+    with pytest.raises(ConfigurationError):
+        executor.call_one(5, "whoami")    # shard out of range
+    shards = executor.shards
+    executor.close()
+    assert all(shard.closed for shard in shards)
+    executor.close()                      # idempotent
+    with pytest.raises(ConfigurationError):
+        executor.call_all("whoami")       # closed
+
+    with pytest.raises(ConfigurationError):
+        SerialShardExecutor().start(Echo, 0)
+    with pytest.raises(ConfigurationError):
+        ThreadShardExecutor(max_workers=0)
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="fork unavailable")
+def test_process_factory_failure_is_reported():
+    def bad_factory(shard_id: int) -> Echo:
+        raise RuntimeError("no shard for you")
+
+    executor = ProcessShardExecutor()
+    with pytest.raises(ClusterError) as excinfo:
+        executor.start(bad_factory, 1)
+    assert "factory failed" in str(excinfo.value)

@@ -1,0 +1,134 @@
+"""Unit tests of shard routing (hash + building affinity + partition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import (
+    BuildingAffinityRouter,
+    HashRouter,
+    ShardRouter,
+    partition_events,
+    stable_hash,
+)
+from repro.errors import ConfigurationError
+from repro.events.event import ConnectivityEvent
+from repro.events.table import EventTable
+
+
+def _evt(mac: str, t: float, ap: str) -> ConnectivityEvent:
+    return ConnectivityEvent(timestamp=t, mac=mac, ap_id=ap)
+
+
+class TestHashRouter:
+    def test_deterministic_and_in_range(self):
+        router = HashRouter()
+        for mac in (f"mac{i:03d}" for i in range(200)):
+            shard = router.shard_of(mac, 4)
+            assert 0 <= shard < 4
+            assert shard == router.shard_of(mac, 4)
+
+    def test_salt_free_hash_is_stable_across_processes(self):
+        # Python's builtin hash() is salted per process; the router must
+        # not depend on it.  CRC32 of the bytes is fixed forever.
+        assert stable_hash("7fbh") == 339757273
+        assert HashRouter().shard_of("7fbh", 4) == 339757273 % 4
+
+    def test_spreads_devices_over_all_shards(self):
+        router = HashRouter()
+        used = {router.shard_of(f"device-{i}", 4) for i in range(100)}
+        assert used == {0, 1, 2, 3}
+
+    def test_partition_preserves_order_and_multiplicity(self):
+        router = HashRouter()
+        items = list(range(50))
+        macs = [f"m{i % 7}" for i in range(50)]
+        parts = router.partition(items, macs, 3)
+        assert sorted(x for part in parts for x in part) == items
+        for shard, part in enumerate(parts):
+            assert part == sorted(part)  # input order kept per shard
+            for item in part:
+                assert router.shard_of(macs[item], 3) == shard
+
+    def test_partition_rejects_misaligned_inputs(self):
+        with pytest.raises(ConfigurationError):
+            HashRouter().partition([1, 2], ["a"], 2)
+
+
+class TestBuildingAffinityRouter:
+    AP_MAP = {"b0-wap1": "b0", "b0-wap2": "b0",
+              "b1-wap1": "b1", "b2-wap1": "b2"}
+
+    def test_first_seen_building_wins_and_sticks(self):
+        router = BuildingAffinityRouter(self.AP_MAP)
+        router.observe([_evt("d1", 10.0, "b1-wap1"),
+                        _evt("d1", 20.0, "b0-wap1"),   # later roam
+                        _evt("d2", 15.0, "b2-wap1")])
+        assert router.building_of("d1") == "b1"
+        assert router.building_of("d2") == "b2"
+        assert router.shard_of("d1", 3) == 1
+        router.observe([_evt("d1", 30.0, "b2-wap1")])  # commuter returns
+        assert router.shard_of("d1", 3) == 1           # still sticky
+
+    def test_buildings_wrap_round_robin_over_shards(self):
+        router = BuildingAffinityRouter(self.AP_MAP)
+        router.observe([_evt("d0", 1.0, "b0-wap1"),
+                        _evt("d1", 1.0, "b1-wap1"),
+                        _evt("d2", 1.0, "b2-wap1")])
+        assert [router.shard_of(f"d{k}", 2) for k in range(3)] == [0, 1, 0]
+
+    def test_unmapped_devices_fall_back_to_hash(self):
+        router = BuildingAffinityRouter(self.AP_MAP)
+        router.observe([_evt("ghost", 5.0, "unmapped-ap")])
+        assert router.building_of("ghost") is None
+        assert router.shard_of("ghost", 4) == \
+            HashRouter().shard_of("ghost", 4)
+
+    def test_custom_fallback_router_is_used(self):
+        class Pin(ShardRouter):
+            def shard_of(self, mac: str, shard_count: int) -> int:
+                return 0
+
+        router = BuildingAffinityRouter(self.AP_MAP, fallback=Pin())
+        assert router.shard_of("never-seen", 4) == 0
+
+    def test_from_table_equals_observing_the_stream(self):
+        events = [_evt("d1", 10.0, "b1-wap1"), _evt("d1", 5.0, "b0-wap1"),
+                  _evt("d2", 7.0, "other"), _evt("d2", 9.0, "b2-wap1")]
+        streamed = BuildingAffinityRouter(self.AP_MAP)
+        # Chronological observation (the table sorts logs by time).
+        streamed.observe(sorted(events, key=lambda e: e.timestamp))
+        built = BuildingAffinityRouter.from_table(
+            EventTable.from_events(events), self.AP_MAP)
+        for mac in ("d1", "d2"):
+            assert built.building_of(mac) == streamed.building_of(mac)
+        assert built.building_of("d1") == "b0"  # earliest event wins
+
+    def test_observe_table_binds_unassigned_only(self):
+        events = [_evt("d1", 5.0, "other"), _evt("d1", 7.0, "b1-wap1"),
+                  _evt("d2", 1.0, "b0-wap1")]
+        table = EventTable.from_events(events)
+        router = BuildingAffinityRouter(self.AP_MAP)
+        router.observe([_evt("d2", 0.5, "b2-wap1")])  # pre-assigned
+        router.observe_table(table, ["d1", "d2", "ghost"])
+        assert router.building_of("d1") == "b1"  # skipped unmapped AP
+        assert router.building_of("d2") == "b2"  # sticky, not rebound
+        assert router.building_of("ghost") is None  # unknown device
+
+    def test_hash_router_observe_table_is_a_noop(self):
+        table = EventTable.from_events([_evt("d1", 1.0, "b0-wap1")])
+        router = HashRouter()
+        router.observe_table(table, ["d1"])
+        assert router.shard_of("d1", 4) == stable_hash("d1") % 4
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BuildingAffinityRouter({})
+
+
+def test_partition_events_unions_to_input_exactly_once():
+    events = [_evt(f"m{i % 5}", float(i), "ap") for i in range(20)]
+    parts = partition_events(events, HashRouter(), 3)
+    flat = [event for part in parts for event in part]
+    assert sorted(flat, key=lambda e: e.timestamp) == events
+    assert len(flat) == len(events)

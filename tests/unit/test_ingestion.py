@@ -72,6 +72,43 @@ class TestIngestionEngine:
         engine.ingest(_events(2, start=9000.0))
         assert len(seen) == 1
 
+    def test_unsubscribe_method_and_handle_agree(self):
+        engine = IngestionEngine(EventTable())
+        seen: list[IngestReport] = []
+        unsubscribe = engine.subscribe(seen.append)
+        assert engine.unsubscribe(seen.append) is True
+        assert engine.unsubscribe(seen.append) is False  # idempotent
+        unsubscribe()  # handle after explicit removal: no-op, no raise
+        engine.ingest(_events(2))
+        assert seen == []
+
+    def test_unsubscribe_removes_only_the_given_listener(self):
+        engine = IngestionEngine(EventTable())
+        first: list[IngestReport] = []
+        second: list[IngestReport] = []
+        engine.subscribe(first.append)
+        engine.subscribe(second.append)
+        assert engine.unsubscribe(first.append) is True
+        engine.ingest(_events(3))
+        assert first == []
+        assert len(second) == 1
+
+    def test_closed_streaming_session_stops_receiving_reports(
+            self, fig1_building, fig1_metadata, fig1_table):
+        # Regression: session teardown must unsubscribe, or the engine
+        # keeps invalidating (and keeping alive) a dead serving stack.
+        from repro.system.locater import Locater
+        from repro.system.streaming import StreamingSession
+
+        locater = Locater(fig1_building, fig1_metadata, fig1_table)
+        engine = IngestionEngine(fig1_table)
+        start = fig1_table.span().end + 60.0
+        with StreamingSession(locater, engine) as session:
+            engine.ingest(_events(3, mac="d1", start=start))
+            assert session.ingests == 1
+        engine.ingest(_events(2, mac="d1", start=start + 5000.0))
+        assert session.ingests == 1  # closed session saw nothing
+
     def test_storage_receives_rows(self):
         storage = InMemoryStorage()
         engine = IngestionEngine(EventTable(), storage=storage,
