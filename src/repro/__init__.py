@@ -105,10 +105,16 @@ thread-pool shards share the cluster's table in-process; the
 process-pool executor forks one actor worker per shard with a
 copy-on-write replica.  Answers are bitwise identical to a lone
 ``Locater`` whenever they are pure functions of the table
-(``tests/integration/test_cluster_equivalence.py``), and ``ingest``
-merges once, then fans invalidation out through the existing
-``on_ingest`` machinery, so ``StreamingSession``, the CLI, analytics
-and the eval runner work unchanged against a cluster::
+(``tests/integration/test_cluster_equivalence.py``) — and with the §5
+caching engine on as well, under the
+:class:`~repro.cluster.ComponentAffinityRouter`: devices are routed by
+connected component of their potential co-presence (affinity edges
+never leave a component), so each shard's cache warms exactly like the
+lone system's, aggregated hit/miss counters included, and component
+merges migrate recorded edges between shards at ingest boundaries.
+``ingest`` merges once, then fans invalidation out through the
+existing ``on_ingest`` machinery, so ``StreamingSession``, the CLI,
+analytics and the eval runner work unchanged against a cluster::
 
     from repro import ShardedLocater, ThreadShardExecutor
 
@@ -119,16 +125,26 @@ and the eval runner work unchanged against a cluster::
     cluster.close()
 
 See :mod:`repro.cluster` for the architecture (router / executor /
-shard lifecycle), ``examples/campus_cluster.py`` for a 3-building
-campus on a 4-shard cluster with streaming ingest, and
-``benchmarks/test_bench_cluster.py`` (archived in
-``results/bench_cluster.txt``) for throughput versus shard count.
+shard lifecycle) and the component-routing contract,
+``examples/campus_cluster.py`` for a 3-building campus on a 4-shard
+cluster with streaming ingest, ``examples/cluster_caching.py`` for
+caching-on cluster serving, and ``benchmarks/test_bench_cluster.py`` /
+``benchmarks/test_bench_cluster_caching.py`` (archived in
+``results/``) for throughput versus shard count and the cluster-scale
+cache speedup.
 """
 
-from repro.cache import CachingEngine, GlobalAffinityGraph, LocalAffinityGraph
+from repro.cache import (
+    AffinityComponents,
+    CachingEngine,
+    GlobalAffinityGraph,
+    LocalAffinityGraph,
+)
 from repro.cluster import (
     BuildingAffinityRouter,
+    ClusterCacheStats,
     ClusterIngestReport,
+    ComponentAffinityRouter,
     HashRouter,
     ProcessShardExecutor,
     SerialShardExecutor,
@@ -209,6 +225,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessPoint",
+    "AffinityComponents",
     "Baseline1",
     "Baseline2",
     "BootstrapLabeler",
@@ -216,8 +233,10 @@ __all__ = [
     "BuildingAffinityRouter",
     "BuildingBuilder",
     "CachingEngine",
+    "ClusterCacheStats",
     "ClusterIngestReport",
     "CoarseLocalizer",
+    "ComponentAffinityRouter",
     "CoarseResult",
     "ConfigurationError",
     "ConnectivityEvent",

@@ -7,13 +7,19 @@ carry vectors of (weight, timestamp) pairs.  Later queries read the global
 graph to process neighbors in descending affinity order (weighted by a
 Gaussian kernel around the query time), which makes Algorithm 2's early
 stop fire sooner.
+
+The graph's *connected components* (:mod:`repro.cache.components`) are
+the unit of cache locality the cluster layer routes by — see
+:class:`~repro.cluster.router.ComponentAffinityRouter`.
 """
 
+from repro.cache.components import AffinityComponents
 from repro.cache.local_graph import LocalAffinityGraph
 from repro.cache.global_graph import EdgeObservation, GlobalAffinityGraph
 from repro.cache.engine import CachingEngine
 
 __all__ = [
+    "AffinityComponents",
     "CachingEngine",
     "EdgeObservation",
     "GlobalAffinityGraph",

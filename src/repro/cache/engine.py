@@ -90,13 +90,15 @@ class CachingEngine:
         else:
             self.hits += 1
             # Same ranking contract as GlobalAffinityGraph.rank
-            # (descending affinity, ties by MAC), reusing the weights
-            # already read.
+            # (descending affinity, cached zero-weight edges above
+            # unseen devices, ties by MAC), reusing the weights already
+            # read.
             ranked = sorted(
-                ((other, weight if weight is not None else 0.0)
+                ((other, 0.0 if weight is None else weight,
+                  weight is None)
                  for other, weight in cached.items()),
-                key=lambda pair: (-pair[1], pair[0]))
-            ordered = [entry for other, _ in ranked
+                key=lambda entry: (-entry[1], entry[2], entry[0]))
+            ordered = [entry for other, _, _ in ranked
                        for entry in by_mac[other]]
         caps = np.array([cap_by_mac.get(n.mac, np.nan) for n in ordered])
         return ordered, caps

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.cache.components import AffinityComponents
 from repro.cache.local_graph import LocalAffinityGraph
 from repro.util.stats import gaussian_weights
 from repro.util.timeutil import SECONDS_PER_DAY
@@ -50,6 +51,7 @@ class GlobalAffinityGraph:
         self.max_observations = int(max_observations_per_edge)
         self._edges: dict[tuple[str, str], list[EdgeObservation]] = {}
         self._adjacency: dict[str, set[str]] = {}
+        self._components = AffinityComponents()
 
     # ------------------------------------------------------------------
     # Updates
@@ -72,6 +74,7 @@ class GlobalAffinityGraph:
             del vector[: len(vector) - self.max_observations]
         self._adjacency.setdefault(mac_a, set()).add(mac_b)
         self._adjacency.setdefault(mac_b, set()).add(mac_a)
+        self._components.add_edge(mac_a, mac_b)
 
     # ------------------------------------------------------------------
     # Reads
@@ -104,17 +107,89 @@ class GlobalAffinityGraph:
         """Candidates sorted by descending cached affinity to ``mac``.
 
         Unseen candidates rank last with affinity 0 (a device that "just
-        appeared in the dataset" provides the least information).  Ties
-        break by MAC for determinism.
+        appeared in the dataset" provides the least information) —
+        strictly *below* cached zero-weight edges: a recorded weight of
+        0.0 is evidence ("these two are not companions"), absence of an
+        edge is no evidence at all, and conflating the two would let
+        never-seen devices interleave arbitrarily (by MAC) with measured
+        non-companions.  Ties break by MAC for determinism.
         """
-        scored: list[tuple[str, float]] = []
+        scored: list[tuple[str, float, bool]] = []
         for other in candidates:
             affinity = self.affinity_at(mac, other, timestamp)
-            scored.append((other, affinity if affinity is not None else 0.0))
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored
+            unseen = affinity is None
+            scored.append((other, 0.0 if unseen else affinity, unseen))
+        scored.sort(key=lambda entry: (-entry[1], entry[2], entry[0]))
+        return [(other, affinity) for other, affinity, _ in scored]
 
     # ------------------------------------------------------------------
+    # Migration (cluster edge exchange)
+    # ------------------------------------------------------------------
+    def extract_edges(self, macs: Iterable[str]
+                      ) -> "list[tuple[str, str, list[tuple[float, float]]]]":
+        """Remove and return every edge incident to one of ``macs``.
+
+        The cluster's edge-exchange protocol: when component merges
+        rebind devices to a new owning shard, the old shard *extracts*
+        the affected edge vectors and the new shard *inserts* them,
+        preserving each vector's observation order bitwise — so a later
+        ``affinity_at`` on the new shard reads exactly what a lone
+        deployment would have accumulated.  Entries are
+        ``(mac_a, mac_b, [(weight, timestamp), ...])`` with canonical
+        endpoint order — plain tuples, so the payload crosses process
+        executors' pickled pipes without importing this module's types.
+
+        The components index deliberately keeps the extracted edges'
+        connectivity (see :mod:`repro.cache.components` — components
+        never split; staying conservative on the source side is safe).
+        Deterministic: edges are returned in graph insertion order.
+        """
+        targets = set(macs)
+        extracted: "list[tuple[str, str, list[tuple[float, float]]]]" = []
+        for key in [key for key in self._edges
+                    if key[0] in targets or key[1] in targets]:
+            vector = self._edges.pop(key)
+            mac_a, mac_b = key
+            self._drop_adjacency(mac_a, mac_b)
+            self._drop_adjacency(mac_b, mac_a)
+            extracted.append((mac_a, mac_b,
+                              [(obs.weight, obs.timestamp)
+                               for obs in vector]))
+        return extracted
+
+    def insert_edges(self, edges: "Iterable[tuple[str, str, list[tuple[float, float]]]]"
+                     ) -> int:
+        """Append extracted edge vectors (see :meth:`extract_edges`).
+
+        Observations append in payload order, so a vector moved between
+        graphs stays bitwise identical (the FIFO cap still applies if an
+        edge somehow exists on both sides).  Returns the number of
+        observations inserted.
+        """
+        inserted = 0
+        for mac_a, mac_b, vector in edges:
+            for weight, timestamp in vector:
+                self.add_observation(mac_a, mac_b, weight, timestamp)
+                inserted += 1
+        return inserted
+
+    def _drop_adjacency(self, mac: str, other: str) -> None:
+        neighbors = self._adjacency.get(mac)
+        if neighbors is not None:
+            neighbors.discard(other)
+            if not neighbors:
+                del self._adjacency[mac]
+
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> AffinityComponents:
+        """Connected components over every edge ever recorded.
+
+        Monotone: tracks recorded coupling, so components only merge
+        (``extract_edges`` does not split them — see module note there).
+        """
+        return self._components
+
     @property
     def edge_count(self) -> int:
         """Number of distinct device pairs cached."""
@@ -129,3 +204,4 @@ class GlobalAffinityGraph:
         """Drop every cached observation."""
         self._edges.clear()
         self._adjacency.clear()
+        self._components.clear()

@@ -13,10 +13,14 @@ Three orthogonal pieces, each swappable:
 * **Router** (:mod:`repro.cluster.router`) — which shard *owns* which
   device.  Ownership covers a device's queries, trained coarse models,
   cleaned-answer storage namespace and cache warm state.  Routers must
-  be deterministic and sticky (a moved device strands its models).
-  :class:`HashRouter` spreads devices uniformly;
-  :class:`BuildingAffinityRouter` keeps a campus building's population
-  on one shard so shared-computation memos hit across its query stream.
+  be deterministic, and route upgrades happen only at ingest
+  boundaries, where the cluster migrates what a move would strand
+  (stored answers, recorded cache edges).  :class:`HashRouter` spreads
+  devices uniformly; :class:`BuildingAffinityRouter` keeps a campus
+  building's population on one shard so shared-computation memos hit
+  across its query stream; :class:`ComponentAffinityRouter` co-locates
+  whole affinity components, which is what makes per-shard caching
+  exact (below).
 * **Executor** (:mod:`repro.cluster.executor`) — where shards live and
   how calls reach them.  :class:`SerialShardExecutor` and
   :class:`ThreadShardExecutor` keep shards in-process (sharing the
@@ -41,15 +45,41 @@ invariant instead:
 
     With any deterministic router, any shard count and any executor,
     cluster answers are bitwise identical to a lone ``Locater`` over
-    the same table whenever answers are pure functions of the table
-    (caching engine off).  Per-shard caches and storage namespaces
-    behave exactly like N independent deployments of the paper system.
+    the same table whenever answers are pure functions of the table.
+
+The §5 caching engine is deliberate cross-query warm state, not a pure
+function of the table — and the cluster keeps the invariant anyway,
+through the **component-routing contract**: the global affinity graph
+only ever couples devices inside a connected component of the
+potential co-presence graph (two devices can share an affinity edge
+only if their observed APs' room coverage intersects, the precondition
+for ever being neighbors).  The
+:class:`~repro.cluster.router.ComponentAffinityRouter` co-locates
+every device of a component on one shard, so each per-shard cache
+performs exactly the edge reads and writes — in exactly the order —
+of a lone deployment: **intra-component caching is exact**, bitwise,
+including the aggregated hit/miss counters
+(:meth:`ShardedLocater.cache_stats
+<repro.cluster.sharded.ShardedLocater.cache_stats>` sums them
+None-safely).  When growing logs merge two components at an ingest
+boundary, the router re-keys the affected devices and the cluster runs
+its edge-exchange protocol: recorded edge vectors incident to moved
+devices are extracted from their old shards and re-inserted on the new
+owner, observation order preserved, and the devices' stale namespaced
+answers are cleared.  Residual *cut* edges (only reachable through
+pathological coarse fallbacks that place a device outside its own
+observed coverage) stay best-effort: a shard consulting an edge it
+never recorded treats it as unseen.  Under any *other* router, per-
+shard caches warm like N independent paper deployments — run those
+configurations with the caching engine off when bitwise equality to a
+lone system matters.
 
 Ingest fans out through the same routers: one merge into the
 authoritative table stamps ids and re-estimates δ exactly like a lone
 engine, the router observes the stamped batch (binding first-seen
-devices), each shard's slice of the dirty stream is persisted under its
-storage namespace, and shards invalidate surgically via the existing
+devices and reporting re-keyed ones for migration), each shard's slice
+of the dirty stream is persisted under its storage namespace, and
+shards invalidate surgically via the existing
 :meth:`Locater.on_ingest` path (replica shards merge the stamped batch
 themselves, reproducing identical ids).
 
@@ -64,9 +94,12 @@ Typical use::
     cluster.close()
 
 ``examples/campus_cluster.py`` walks a 3-building campus on a 4-shard
-cluster with streaming ingest;
+cluster with streaming ingest; ``examples/cluster_caching.py`` shows
+caching-on cluster serving under the component router;
 ``benchmarks/test_bench_cluster.py`` tracks throughput versus shard
-count and executor choice.
+count and executor choice, and
+``benchmarks/test_bench_cluster_caching.py`` tracks the Fig. 9/12
+cache effect (hit rate, on/off serving ratio) at cluster scale.
 """
 
 from repro.cluster.executor import (
@@ -77,6 +110,7 @@ from repro.cluster.executor import (
 )
 from repro.cluster.router import (
     BuildingAffinityRouter,
+    ComponentAffinityRouter,
     HashRouter,
     ShardRouter,
     partition_events,
@@ -85,6 +119,7 @@ from repro.cluster.router import (
 from repro.cluster.shard import Shard
 from repro.cluster.sharded import (
     ClusterBatchState,
+    ClusterCacheStats,
     ClusterIngestReport,
     ShardedLocater,
 )
@@ -92,7 +127,9 @@ from repro.cluster.sharded import (
 __all__ = [
     "BuildingAffinityRouter",
     "ClusterBatchState",
+    "ClusterCacheStats",
     "ClusterIngestReport",
+    "ComponentAffinityRouter",
     "HashRouter",
     "ProcessShardExecutor",
     "SerialShardExecutor",

@@ -116,6 +116,34 @@ class Shard:
         return self._session.ingest(events)
 
     # ------------------------------------------------------------------
+    # Cache edge exchange
+    # ------------------------------------------------------------------
+    def export_cache_edges(self, macs: Sequence[str]
+                           ) -> "list[tuple[str, str, list[tuple[float, float]]]]":
+        """Extract every recorded affinity edge incident to ``macs``.
+
+        One half of the cluster's edge-exchange protocol (see
+        :meth:`GlobalAffinityGraph.extract_edges
+        <repro.cache.global_graph.GlobalAffinityGraph.extract_edges>`):
+        when the router re-keys devices, the cluster pulls their edge
+        vectors from whichever shard recorded them.  Plain-tuple
+        payload, so it crosses process executors' pickled pipes.
+        Empty when this shard runs with caching off.
+        """
+        cache = self.locater.cache
+        if cache is None or not macs:
+            return []
+        return cache.graph.extract_edges(macs)
+
+    def import_cache_edges(self, edges: "Sequence[tuple[str, str, list[tuple[float, float]]]]"
+                           ) -> int:
+        """Insert extracted edge vectors; the protocol's other half."""
+        cache = self.locater.cache
+        if cache is None or not edges:
+            return 0
+        return cache.graph.insert_edges(edges)
+
+    # ------------------------------------------------------------------
     # Observability / lifecycle
     # ------------------------------------------------------------------
     def cache_stats(self) -> "dict[str, int] | None":

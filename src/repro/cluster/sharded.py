@@ -16,12 +16,18 @@ The serving contract is the repo's strongest invariant, extended to the
 cluster: with any deterministic router, any shard count and any
 executor, answers are **bitwise identical** to a lone
 :class:`~repro.system.locater.Locater` over the same table whenever
-answers are pure functions of the table (the caching engine off — its
-global graph is deliberately shared warm state that couples devices
-across queries, so per-shard caches warm independently exactly like N
-separate deployments would).  The equivalence suite in
-``tests/integration/test_cluster_equivalence.py`` enforces this on
-batch and streaming workloads.
+answers are pure functions of the table — and, under the
+:class:`~repro.cluster.router.ComponentAffinityRouter`, *with the §5
+caching engine on as well*: the global affinity graph couples devices
+only within connected components of the potential co-presence graph,
+so co-locating whole components makes each shard's cache perform the
+same edge reads and writes, in the same order, as the lone system
+(aggregated cache counters included).  When components merge at an
+ingest boundary, the cluster migrates the re-keyed devices' recorded
+edges and clears their stale namespaced answers (see
+:meth:`ShardedLocater._migrate_moved`).  The equivalence suite in
+``tests/integration/test_cluster_equivalence.py`` enforces all of this
+on batch and streaming workloads.
 
 The public surface mirrors ``Locater`` (``locate``, ``locate_batch``,
 ``locate_query``, ``make_batch_state``, ``on_ingest``, ``table``), so
@@ -57,6 +63,27 @@ from repro.system.planner import DEFAULT_BUCKET_SECONDS
 from repro.system.query import LocationQuery
 from repro.system.storage import StorageEngine
 from repro.system.streaming import prune_batch_state
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterCacheStats:
+    """Cluster-wide caching counters: per shard and aggregated.
+
+    Attributes:
+        per_shard: Each shard's :meth:`CachingEngine.stats
+            <repro.cache.engine.CachingEngine.stats>` dict, in shard
+            order (None where that shard runs with caching off).
+        total: The None-safe sum over the per-shard counters — the
+            shard-order-insensitive quantity equivalence checks compare
+            against a lone system's ``cache.stats()``; None when every
+            shard has caching off.
+    """
+
+    per_shard: "tuple[dict[str, int] | None, ...]"
+    total: "dict[str, int] | None"
+
+    def __len__(self) -> int:
+        return len(self.per_shard)
 
 
 @dataclass(frozen=True, slots=True)
@@ -361,13 +388,14 @@ class ShardedLocater:
         stamped = self._tap.take()
         # Bind assignment-learning routers from the merged table (same
         # first-seen-in-log-order semantics as the on_ingest path).
-        self._router.observe_table(self._table, report.macs)
+        moved = self._router.observe_table(self._table, report.macs)
         partitions = partition_events(stamped, self._router,
                                       self._shard_count)
         for view, partition in zip(self._views, partitions):
             if view is not None and partition:
                 view.store_events(partition)
         with self._poison_on_failure():
+            self._migrate_moved(moved)
             if self._executor.in_process:
                 summaries = self._executor.call_all(
                     "on_ingest", [(report,)] * self._shard_count)
@@ -401,14 +429,56 @@ class ShardedLocater:
         # assignment-learning routers can bind the changed devices from
         # their logs — queries must never route a device differently
         # depending on which ingest entry point saw it first.
-        self._router.observe_table(self._table, report.macs)
+        moved = self._router.observe_table(self._table, report.macs)
         with self._poison_on_failure():
+            self._migrate_moved(moved)
             summaries: list[InvalidationSummary] = \
                 self._executor.call_all(
                     "on_ingest", [(report,)] * self._shard_count)
             merged = self._merge_summaries(summaries)
             self._prune_states(report, merged)
         return merged
+
+    def _migrate_moved(self, moved: frozenset[str]) -> None:
+        """Move what a route upgrade would otherwise strand.
+
+        The router just re-keyed ``moved`` devices (first binding off
+        the hash fallback, or a component merge).  Two kinds of owned
+        state must follow them — runs inside ``_poison_on_failure``
+        because a partial migration leaves shards diverged:
+
+        * **Stored answers**: cleared from every namespace but the new
+          owner's, so a re-query can never serve a stale namespaced
+          answer (models and memos need no such care — they are pure
+          functions of the replicated log).
+        * **Cache edges**: every recorded affinity edge incident to a
+          moved device is extracted from whichever shard holds it and
+          re-inserted on the shard owning the edge's lower endpoint,
+          observation order preserved bitwise — after a component
+          merge both endpoints route to the same shard, so that
+          shard's later affinity reads are exactly a lone system's.
+        """
+        if not moved:
+            return
+        macs = sorted(moved)
+        for shard_id, view in enumerate(self._views):
+            if view is None:
+                continue
+            for mac in macs:
+                if self.shard_of(mac) != shard_id:
+                    view.clear_answers(mac)
+        exports = self._executor.call_all(
+            "export_cache_edges", [(macs,)] * self._shard_count)
+        payloads: "list[list[tuple[str, str, list[tuple[float, float]]]]]" \
+            = [[] for _ in range(self._shard_count)]
+        for edges in exports:
+            for mac_a, mac_b, vector in edges:
+                payloads[self.shard_of(min(mac_a, mac_b))].append(
+                    (mac_a, mac_b, vector))
+        if any(payloads):
+            self._executor.call_all(
+                "import_cache_edges",
+                [(payload,) for payload in payloads])
 
     @staticmethod
     def _merge_summaries(summaries: "Sequence[InvalidationSummary]"
@@ -453,10 +523,21 @@ class ShardedLocater:
     # ------------------------------------------------------------------
     # Observability / lifecycle
     # ------------------------------------------------------------------
-    def cache_stats(self) -> "list[dict[str, int] | None]":
-        """Per-shard caching-engine counters (None where caching is off)."""
+    def cache_stats(self) -> ClusterCacheStats:
+        """Caching-engine counters, per shard and summed cluster-wide.
+
+        The aggregated ``total`` is what equivalence checks compare: it
+        is insensitive to shard order and — under component routing —
+        bitwise equal to a lone system's ``cache.stats()``.
+        """
         self._check_open()
-        return self._executor.call_all("cache_stats")
+        per_shard = self._executor.call_all("cache_stats")
+        counters = [stats for stats in per_shard if stats is not None]
+        total = None
+        if counters:
+            total = {key: sum(stats.get(key, 0) for stats in counters)
+                     for key in counters[0]}
+        return ClusterCacheStats(per_shard=tuple(per_shard), total=total)
 
     def shard_stats(self) -> list[dict[str, int]]:
         """Per-shard serving counters (events, devices, ingests)."""

@@ -30,7 +30,13 @@ class StandardScaler:
                 f"scaler requires a non-empty 2-D matrix, got shape {data.shape}")
         self.mean_ = data.mean(axis=0)
         std = data.std(axis=0)
-        std[std == 0.0] = 1.0
+        # A constant column's std is not exactly 0.0 in floating point
+        # (the mean itself rounds, leaving ulp-sized residuals), so
+        # detect constants relative to the column magnitude — dividing
+        # by such a std would blow the residuals up to O(1).
+        constant = std <= 16.0 * np.finfo(float).eps * \
+            np.maximum(1.0, np.abs(self.mean_))
+        std[constant] = 1.0
         self.scale_ = std
         return self
 

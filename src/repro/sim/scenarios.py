@@ -364,6 +364,95 @@ def _campus_events(building: Building) -> list[SemanticEvent]:
 
 
 # ---------------------------------------------------------------------------
+# Composed datasets
+# ---------------------------------------------------------------------------
+
+def isolated_campus_dataset(buildings: int = 3, population: int = 24,
+                            days: int = 3, seed: int = 17):
+    """A campus dataset whose buildings never exchange devices.
+
+    The stock :meth:`ScenarioSpec.campus` population genuinely crosses
+    building boundaries (commuters, campus-wide gatherings, wandering
+    over the merged room pool) — good for stressing sticky routing, but
+    it collapses the potential co-presence graph into one connected
+    component, which makes component routing degenerate to a single
+    shard.  This composer builds the complementary workload: each
+    building's population is simulated *separately* (its own rooms, its
+    own wander pool) and the runs are merged onto one campus space
+    model with per-building id prefixes, so the resulting dataset has
+    exactly ``buildings`` affinity components — the shape the
+    cluster-caching distribution tests and benchmark need.
+
+    Returns:
+        A :class:`~repro.sim.dataset.Dataset` over
+        :func:`~repro.space.blueprints.campus_blueprint` with device
+        MACs prefixed ``b<k>:`` by home building.
+    """
+    # Local imports: the simulator module imports this one.
+    from dataclasses import replace
+
+    from repro.events.table import EventTable
+    from repro.events.validity import DeltaEstimator
+    from repro.sim.dataset import Dataset
+    from repro.sim.schedule import DayPlan, Visit
+    from repro.sim.simulator import Simulator
+    from repro.space.metadata import SpaceMetadata
+
+    if buildings < 1:
+        raise SimulationError(
+            f"isolated campus needs at least 1 building, got {buildings}")
+    campus = campus_blueprint(buildings)
+    per_building = max(2, population // buildings)
+    people = []
+    plans = {}
+    events = []
+    for index in range(buildings):
+        # A 1-building campus spec: same profiles and event program,
+        # ids all prefixed "b0-" for rooms/APs.
+        spec = ScenarioSpec.campus(seed=seed + index,
+                                   population=per_building, buildings=1)
+        run = Simulator(spec).run(days=days)
+
+        def remap(identifier: str, index: int = index) -> str:
+            return f"b{index}-" + identifier.removeprefix("b0-")
+
+        mac_prefix = f"b{index}:"
+        for person in run.people:
+            people.append(replace(
+                person,
+                person_id=mac_prefix + person.person_id,
+                mac=mac_prefix + person.mac,
+                preferred_room=None if person.preferred_room is None
+                else remap(person.preferred_room)))
+        for person_id, day_plans in run.plans.items():
+            plans[mac_prefix + person_id] = [
+                DayPlan(person_id=mac_prefix + person_id, day=plan.day,
+                        visits=[Visit(room_id=remap(visit.room_id),
+                                      interval=visit.interval,
+                                      reason=visit.reason)
+                                for visit in plan.visits])
+                for plan in day_plans]
+        for mac in run.table.macs():
+            events.extend(
+                ConnectivityEvent(timestamp=event.timestamp,
+                                  mac=mac_prefix + event.mac,
+                                  ap_id=remap(event.ap_id))
+                for event in run.table.log(mac).events())
+    table = EventTable.from_events(sorted(events))
+    for person in people:
+        table.registry.intern(person.mac)
+    DeltaEstimator().fit_table(table)
+    metadata = SpaceMetadata(campus)
+    for person in people:
+        if person.preferred_room is not None:
+            metadata.set_preferred_rooms(person.mac,
+                                         [person.preferred_room])
+    return Dataset(building=campus, metadata=metadata, table=table,
+                   people=people, plans=plans,
+                   span=TimeInterval(0.0, days * SECONDS_PER_DAY))
+
+
+# ---------------------------------------------------------------------------
 # Streaming workload
 # ---------------------------------------------------------------------------
 

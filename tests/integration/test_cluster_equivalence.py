@@ -3,14 +3,16 @@
 The load-bearing invariant of the cluster layer: with any deterministic
 router, any shard count and any executor, cluster answers are **bitwise
 identical** to a lone system over the same table whenever answers are
-pure functions of the table.  The suite therefore runs with the caching
-engine off for every multi-shard comparison — the global affinity graph
-is deliberate cross-query warm state whose edges couple devices across
-shards (it is undirected), so per-shard caches warm exactly like N
-independent paper deployments, not like one shared one.  A dedicated
-single-shard case keeps caching and storage on and demands bitwise
-equality *including* the cache counters and graph contents, proving the
-cluster plumbing itself adds zero distortion.
+pure functions of the table.  Arbitrary routers (hash, building
+affinity) guarantee that only with the caching engine off — the global
+affinity graph is deliberate cross-query warm state whose undirected
+edges would couple devices across shards.  The
+``ComponentAffinityRouter`` restores the guarantee with caching ON: it
+co-locates every affinity component on one shard, so each per-shard
+cache performs the same edge reads and writes as the lone deployment
+(``TestCachingEquivalence`` demands bitwise answers *and* matching
+cluster-wide cache totals, through batch serving, streaming ingest and
+mid-stream component merges with their cache-edge migration).
 
 Mirrors ``test_batch_equivalence.py`` (batch workloads) and
 ``test_streaming_equivalence.py`` (interleaved ingest ⇄ query).
@@ -22,6 +24,7 @@ import pytest
 
 from repro.cluster import (
     BuildingAffinityRouter,
+    ComponentAffinityRouter,
     ProcessShardExecutor,
     SerialShardExecutor,
     ShardedLocater,
@@ -31,10 +34,15 @@ from repro.eval.queries import generated_query_set, labeled_query_set
 from repro.events.event import ConnectivityEvent
 from repro.events.table import EventTable
 from repro.events.validity import DeltaEstimator
-from repro.sim.scenarios import ScenarioSpec, streaming_day_workload
+from repro.sim.scenarios import (
+    ScenarioSpec,
+    isolated_campus_dataset,
+    streaming_day_workload,
+)
 from repro.sim.simulator import Simulator
 from repro.space.blueprints import campus_ap_buildings
 from repro.system.config import LocaterConfig
+from repro.system.ingestion import IngestionEngine
 from repro.system.locater import Locater
 from repro.system.storage import InMemoryStorage, SqliteStorage
 from repro.system.streaming import StreamingSession
@@ -59,6 +67,18 @@ def campus_world():
     dataset = Simulator(
         ScenarioSpec.campus(seed=17, population=24)).run(days=3)
     return dataset, generated_query_set(dataset, count=30, seed=5)
+
+
+@pytest.fixture(scope="module")
+def isolated_world():
+    # Three buildings that never exchange devices — three affinity
+    # components, so component routing genuinely spreads the caches
+    # over shards (the stock campus collapses into one component).
+    dataset = isolated_campus_dataset(buildings=3, population=24,
+                                      days=3, seed=17)
+    queries = labeled_query_set(dataset, per_device=2, seed=2)
+    queries += generated_query_set(dataset, count=40, seed=5)
+    return dataset, queries
 
 
 def _lone_answers(dataset, queries, config, storage=None):
@@ -127,7 +147,9 @@ class TestBatchEquivalence:
                             dataset.table, shard_count=1,
                             storage=backend) as cluster:
             assert cluster.locate_batch(queries) == expected
-            assert cluster.cache_stats() == [lone.cache.stats()]
+            stats = cluster.cache_stats()
+            assert stats.per_shard == (lone.cache.stats(),)
+            assert stats.total == lone.cache.stats()
 
     def test_campus_building_affinity_router(self, campus_world):
         dataset, queries = campus_world
@@ -299,3 +321,163 @@ class TestStreamingEquivalence:
                 assert shard["events"] == len(cluster.table)
                 assert shard["devices"] == cluster.table.device_count
                 assert shard["ingests"] == len(workload.batches)
+
+
+class TestCachingEquivalence:
+    """Caching ON: component routing keeps per-shard caches exact.
+
+    Every test compares against a *persistent* lone system (caching is
+    deliberate cross-query warm state — a cold rebuild would erase
+    exactly what is under test) and demands bitwise-identical answers
+    plus matching cluster-wide cache totals.
+    """
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_batch_identical_including_cache_totals(
+            self, isolated_world, shards, executor):
+        dataset, queries = isolated_world
+        lone = Locater(dataset.building, dataset.metadata, dataset.table)
+        expected = lone.locate_batch(queries)
+        router = ComponentAffinityRouter.from_table(dataset.table,
+                                                    dataset.building)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=shards,
+                            router=router,
+                            executor=EXECUTORS[executor]()) as cluster:
+            assert cluster.locate_batch(queries) == expected
+            # The shards' caches, summed, saw exactly the lone system's
+            # traffic: same hits, misses, edges and nodes.
+            assert cluster.cache_stats().total == lone.cache.stats()
+
+    def test_components_actually_spread_over_shards(self, isolated_world):
+        # The parametrization above proves nothing if every component
+        # hashes to one shard — pin the workload's multi-shard shape.
+        dataset, queries = isolated_world
+        router = ComponentAffinityRouter.from_table(dataset.table,
+                                                    dataset.building)
+        assert len({router.representative(mac)
+                    for mac in dataset.macs()}) == 3
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=4,
+                            router=router) as cluster:
+            assert len({cluster.shard_of(mac)
+                        for mac in dataset.macs()}) >= 2
+            cluster.locate_batch(queries)
+            active = [shard for shard in cluster.cache_stats().per_shard
+                      if shard["hits"] + shard["misses"] > 0]
+            assert len(active) >= 2
+
+    @pytest.fixture(scope="class")
+    def caching_streaming_world(self, small_dataset):
+        workload = streaming_day_workload(small_dataset, batches=4,
+                                          queries_per_burst=6, seed=3)
+        return small_dataset, workload
+
+    @staticmethod
+    def _warm_table(workload):
+        table = EventTable.from_events(workload.warmup)
+        DeltaEstimator().fit_table(table)
+        return table
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_streaming_matches_persistent_lone_system(
+            self, caching_streaming_world, shards, executor):
+        dataset, workload = caching_streaming_world
+        lone_table = self._warm_table(workload)
+        lone = Locater(dataset.building, dataset.metadata, lone_table)
+        lone_engine = IngestionEngine(lone_table)
+        cluster_table = self._warm_table(workload)
+        router = ComponentAffinityRouter.from_table(cluster_table,
+                                                    dataset.building)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            cluster_table, shard_count=shards,
+                            router=router,
+                            executor=EXECUTORS[executor]()) as cluster:
+            for batch in workload.batches:
+                lone.on_ingest(lone_engine.ingest(batch.ingest))
+                cluster.ingest(batch.ingest)
+                assert cluster.locate_batch(batch.queries) == \
+                    lone.locate_batch(batch.queries)
+                assert cluster.cache_stats().total == lone.cache.stats()
+
+    def test_component_merge_migrates_cache_edges(self, isolated_world):
+        # A mid-stream merge re-keys a whole component: the moved
+        # devices' recorded edges must follow them to the new owning
+        # shard, or their next queries would read a colder cache than
+        # the lone system's.
+        dataset, queries = isolated_world
+        lone_table = dataset.table.restrict(dataset.table.span())
+        lone = Locater(dataset.building, dataset.metadata, lone_table)
+        lone_engine = IngestionEngine(lone_table)
+        cluster_table = dataset.table.restrict(dataset.table.span())
+        router = ComponentAffinityRouter.from_table(cluster_table,
+                                                    dataset.building)
+        bridge_mac = sorted(mac for mac in dataset.macs()
+                            if mac.startswith("b0:"))[0]
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            cluster_table, shard_count=4,
+                            router=router) as cluster:
+            assert cluster.locate_batch(queries) == \
+                lone.locate_batch(queries)  # warm both caches
+            before = router.component_of(bridge_mac)
+            start = cluster_table.span().end + 120.0
+            bridge = [ConnectivityEvent(timestamp=start + i * 30.0,
+                                        mac=bridge_mac, ap_id="b1-wap1")
+                      for i in range(3)]
+            lone.on_ingest(lone_engine.ingest(bridge))
+            cluster.ingest(bridge)
+            after = router.component_of(bridge_mac)
+            assert before < after  # strictly grew: b0 absorbed b1
+            assert any(mac.startswith("b1:") for mac in after)
+            # The merged component is whole again on a single shard.
+            assert len({cluster.shard_of(mac) for mac in after}) == 1
+            assert cluster.locate_batch(queries) == \
+                lone.locate_batch(queries)
+            assert cluster.cache_stats().total == lone.cache.stats()
+
+    def test_binding_upgrade_clears_stranded_answers(self, isolated_world):
+        # Regression: a stored answer persisted under a device's old
+        # shard namespace must not survive the device's route change —
+        # a later re-query through the old shard would serve it stale.
+        dataset, queries = isolated_world
+        config = LocaterConfig(use_caching=False)
+        table = dataset.table.restrict(dataset.table.span())
+        router = ComponentAffinityRouter.from_table(table,
+                                                    dataset.building)
+        backend = InMemoryStorage()
+        bridge_mac = sorted(mac for mac in dataset.macs()
+                            if mac.startswith("b0:"))[0]
+        with ShardedLocater(dataset.building, dataset.metadata, table,
+                            shard_count=4, router=router, config=config,
+                            storage=backend) as cluster:
+            cluster.locate_batch(queries)  # persist under old routes
+            movable = sorted(mac for mac in dataset.macs()
+                             if mac.startswith("b1:"))
+            old_shards = {mac: cluster.shard_of(mac) for mac in movable}
+            start = table.span().end + 120.0
+            cluster.ingest([
+                ConnectivityEvent(timestamp=start + i * 30.0,
+                                  mac=bridge_mac, ap_id="b1-wap1")
+                for i in range(3)])
+            # The merge re-keys b1's devices onto b0's representative.
+            moved = [mac for mac in movable
+                     if cluster.shard_of(mac) != old_shards[mac]]
+            assert moved
+            for query in queries:
+                if query.mac not in moved:
+                    continue
+                assert backend.find_answer(
+                    f"shard{old_shards[query.mac]}:{query.mac}",
+                    query.timestamp) is None
+            # Re-queries persist under the new owning namespace.
+            requeries = [query for query in queries
+                         if query.mac in set(moved)]
+            assert requeries
+            answers = cluster.locate_batch(requeries)
+            for query, answer in zip(requeries, answers):
+                namespace = f"shard{cluster.shard_of(query.mac)}"
+                assert backend.find_answer(
+                    f"{namespace}:{query.mac}", query.timestamp) == \
+                    answer.location_label

@@ -85,6 +85,16 @@ class TestGlobalAffinityGraph:
         assert [mac for mac, _ in ranked] == ["d3", "d2", "d4"]
         assert ranked[2][1] == 0.0  # unseen device ranks last
 
+    def test_rank_cached_zero_outranks_unseen(self):
+        # Regression: a cached zero-weight edge is *evidence* (the pair
+        # was processed and found apart) and must not be conflated with
+        # a never-seen edge — the cached edge sorts first.
+        graph = GlobalAffinityGraph()
+        graph.add_observation("d1", "d9", 0.0, 0.0)
+        ranked = graph.rank("d1", ["d2", "d9"], 0.0)
+        assert [mac for mac, _ in ranked] == ["d9", "d2"]
+        assert [weight for _, weight in ranked] == [0.0, 0.0]
+
     def test_observation_cap_fifo(self):
         graph = GlobalAffinityGraph(max_observations_per_edge=3)
         for i in range(5):
@@ -134,6 +144,16 @@ class TestCachingEngine:
         assert caps.shape == (2,)
         assert 0.0 < caps[0] <= 0.95
         assert np.isnan(caps[1])
+
+    def test_cached_zero_weight_orders_before_unseen(self):
+        # Mirror of the graph-level rank regression: the engine's
+        # neighbor ordering must treat a recorded zero-weight edge as
+        # warmer than a never-recorded one.
+        engine = CachingEngine()
+        engine.record("d1", 0.0, {"d3": 0.0})
+        ordered, _ = engine.prepare_neighbors(
+            "d1", [_neighbor("d2"), _neighbor("d3")], 0.0)
+        assert [n.mac for n in ordered] == ["d3", "d2"]
 
     def test_empty_neighbors(self):
         engine = CachingEngine()

@@ -1,4 +1,4 @@
-"""Unit tests of shard routing (hash + building affinity + partition)."""
+"""Unit tests of shard routing (hash, affinity routers, partition)."""
 
 from __future__ import annotations
 
@@ -6,6 +6,7 @@ import pytest
 
 from repro.cluster.router import (
     BuildingAffinityRouter,
+    ComponentAffinityRouter,
     HashRouter,
     ShardRouter,
     partition_events,
@@ -14,10 +15,23 @@ from repro.cluster.router import (
 from repro.errors import ConfigurationError
 from repro.events.event import ConnectivityEvent
 from repro.events.table import EventTable
+from repro.space.access_point import AccessPoint
+from repro.space.building import Building
+from repro.space.room import Room, RoomType
 
 
 def _evt(mac: str, t: float, ap: str) -> ConnectivityEvent:
     return ConnectivityEvent(timestamp=t, mac=mac, ap_id=ap)
+
+
+def _unit_building() -> Building:
+    # ap0 and ap1 overlap on r1; ap2 and ap3 are each isolated.
+    rooms = [Room(f"r{i}", RoomType.PUBLIC) for i in range(6)]
+    aps = [AccessPoint("ap0", frozenset({"r0", "r1"})),
+           AccessPoint("ap1", frozenset({"r1", "r2"})),
+           AccessPoint("ap2", frozenset({"r3", "r4"})),
+           AccessPoint("ap3", frozenset({"r5"}))]
+    return Building("unit", rooms, aps)
 
 
 class TestHashRouter:
@@ -118,12 +132,114 @@ class TestBuildingAffinityRouter:
     def test_hash_router_observe_table_is_a_noop(self):
         table = EventTable.from_events([_evt("d1", 1.0, "b0-wap1")])
         router = HashRouter()
-        router.observe_table(table, ["d1"])
+        assert router.observe_table(table, ["d1"]) == frozenset()
         assert router.shard_of("d1", 4) == stable_hash("d1") % 4
+
+    def test_observe_table_returns_the_newly_bound_devices(self):
+        # The cluster clears a just-bound device's answers from its
+        # hash-fallback namespace — the return value names them.
+        events = [_evt("d1", 5.0, "b1-wap1"), _evt("d2", 1.0, "b0-wap1"),
+                  _evt("d3", 2.0, "unmapped")]
+        table = EventTable.from_events(events)
+        router = BuildingAffinityRouter(self.AP_MAP)
+        router.observe([_evt("d2", 0.5, "b2-wap1")])  # pre-assigned
+        assert router.observe_table(table, table.macs()) == {"d1"}
+        # A second pass binds nothing new.
+        assert router.observe_table(table, table.macs()) == frozenset()
 
     def test_empty_map_rejected(self):
         with pytest.raises(ConfigurationError):
             BuildingAffinityRouter({})
+
+
+class TestComponentAffinityRouter:
+    def test_room_sharing_devices_share_a_shard(self):
+        router = ComponentAffinityRouter(_unit_building())
+        router.observe([_evt("d1", 1.0, "ap0"), _evt("d2", 2.0, "ap1"),
+                        _evt("d3", 3.0, "ap2")])
+        # d1 and d2 overlap on r1 — one component, keyed by its minimum.
+        assert router.representative("d1") == "d1"
+        assert router.representative("d2") == "d1"
+        assert router.component_of("d2") == {"d1", "d2"}
+        for shards in (2, 3, 5):
+            assert router.shard_of("d1", shards) == \
+                router.shard_of("d2", shards)
+        # d3 never shares a room with them: its own component.
+        assert router.component_of("d3") == {"d3"}
+
+    def test_singleton_routes_exactly_like_the_hash_fallback(self):
+        # Binding a loner must never move it: the component key of a
+        # singleton is the device's own MAC, i.e. the hash route.
+        router = ComponentAffinityRouter(_unit_building())
+        before = router.shard_of("d9", 4)
+        router.observe([_evt("d9", 1.0, "ap3")])
+        assert router.representative("d9") == "d9"
+        assert router.shard_of("d9", 4) == before == \
+            HashRouter().shard_of("d9", 4)
+
+    def test_unknown_ap_leaves_the_device_unbound(self):
+        router = ComponentAffinityRouter(_unit_building())
+        router.observe([_evt("ghost", 1.0, "not-an-ap")])
+        assert router.representative("ghost") is None
+        assert router.component_of("ghost") == frozenset()
+        assert router.shard_of("ghost", 4) == \
+            HashRouter().shard_of("ghost", 4)
+
+    def test_merge_reports_the_rekeyed_side(self):
+        router = ComponentAffinityRouter(_unit_building())
+        table = EventTable.from_events([_evt("d1", 1.0, "ap0"),
+                                        _evt("d2", 2.0, "ap2")])
+        assert router.observe_table(table, table.macs()) == frozenset()
+        # d2 now also shows up at ap1 → merges with d1's component; the
+        # representative of {d1,d2} is d1, so d2 is the device that
+        # moved.
+        grown = EventTable.from_events([_evt("d1", 1.0, "ap0"),
+                                        _evt("d2", 2.0, "ap2"),
+                                        _evt("d2", 3.0, "ap1")])
+        assert router.observe_table(grown, ["d2"]) == {"d2"}
+
+    def test_merge_may_move_devices_outside_the_ingested_macs(self):
+        router = ComponentAffinityRouter(_unit_building())
+        router.observe([_evt("d5", 1.0, "ap0"), _evt("d6", 2.0, "ap0")])
+        # A *smaller* MAC joins: the whole existing component re-keys
+        # even though only d1's events were ingested.
+        table = EventTable.from_events([_evt("d1", 3.0, "ap1")])
+        moved = router.observe_table(table, ["d1"])
+        assert moved == {"d5", "d6"}
+        assert router.representative("d6") == "d1"
+
+    def test_non_hash_fallback_reports_first_bindings(self):
+        class Pin(ShardRouter):
+            def shard_of(self, mac: str, shard_count: int) -> int:
+                return 0
+
+        router = ComponentAffinityRouter(_unit_building(), fallback=Pin())
+        assert router.shard_of("d9", 4) == 0
+        table = EventTable.from_events([_evt("d9", 1.0, "ap3")])
+        # A singleton binding still changes the route (Pin → hash), so
+        # it must be reported.
+        assert router.observe_table(table, ["d9"]) == {"d9"}
+        assert router.shard_of("d9", 4) == HashRouter().shard_of("d9", 4)
+
+    def test_from_table_equals_observing_the_stream(self):
+        events = [_evt("d2", 1.0, "ap1"), _evt("d1", 2.0, "ap0"),
+                  _evt("d3", 3.0, "ap2"), _evt("d4", 4.0, "not-an-ap")]
+        streamed = ComponentAffinityRouter(_unit_building())
+        streamed.observe(sorted(events, key=lambda e: e.timestamp,
+                                reverse=True))  # any order works
+        built = ComponentAffinityRouter.from_table(
+            EventTable.from_events(events), _unit_building())
+        for mac in ("d1", "d2", "d3", "d4"):
+            assert built.representative(mac) == \
+                streamed.representative(mac)
+            assert built.component_of(mac) == streamed.component_of(mac)
+
+    def test_building_without_regions_rejected(self):
+        class Bare:
+            regions = ()
+
+        with pytest.raises(ConfigurationError):
+            ComponentAffinityRouter(Bare())  # type: ignore[arg-type]
 
 
 def test_partition_events_unions_to_input_exactly_once():

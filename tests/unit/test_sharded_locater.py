@@ -210,10 +210,17 @@ class TestLifecycle:
                             executor=ThreadShardExecutor()) as cluster:
             stats = cluster.cache_stats()
             assert len(stats) == 2
-            assert all(s is not None and "hits" in s for s in stats)
+            assert all(s is not None and "hits" in s
+                       for s in stats.per_shard)
+            # The aggregate sums every counter over the shards.
+            for key in ("hits", "misses", "edges", "nodes"):
+                assert stats.total[key] == sum(
+                    s[key] for s in stats.per_shard)
         with ShardedLocater(small_dataset.building,
                             small_dataset.metadata, small_dataset.table,
                             shard_count=2,
                             config=LocaterConfig(use_caching=False)
                             ) as cluster:
-            assert cluster.cache_stats() == [None, None]
+            stats = cluster.cache_stats()
+            assert stats.per_shard == (None, None)
+            assert stats.total is None
