@@ -24,7 +24,7 @@ def _world():
     return dataset, queries
 
 
-def test_bench_ablation_noise_floor(benchmark, report):
+def test_bench_ablation_noise_floor(benchmark, report, bench_json):
     """Device-affinity noise floor sweep.
 
     Expectation: without the floor (0.0), incidental same-AP coincidences
@@ -52,11 +52,16 @@ def test_bench_ablation_noise_floor(benchmark, report):
     report("ablation_noise_floor",
            format_table(["noise floor", "Pf (%)", "Po (%)"], rows,
                         title="Ablation: device-affinity noise floor"))
+    bench_json("ablation_noise_floor",
+               {"columns": ["noise floor", "Pf (%)", "Po (%)"],
+                "rows": rows},
+               config={"days": 10, "population": 18, "per_device": 8,
+                       "seed": 7})
     pf = [float(row[1]) for row in rows]
     assert max(pf[1:4]) >= pf[0] - 2.0  # some floor never hurts much
 
 
-def test_bench_ablation_neighbor_order(benchmark, report):
+def test_bench_ablation_neighbor_order(benchmark, report, bench_json):
     """Neighbor processing order: cached-affinity vs MAC-sorted vs reversed.
 
     Expectation: with early stop enabled, processing informative
@@ -88,11 +93,16 @@ def test_bench_ablation_neighbor_order(benchmark, report):
     report("ablation_neighbor_order",
            format_table(["order", "Po (%)", "mean processed"], rows,
                         title="Ablation: neighbor processing order"))
+    bench_json("ablation_neighbor_order",
+               {"columns": ["order", "Po (%)", "mean processed"],
+                "rows": rows},
+               config={"days": 10, "population": 18, "per_device": 8,
+                       "seed": 7})
     po = [float(row[1]) for row in rows]
     assert abs(po[0] - po[1]) <= 12.0  # order costs little precision
 
 
-def test_bench_ablation_selftrain_batch(benchmark, report):
+def test_bench_ablation_selftrain_batch(benchmark, report, bench_json):
     """Algorithm 1 batch-promotion size: 1 (paper-literal) vs 4 vs 16.
 
     Expectation: precision is stable while training cost drops with the
@@ -121,13 +131,18 @@ def test_bench_ablation_selftrain_batch(benchmark, report):
     report("ablation_selftrain_batch",
            format_table(["batch", "train (s)", "Pc (%)"], rows,
                         title="Ablation: self-training batch size"))
+    bench_json("ablation_selftrain_batch",
+               {"columns": ["batch", "train (s)", "Pc (%)"],
+                "rows": rows},
+               config={"days": 10, "population": 18, "per_device": 8,
+                       "seed": 7})
     pc = [float(row[2]) for row in rows]
     assert max(pc) - min(pc) <= 10.0  # batching barely moves precision
     train = [float(row[1]) for row in rows]
     assert train[-1] <= train[0] + 1e-9  # batching never slower
 
 
-def test_bench_ablation_storage_backend(benchmark, report):
+def test_bench_ablation_storage_backend(benchmark, report, bench_json):
     """SQLite vs in-memory storage overhead on the query path.
 
     Expectation: the storage engine is consulted per query (answer cache)
@@ -163,5 +178,9 @@ def test_bench_ablation_storage_backend(benchmark, report):
     report("ablation_storage_backend",
            format_table(["backend", "ms/query"], rows,
                         title="Ablation: storage backend overhead"))
+    bench_json("ablation_storage_backend",
+               {"columns": ["backend", "ms/query"], "rows": rows},
+               config={"days": 10, "population": 18, "per_device": 8,
+                       "seed": 7})
     times = {row[0]: float(row[1]) for row in rows}
     assert times["sqlite"] <= times["none"] * 5 + 5.0

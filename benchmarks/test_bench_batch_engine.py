@@ -53,7 +53,7 @@ def _system(dataset) -> Locater:
     return system
 
 
-def test_bench_batch_engine(benchmark, report):
+def test_bench_batch_engine(benchmark, report, bench_json):
     dataset, queries = _workload()
     plan = plan_queries(queries)
 
@@ -88,6 +88,15 @@ def test_bench_batch_engine(benchmark, report):
     report("bench_batch_engine", format_table(
         ["path", "seconds", "queries/s", "speedup"], rows,
         title=f"Batch engine vs per-query loop ({len(queries)} queries)"))
+    bench_json("batch_engine",
+               {"columns": ["path", "seconds", "queries/s", "speedup"],
+                "rows": rows,
+                "query_count": len(queries),
+                "sequential_seconds": round(seq_seconds, 4),
+                "batch_seconds": round(bat_seconds, 4),
+                "speedup_vs_sequential": round(speedup, 3)},
+               config={"seed": 13, "population": 20, "days": 6,
+                       "query_target": QUERY_TARGET})
 
     assert speedup >= 1.5, (
         f"batch engine must be >= 1.5x the per-query loop, got "

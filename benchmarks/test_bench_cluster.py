@@ -22,13 +22,17 @@ import os
 from repro.eval.experiments import cluster_scaling
 
 
-def test_bench_cluster(benchmark, report):
+def test_bench_cluster(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: cluster_scaling.run(days=6, population=48, buildings=3,
                                     queries=600, shard_counts=(1, 2, 4),
                                     seed=17),
         rounds=1, iterations=1)
     report("bench_cluster", result.render())
+    bench_json("cluster_scaling", result,
+               config={"days": 6, "population": 48, "buildings": 3,
+                       "queries": 600, "shard_counts": [1, 2, 4],
+                       "seed": 17})
 
     assert result.all_identical
     # Full sweep: 3 executors × 3 shard counts + the affinity-routed run.

@@ -22,24 +22,20 @@ consumes.
 
 from __future__ import annotations
 
-import json
-import pathlib
-
 from repro.eval.experiments import cluster_caching
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
-
-def test_bench_cluster_caching(benchmark, report):
+def test_bench_cluster_caching(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: cluster_caching.run(buildings=3, population=36, days=10,
                                     labeled_per_device=4, generated=120,
                                     shard_counts=(1, 2, 4), seed=17),
         rounds=1, iterations=1)
     report("bench_cluster_caching", result.render())
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_cluster_caching.json").write_text(
-        json.dumps(result.to_json(), indent=2) + "\n", encoding="utf-8")
+    bench_json("cluster_caching", result,
+               config={"buildings": 3, "population": 36, "days": 10,
+                       "labeled_per_device": 4, "generated": 120,
+                       "shard_counts": [1, 2, 4], "seed": 17})
 
     assert result.all_identical
     assert len(result.runs) == 6  # 3 shard counts × caching off/on

@@ -101,7 +101,7 @@ def _array_data_path(building, table, macs, history) -> float:
     return (time.perf_counter() - start) / DATA_PATH_ROUNDS
 
 
-def test_bench_coarse_train(benchmark, report):
+def test_bench_coarse_train(benchmark, report, bench_json):
     dataset = dbh_dataset(days=DAYS, population=POPULATION, seed=SEED)
     table, building = dataset.table, dataset.building
     macs = sorted(table.macs())
@@ -161,6 +161,15 @@ def test_bench_coarse_train(benchmark, report):
                f"(fig12 scalability workload: {DAYS} days, "
                f"{POPULATION} devices; end-to-end phases share the "
                f"bit-identical Algorithm-1 refits)")))
+    bench_json("coarse_train",
+               {"columns": ["phase", "devices", "reference s", "array s",
+                            "speedup"],
+                "rows": rows,
+                "pipeline_speedup": round(pipeline_speedup, 3),
+                "cold_speedup": round(cold_speedup, 3),
+                "retrain_speedup": round(retrain_speedup, 3)},
+               config={"days": DAYS, "population": POPULATION,
+                       "seed": SEED, "data_path_rounds": DATA_PATH_ROUNDS})
 
     assert pipeline_speedup >= 5.0, (
         f"vectorized training data path must be >= 5x the reference, got "

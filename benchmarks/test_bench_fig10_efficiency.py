@@ -10,13 +10,17 @@ from __future__ import annotations
 from repro.eval.experiments import fig10_efficiency
 
 
-def test_bench_fig10_efficiency(benchmark, report):
+def test_bench_fig10_efficiency(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: fig10_efficiency.run(days=10, population=18, per_device=10,
                                      generated_count=150, seed=7,
                                      n_checkpoints=6),
         rounds=1, iterations=1)
     report("fig10_efficiency", result.render())
+    bench_json("fig10_efficiency", result,
+               config={"days": 10, "population": 18, "per_device": 10,
+                       "generated_count": 150, "seed": 7,
+                       "n_checkpoints": 6})
 
     for qset in ("university", "generated"):
         d_curve = result.curve("D-LOCATER+C", qset)

@@ -10,12 +10,15 @@ from __future__ import annotations
 from repro.eval.experiments import fig11_stopcond
 
 
-def test_bench_fig11_stopcond(benchmark, report):
+def test_bench_fig11_stopcond(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: fig11_stopcond.run(days=10, population=18, per_device=10,
                                    generated_count=120, seed=7),
         rounds=1, iterations=1)
     report("fig11_stopcond", result.render())
+    bench_json("fig11_stopcond", result,
+               config={"days": 10, "population": 18, "per_device": 10,
+                       "generated_count": 120, "seed": 7})
 
     # Shape (robust): early stop processes strictly fewer neighbors than
     # exhaustive — the quantity the paper's speedup derives from.

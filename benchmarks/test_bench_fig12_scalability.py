@@ -10,13 +10,16 @@ from __future__ import annotations
 from repro.eval.experiments import fig12_scalability
 
 
-def test_bench_fig12_scalability(benchmark, report):
+def test_bench_fig12_scalability(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: fig12_scalability.run(days=10, population=18,
                                       per_device=10, generated_count=120,
                                       seed=7),
         rounds=1, iterations=1)
     report("fig12_scalability", result.render())
+    bench_json("fig12_scalability", result,
+               config={"days": 10, "population": 18, "per_device": 10,
+                       "generated_count": 120, "seed": 7})
 
     # Robust shape: within the cached run, the second half of the query
     # stream is no slower than the first (the global affinity graph is

@@ -9,12 +9,15 @@ from __future__ import annotations
 from repro.eval.experiments import fig7_thresholds
 
 
-def test_bench_fig7_thresholds(benchmark, report):
+def test_bench_fig7_thresholds(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: fig7_thresholds.run(days=10, population=18, per_device=10,
                                     seed=7),
         rounds=1, iterations=1)
     report("fig7_thresholds", result.render())
+    bench_json("fig7_thresholds", result,
+               config={"days": 10, "population": 18, "per_device": 10,
+                       "seed": 7})
 
     # Shape checks: both sweeps stay in a sane precision band and the
     # extreme-low τl is never the unique best choice by a large margin.

@@ -10,12 +10,15 @@ from __future__ import annotations
 from repro.eval.experiments import fig8_history
 
 
-def test_bench_fig8_history(benchmark, report):
+def test_bench_fig8_history(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: fig8_history.run(weeks_grid=(0, 0.5, 1, 2, 3),
                                  population=20, per_device=10, seed=7),
         rounds=1, iterations=1)
     report("fig8_history", result.render())
+    bench_json("fig8_history", result,
+               config={"weeks_grid": [0, 0.5, 1, 2, 3], "population": 20,
+                       "per_device": 10, "seed": 7})
 
     for band in result.bands:
         po = result.series("Po", band)

@@ -9,12 +9,15 @@ from __future__ import annotations
 from repro.eval.experiments import fig9_caching
 
 
-def test_bench_fig9_caching(benchmark, report):
+def test_bench_fig9_caching(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: fig9_caching.run(days=10, population=18, per_device=12,
                                  seed=7),
         rounds=1, iterations=1)
     report("fig9_caching", result.render())
+    bench_json("fig9_caching", result,
+               config={"days": 10, "population": 18, "per_device": 12,
+                       "seed": 7})
 
     # Shape: caching costs bounded precision (paper: 5-10%).
     assert result.loss("I-LOCATER", "I-LOCATER+C") <= 12.0

@@ -113,7 +113,7 @@ def _run_dict(group_model, room_model, rooms, neighbors, trials):
     return posterior.posterior()
 
 
-def test_bench_fine_core(benchmark, report):
+def test_bench_fine_core(benchmark, report, bench_json):
     building, room_model, index, rooms, neighbors = _scenario()
     array_model = GroupAffinityModel(room_model, index, building)
     dict_model = DictGroupAffinity(room_model, index)
@@ -151,6 +151,14 @@ def test_bench_fine_core(benchmark, report):
         ["path", "seconds", "queries/s", "speedup"], rows,
         title=(f"Vectorized fine core vs dict path ({N_ROOMS} candidate "
                f"rooms, {N_NEIGHBORS} neighbors, {TRIALS} queries)")))
+    bench_json("fine_core",
+               {"columns": ["path", "seconds", "queries/s", "speedup"],
+                "rows": rows,
+                "dict_seconds": round(dict_seconds, 4),
+                "array_seconds": round(array_seconds, 4),
+                "speedup_vs_dict": round(speedup, 3)},
+               config={"rooms": N_ROOMS, "neighbors": N_NEIGHBORS,
+                       "trials": TRIALS})
 
     assert speedup >= 2.0, (
         f"array core must be >= 2x the dict path, got {speedup:.2f}x "

@@ -1,0 +1,47 @@
+"""Benchmark of zero-copy shared-memory event tables under sharding.
+
+Workload: a campus dataset served by 4 process-executor shards twice —
+once with fork-replicated tables, once with workers attached to the
+owner's shared-memory segments — including ingest fan-outs (which force
+replicated workers to privatize their merged copies).  The experiment
+itself raises on any divergence from the lone baseline or between the
+modes, so every reported byte is backed by bitwise-identical answers.
+
+The hard assertions are the deployment's reason to exist: the shared
+cluster must hold ~1× the table's column bytes (the acceptance bound is
+1.2× to leave room for accounting slack; measured is exactly 1.0×)
+while the replicated cluster holds shards + 1 copies.  This bench also
+backs the CI memory smoke job.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import shared_memory
+
+SHARDS = 4
+
+
+def test_bench_shared_memory(benchmark, report, bench_json):
+    result = benchmark.pedantic(
+        lambda: shared_memory.run(population=24, days=3, shards=SHARDS,
+                                  ingest_batches=2, labeled_per_device=2,
+                                  generated=40, seed=17),
+        rounds=1, iterations=1)
+    report("bench_shared_memory", result.render())
+    bench_json("shared_memory", result,
+               config={"population": 24, "days": 3, "shards": SHARDS,
+                       "ingest_batches": 2, "seed": 17})
+
+    assert result.all_identical
+    shared = result.run_for("shared")
+    replicated = result.run_for("replicated")
+    # The tentpole claim: N attached shards cost one physical table.
+    assert shared.copies <= 1.2, (
+        f"shared-memory cluster holds {shared.copies:.2f}x the table; "
+        "expected ~1x")
+    # The replicated baseline pays per shard (parent + N privatized
+    # replicas after ingest).
+    assert replicated.copies >= SHARDS, (
+        f"replicated cluster holds only {replicated.copies:.2f}x; the "
+        "comparison baseline should pay per shard")
+    assert result.memory_ratio >= SHARDS / 1.2

@@ -20,12 +20,15 @@ from __future__ import annotations
 from repro.eval.experiments import streaming
 
 
-def test_bench_streaming(benchmark, report):
+def test_bench_streaming(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: streaming.run(days=28, population=48, batches=32,
                               queries_per_burst=4, seed=13),
         rounds=1, iterations=1)
     report("bench_streaming", result.render())
+    bench_json("streaming", result,
+               config={"days": 28, "population": 48, "batches": 32,
+                       "queries_per_burst": 4, "seed": 13})
 
     assert result.all_identical
     # Exactly one full invalidation is expected: the first tick of the

@@ -9,12 +9,15 @@ from __future__ import annotations
 from repro.eval.experiments import table2_weights
 
 
-def test_bench_table2_weights(benchmark, report):
+def test_bench_table2_weights(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: table2_weights.run(days=10, population=18, per_device=12,
                                    seed=7),
         rounds=1, iterations=1)
     report("table2_weights", result.render())
+    bench_json("table2_weights", result,
+               config={"days": 10, "population": 18, "per_device": 12,
+                       "seed": 7})
 
     # Shape: D-FINE is insensitive to the weight choice (paper: ~1.4 pt
     # spread).  I-FINE is allowed a wider spread here: with the sharper

@@ -11,12 +11,15 @@ from __future__ import annotations
 from repro.eval.experiments import table3_baselines
 
 
-def test_bench_table3_baselines(benchmark, report):
+def test_bench_table3_baselines(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: table3_baselines.run(days=12, population=28, per_device=12,
                                      seed=7),
         rounds=1, iterations=1)
     report("table3_baselines", result.render())
+    bench_json("table3_baselines", result,
+               config={"days": 12, "population": 28, "per_device": 12,
+                       "seed": 7})
 
     populated = [band for band in result.bands
                  if result.band_sizes.get(band, 0) > 0]

@@ -11,12 +11,15 @@ from __future__ import annotations
 from repro.eval.experiments import table4_scenarios
 
 
-def test_bench_table4_scenarios(benchmark, report):
+def test_bench_table4_scenarios(benchmark, report, bench_json):
     result = benchmark.pedantic(
         lambda: table4_scenarios.run(days=8, per_device=8, seed=11,
                                      population_scale=0.5),
         rounds=1, iterations=1)
     report("table4_scenarios", result.render())
+    bench_json("table4_scenarios", result,
+               config={"days": 8, "per_device": 8, "seed": 11,
+                       "population_scale": 0.5})
 
     for scenario in result.scenarios:
         pcs = [result.triple(scenario, profile)[0]

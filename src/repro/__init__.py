@@ -102,8 +102,10 @@ models, storage namespace (:meth:`StorageEngine.namespace
 live on exactly one shard.  A swappable
 :class:`~repro.cluster.ShardExecutor` decides placement — serial and
 thread-pool shards share the cluster's table in-process; the
-process-pool executor forks one actor worker per shard with a
-copy-on-write replica.  Answers are bitwise identical to a lone
+process-pool executor runs one actor worker per shard, either with a
+fork copy-on-write replica or (``shared_memory=True``) *attached* to
+the one shared-memory table copy — see the memory architecture below.
+Answers are bitwise identical to a lone
 ``Locater`` whenever they are pure functions of the table
 (``tests/integration/test_cluster_equivalence.py``) — and with the §5
 caching engine on as well, under the
@@ -132,6 +134,45 @@ caching-on cluster serving, and ``benchmarks/test_bench_cluster.py`` /
 ``benchmarks/test_bench_cluster_caching.py`` (archived in
 ``results/``) for throughput versus shard count and the cluster-scale
 cache speedup.
+
+Memory architecture
+-------------------
+
+The event table's hot numeric columns (per-device timestamps and AP
+codes) live behind a pluggable :class:`~repro.events.ColumnStore`
+rather than bare attributes.  The default
+:class:`~repro.events.HeapColumnStore` keeps ordinary heap arrays and
+can *spill* cold device logs to compressed temp files;
+:class:`~repro.events.SharedMemoryColumnStore` places them in named
+``multiprocessing.shared_memory`` segments, so a
+``ShardedLocater(..., shared_memory=True)`` process cluster holds **one
+physical copy** of the table regardless of shard count — workers attach
+read-only views by segment name (``EventTable.describe()`` /
+``EventTable.attach()``), and ingest fans out generation-keyed
+``sync_payload`` diffs instead of replicating merged tables.  This also
+lifts the fork-only restriction: attached workers run under ``spawn``
+too.  Ownership rule: the process that built the store unlinks its
+segments on ``close``; attached processes never do.
+
+Above the stores sits an opt-in eviction tier.  Setting
+``LocaterConfig(memory_budget_bytes=...)`` gives the ``Locater`` a
+:class:`~repro.system.MemoryManager`: one LRU across per-device coarse
+models, fine/coarse memo tables and cold device logs, with byte-level
+accounting.  When the budget is exceeded, least-recently-used entries
+are dropped (models, memos) or spilled (device logs) — and because
+every evictable is a pure function of the event table, *any* eviction
+schedule yields bitwise-identical answers, batch and streaming alike
+(``tests/integration/test_memory_equivalence.py``,
+``tests/property/test_prop_memory.py`` prove this; the zero-copy
+memory claim is measured in ``benchmarks/test_bench_shared_memory.py``,
+archived as ``results/BENCH_shared_memory.json``)::
+
+    from repro import Locater, LocaterConfig
+
+    budgeted = Locater(building, metadata, table,
+                       config=LocaterConfig(memory_budget_bytes=64 << 20))
+    answer = budgeted.locate(mac, t)      # identical to the unbudgeted answer
+    print(budgeted.memory.stats())        # residency, evictions, by category
 """
 
 from repro.cache import (
@@ -169,11 +210,14 @@ from repro.errors import (
     TrainingError,
 )
 from repro.events import (
+    ColumnStore,
     ConnectivityEvent,
     DeltaEstimator,
     Device,
     EventTable,
     Gap,
+    HeapColumnStore,
+    SharedMemoryColumnStore,
     extract_gaps,
     find_gap_at,
 )
@@ -212,6 +256,7 @@ from repro.system import (
     InMemoryStorage,
     Locater,
     LocaterConfig,
+    MemoryManager,
     LocationAnswer,
     LocationQuery,
     QueryGroup,
@@ -236,6 +281,7 @@ __all__ = [
     "ClusterCacheStats",
     "ClusterIngestReport",
     "CoarseLocalizer",
+    "ColumnStore",
     "ComponentAffinityRouter",
     "CoarseResult",
     "ConfigurationError",
@@ -252,6 +298,7 @@ __all__ = [
     "GlobalAffinityGraph",
     "GroupAffinityModel",
     "HashRouter",
+    "HeapColumnStore",
     "IngestReport",
     "IngestionEngine",
     "InMemoryStorage",
@@ -261,6 +308,7 @@ __all__ = [
     "LocaterConfig",
     "LocationAnswer",
     "LocationQuery",
+    "MemoryManager",
     "PersonProfile",
     "ProcessShardExecutor",
     "QueryGroup",
@@ -277,6 +325,7 @@ __all__ = [
     "SerialShardExecutor",
     "ShardExecutor",
     "ShardRouter",
+    "SharedMemoryColumnStore",
     "ShardedLocater",
     "SimulationError",
     "Simulator",

@@ -15,14 +15,16 @@ swaps the deployment shape without changing any cluster logic:
   win is bounded by the numpy fraction of the pipeline; what it buys
   cheaply is overlap of shard calls that block (storage I/O) and a
   drop-in dress rehearsal for the process executor.
-* :class:`ProcessShardExecutor` — each shard is an *actor* in a forked
-  worker process with a private copy-on-write replica of everything the
-  factory closed over.  Calls travel a pipe as pickled (method, args)
-  tuples; results return pickled, which roundtrips floats and numpy
-  arrays bitwise, so answers are indistinguishable from in-process
-  ones.  True parallelism, at the cost of per-call serialization and
-  no shared mutable state (a cluster with process shards therefore
-  refuses external storage and batch states).
+* :class:`ProcessShardExecutor` — each shard is an *actor* in a worker
+  process: forked with a private copy-on-write replica of everything
+  the factory closed over, or (``start_method='spawn'``, or any worker
+  given a shared-memory table) attached by segment name to the one
+  physical copy of the event log.  Calls travel a pipe as pickled
+  (method, args) tuples; results return pickled, which roundtrips
+  floats and numpy arrays bitwise, so answers are indistinguishable
+  from in-process ones.  True parallelism, at the cost of per-call
+  serialization and no shared mutable state (a cluster with process
+  shards therefore refuses external storage and batch states).
 
 Determinism contract shared by all three: ``call_all`` returns results
 in shard order no matter which shard finished first, and each shard
@@ -251,26 +253,45 @@ def _worker_main(connection, factory: ShardFactory, shard_id: int) -> None:
 
 
 class ProcessShardExecutor(ShardExecutor):
-    """One forked worker process per shard, spoken to over a pipe.
+    """One worker process per shard, spoken to over a pipe.
 
-    Requires the ``fork`` start method (the factory and its closure —
-    building, metadata, the replicated event table — are *inherited*
-    copy-on-write, never pickled), so each worker starts with a private
+    Under the default ``fork`` start method the factory and its closure
+    — building, metadata, the replicated event table — are *inherited*
+    copy-on-write, never pickled, so each worker starts with a private
     bitwise-identical replica of the cluster's state at start time.
-    After start, workers receive only picklable payloads: stamped event
-    batches in, answers and reports out.
+    Under ``spawn`` the factory itself crosses the process boundary
+    pickled, so it must be picklable and self-contained — the cluster
+    provides one that carries a
+    :class:`~repro.events.table.TableDescriptor` and *attaches* the
+    shared-memory event table by segment name instead of copying it
+    (``ShardedLocater(..., shared_memory=True)``).  After start, workers
+    receive only picklable payloads: stamped event batches or table
+    syncs in, answers and reports out.
     """
 
     in_process = False
 
-    def __init__(self) -> None:
+    def __init__(self, start_method: "str | None" = None) -> None:
         super().__init__()
-        if "fork" not in multiprocessing.get_all_start_methods():
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            if "fork" not in available:
+                raise ConfigurationError(
+                    "ProcessShardExecutor defaults to the 'fork' start "
+                    "method (unavailable on this platform); pass "
+                    "start_method='spawn' with a shared-memory table, or "
+                    "use ThreadShardExecutor / SerialShardExecutor")
+            start_method = "fork"
+        if start_method not in ("fork", "spawn"):
             raise ConfigurationError(
-                "ProcessShardExecutor requires the 'fork' start method "
-                "(unavailable on this platform); use "
-                "ThreadShardExecutor or SerialShardExecutor instead")
-        self._context = multiprocessing.get_context("fork")
+                f"start_method must be 'fork' or 'spawn', "
+                f"got {start_method!r}")
+        if start_method not in available:
+            raise ConfigurationError(
+                f"start method {start_method!r} unavailable on this "
+                f"platform (have: {', '.join(available)})")
+        self.start_method = start_method
+        self._context = multiprocessing.get_context(start_method)
 
     def _start(self, factory: ShardFactory, shard_count: int) -> None:
         self._connections = []
@@ -340,4 +361,4 @@ class ProcessShardExecutor(ShardExecutor):
         self._workers = []
 
     def __repr__(self) -> str:
-        return "ProcessShardExecutor()"
+        return f"ProcessShardExecutor(start_method={self.start_method!r})"

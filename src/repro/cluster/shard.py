@@ -23,6 +23,7 @@ placement:
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from repro.errors import ClusterError
@@ -115,6 +116,25 @@ class Shard:
                 "ingests once and fans out on_ingest")
         return self._session.ingest(events)
 
+    def apply_table_sync(self, payload, report: IngestReport
+                         ) -> InvalidationSummary:
+        """Attached wiring: advance the shared-memory view, invalidate.
+
+        The authoritative process merged the batch and published new
+        segments; ``payload`` (:class:`~repro.events.table.TableSync`)
+        swaps them into this shard's attached table and ``report`` — the
+        owner's merge report, bitwise what a local engine would have
+        produced — then drives the same invalidation + memo pruning a
+        replica's own merge would.
+        """
+        table = self.locater.table
+        if self._session is None or not table.store.is_attached:
+            raise ClusterError(
+                "apply_table_sync targets shards serving an attached "
+                "shared-memory table view")
+        table.apply_sync(payload)
+        return self._session.observe_report(report)
+
     # ------------------------------------------------------------------
     # Cache edge exchange
     # ------------------------------------------------------------------
@@ -163,7 +183,36 @@ class Shard:
             out["full_invalidations"] = self._session.full_invalidations
         return out
 
+    def table_memory(self) -> dict:
+        """This shard's event-table memory accounting (benchmarks).
+
+        Combines the column store's logical byte accounting (exact — the
+        quantity the shared-vs-replicated comparison is judged on) with
+        the process's ``VmRSS`` as an auxiliary physical signal; RSS
+        alone is dishonest under fork, where copy-on-write pages are
+        counted in every child until written.
+        """
+        out = self.locater.table.memory_stats()
+        out["pid"] = os.getpid()
+        try:
+            with open("/proc/self/status", encoding="ascii") as status:
+                for line in status:
+                    if line.startswith("VmRSS:"):
+                        out["rss_kb"] = int(line.split()[1])
+                        break
+        except OSError:
+            pass
+        return out
+
     def close(self) -> None:
-        """Detach the session (replica wiring); idempotent."""
+        """Detach the session; unmap an attached table view.  Idempotent.
+
+        Never touches a shared-table (in-process) or replica table's
+        store — those belong to the cluster / die with the worker — but
+        an attached view's mappings are explicitly closed so worker
+        shutdown never depends on GC ordering against live segments.
+        """
         if self._session is not None:
             self._session.close()
+        if self.locater.table.store.is_attached:
+            self.locater.table.close()

@@ -47,8 +47,9 @@ from repro.cluster.executor import SerialShardExecutor, ShardExecutor
 from repro.cluster.router import HashRouter, ShardRouter, partition_events
 from repro.cluster.shard import Shard
 from repro.errors import ClusterError, ConfigurationError
+from repro.events.columns import SharedMemoryColumnStore
 from repro.events.event import ConnectivityEvent
-from repro.events.table import EventTable
+from repro.events.table import EventTable, TableDescriptor
 from repro.space.building import Building
 from repro.space.metadata import SpaceMetadata
 from repro.system.config import LocaterConfig
@@ -177,6 +178,34 @@ class ClusterBatchState:
         self.neighbors.invalidate_all()
 
 
+class _AttachedShardFactory:
+    """Picklable shard factory for workers that *attach* the table.
+
+    Instead of closing over the live table (fork-only, one replica per
+    worker), it carries a :class:`~repro.events.table.TableDescriptor` —
+    segment names, registry order, generations — and each worker maps
+    the owner's shared-memory segments read-only.  Picklable and
+    self-contained, so it crosses a ``spawn`` boundary too; under
+    ``fork`` it still wins by never letting workers privatize column
+    pages.  The shard gets a streaming session whose state is advanced
+    by :meth:`Shard.apply_table_sync` fan-outs.
+    """
+
+    def __init__(self, building: Building, metadata: SpaceMetadata,
+                 config: "LocaterConfig | None",
+                 descriptor: TableDescriptor) -> None:
+        self.building = building
+        self.metadata = metadata
+        self.config = config
+        self.descriptor = descriptor
+
+    def __call__(self, shard_id: int) -> Shard:
+        table = EventTable.attach(self.descriptor)
+        locater = Locater(self.building, self.metadata, table,
+                          config=self.config)
+        return Shard(shard_id, locater, engine=IngestionEngine(table))
+
+
 class ShardedLocater:
     """N-shard cluster with the single-system query surface.
 
@@ -198,6 +227,16 @@ class ShardedLocater:
             dirty event stream (globally unique ids, stored once).
             Incompatible with process executors, whose shards cannot
             reach the caller's backend.
+        shared_memory: Publish the table's hot columns as named
+            shared-memory segments (migrating the table's column store
+            in place if needed).  Process shard workers then *attach*
+            the one physical copy of the log by segment name instead of
+            holding a private replica — N shards cost ~1× the table —
+            and ingests fan out as cheap segment-name syncs instead of
+            per-worker re-merges.  Required for
+            ``ProcessShardExecutor(start_method='spawn')``.  The caller
+            still owns the table: close it (``table.close()``) after
+            the cluster to unlink the segments.
 
     Example:
         >>> cluster = ShardedLocater(building, metadata, table,
@@ -213,7 +252,8 @@ class ShardedLocater:
                  router: "ShardRouter | None" = None,
                  executor: "ShardExecutor | None" = None,
                  config: "LocaterConfig | None" = None,
-                 storage: "StorageEngine | None" = None) -> None:
+                 storage: "StorageEngine | None" = None,
+                 shared_memory: bool = False) -> None:
         if shard_count < 1:
             raise ConfigurationError(
                 f"shard_count must be >= 1, got {shard_count}")
@@ -238,19 +278,36 @@ class ShardedLocater:
         self._engine = IngestionEngine(table, storage=self._tap)
         in_process = self._executor.in_process
         views = self._views if in_process else [None] * shard_count
+        if shared_memory and not table.store.is_shared:
+            table.migrate_store(SharedMemoryColumnStore())
+        # Attach mode: process shards map the owner's segments by name
+        # (one physical copy) instead of inheriting a fork replica.
+        self._attached_shards = (not in_process) and table.store.is_shared
+        if getattr(self._executor, "start_method", None) == "spawn" and \
+                not self._attached_shards:
+            raise ConfigurationError(
+                "spawned shard workers cannot inherit the event table; "
+                "construct the cluster with shared_memory=True (or a "
+                "table on a SharedMemoryColumnStore) so workers attach "
+                "by segment name")
 
-        def factory(shard_id: int) -> Shard:
-            # In-process: every shard's Locater reads the shared table.
-            # In a forked worker this closure runs post-fork, so
-            # ``table`` is the worker's private copy-on-write replica
-            # and the shard gets its own engine + streaming session.
-            # (Closes over plain locals only — a worker must not drag a
-            # copy of the cluster object, executor pipes included,
-            # across the fork.)
-            locater = Locater(building, metadata, table, config=config,
-                              storage=views[shard_id])
-            engine = None if in_process else IngestionEngine(table)
-            return Shard(shard_id, locater, engine=engine)
+        if self._attached_shards:
+            factory = _AttachedShardFactory(
+                building, metadata, config, table.describe())
+        else:
+            def factory(shard_id: int) -> Shard:
+                # In-process: every shard's Locater reads the shared
+                # table.  In a forked worker this closure runs
+                # post-fork, so ``table`` is the worker's private
+                # copy-on-write replica and the shard gets its own
+                # engine + streaming session.  (Closes over plain
+                # locals only — a worker must not drag a copy of the
+                # cluster object, executor pipes included, across the
+                # fork.)
+                locater = Locater(building, metadata, table, config=config,
+                                  storage=views[shard_id])
+                engine = None if in_process else IngestionEngine(table)
+                return Shard(shard_id, locater, engine=engine)
 
         self._executor.start(factory, shard_count)
         # States handed out by make_batch_state, pruned on every ingest
@@ -381,9 +438,13 @@ class ShardedLocater:
         shards: in-process shards invalidate against the shared table
         (live batch states handed out by :meth:`make_batch_state` are
         pruned along the way); replica shards merge the stamped batch
-        themselves.
+        themselves; attached shards receive a
+        :class:`~repro.events.table.TableSync` — the new segment names
+        and counters, no event data — and invalidate off the owner's
+        report.
         """
         self._check_open()
+        generation_before = self._table.generation
         report = self._engine.ingest(events)
         stamped = self._tap.take()
         # Bind assignment-learning routers from the merged table (same
@@ -401,6 +462,15 @@ class ShardedLocater:
                     "on_ingest", [(report,)] * self._shard_count)
                 self._prune_states(report,
                                    self._merge_summaries(summaries))
+            elif self._attached_shards:
+                # One physical merge just happened (owner-side); ship
+                # the new segment names, not the events.  Workers are
+                # idle between calls (synchronous dispatch), so no read
+                # races the handle swap.
+                payload = self._table.sync_payload(generation_before)
+                self._executor.call_all(
+                    "apply_table_sync",
+                    [(payload, report)] * self._shard_count)
             else:
                 self._executor.call_all("ingest_events",
                                         [(stamped,)] * self._shard_count)
@@ -543,6 +613,33 @@ class ShardedLocater:
         """Per-shard serving counters (events, devices, ingests)."""
         self._check_open()
         return self._executor.call_all("stats")
+
+    def table_memory(self) -> dict:
+        """Event-table memory accounting: parent plus every shard.
+
+        The cluster-level truth the shared-vs-replicated benchmark
+        archives: logical column bytes per process (exact, from store
+        accounting) with the backend kind, plus each process's VmRSS as
+        an auxiliary signal.  ``total_column_bytes`` counts private
+        copies per shard but any shared segments once — the "how much
+        log does this deployment hold" number.
+        """
+        self._check_open()
+        parent = self._table.memory_stats()
+        shards = self._executor.call_all("table_memory")
+        private = 0
+        for stats in shards:
+            if stats["kind"] == "shared-attached":
+                continue  # maps the parent's segments: counted once below
+            if self._executor.in_process:
+                continue  # same table object as the parent's
+            private += stats["column_bytes"]
+        return {
+            "parent": parent,
+            "shards": shards,
+            "attached": self._attached_shards,
+            "total_column_bytes": parent["column_bytes"] + private,
+        }
 
     def close(self) -> None:
         """Tear down shards, workers and storage views.  Idempotent."""

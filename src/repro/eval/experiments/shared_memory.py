@@ -1,0 +1,240 @@
+"""Shared-memory vs replicated event tables under process sharding.
+
+The zero-copy claim, measured: a cluster of N process-executor shards
+either *replicates* the event table (fork copy-on-write, which turns
+into N private copies as soon as replicas merge ingest batches) or
+*attaches* the one shared-memory copy by segment name
+(``ShardedLocater(..., shared_memory=True)``).  Both deployments are
+served and streamed over the same campus workload, with three contracts
+enforced before any number is reported:
+
+* batch answers in both modes are bitwise identical to a lone
+  :class:`~repro.system.locater.Locater` over the same table;
+* post-ingest answers of both modes are bitwise identical to each
+  other (the sync fan-out reproduces the replica merge exactly);
+* the shared deployment's total column bytes stay within a small
+  factor of a single copy, no matter the shard count.
+
+The memory figures come from the column stores' logical byte
+accounting — exact, and honest where resident-set sizes are not: under
+fork, copy-on-write pages are counted in every child's RSS until
+written, so RSS is reported only as an auxiliary signal.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster import ProcessShardExecutor, ShardedLocater
+from repro.errors import ReproError
+from repro.eval.queries import generated_query_set, labeled_query_set
+from repro.eval.reporting import format_table
+from repro.events.table import EventTable
+from repro.events.validity import DeltaEstimator
+from repro.sim.scenarios import ScenarioSpec, streaming_day_workload
+from repro.sim.simulator import Simulator
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+
+_CONFIG = LocaterConfig(use_caching=False)
+
+
+@dataclass(slots=True)
+class MemoryRun:
+    """One deployment mode's measured serving, ingest and memory."""
+
+    mode: str                  # "replicated" | "shared"
+    shards: int
+    batch_seconds: float       # cold batch over the warmup table
+    ingest_seconds: float      # all ingest fan-outs, summed
+    requery_seconds: float     # post-ingest batch
+    identical: bool
+    single_copy_bytes: int     # the parent table's column bytes
+    total_column_bytes: int    # cluster-wide, shared segments counted once
+    total_rss_kb: int          # parent + workers VmRSS (auxiliary)
+
+    @property
+    def copies(self) -> float:
+        """Cluster-wide column bytes as a multiple of one table copy."""
+        return self.total_column_bytes / max(self.single_copy_bytes, 1)
+
+
+@dataclass(slots=True)
+class SharedMemoryResult:
+    """Replicated vs shared deployments over one campus workload."""
+
+    runs: list[MemoryRun]
+    query_count: int
+    event_count: int
+    device_count: int
+    ingest_batches: int
+    cpu_count: int
+    workload: dict
+
+    @property
+    def all_identical(self) -> bool:
+        return all(run.identical for run in self.runs)
+
+    def run_for(self, mode: str) -> MemoryRun:
+        for run in self.runs:
+            if run.mode == mode:
+                return run
+        raise KeyError(mode)
+
+    @property
+    def memory_ratio(self) -> float:
+        """Replicated over shared cluster-wide column bytes."""
+        return (self.run_for("replicated").total_column_bytes /
+                max(self.run_for("shared").total_column_bytes, 1))
+
+    def render(self) -> str:
+        rows = []
+        for run in self.runs:
+            rows.append([
+                run.mode, run.shards,
+                f"{run.total_column_bytes / 1024:.0f}",
+                f"{run.copies:.2f}x",
+                f"{run.total_rss_kb / 1024:.0f}",
+                f"{run.batch_seconds:.2f}",
+                f"{run.ingest_seconds:.2f}",
+                f"{run.requery_seconds:.2f}",
+                "yes" if run.identical else "NO"])
+        table = format_table(
+            ["mode", "shards", "columns KiB", "copies", "RSS MiB",
+             "batch s", "ingest s", "requery s", "identical"], rows,
+            title=(f"Shared-memory event tables: {self.query_count} "
+                   f"queries, {self.event_count} events, "
+                   f"{self.device_count} devices, "
+                   f"{self.ingest_batches} ingest batches, "
+                   f"{self.cpu_count} cpu(s)"))
+        return (f"{table}\n"
+                f"replicated / shared column bytes: "
+                f"{self.memory_ratio:.2f}x\n"
+                f"answers identical across modes and vs lone: "
+                f"{self.all_identical}")
+
+    def to_json(self) -> dict:
+        return {
+            "experiment": "shared_memory",
+            "workload": dict(self.workload,
+                             query_count=self.query_count,
+                             event_count=self.event_count,
+                             device_count=self.device_count,
+                             ingest_batches=self.ingest_batches,
+                             cpu_count=self.cpu_count),
+            "memory_ratio_replicated_over_shared":
+                round(self.memory_ratio, 3),
+            "runs": [{
+                "mode": run.mode,
+                "shards": run.shards,
+                "single_copy_bytes": run.single_copy_bytes,
+                "total_column_bytes": run.total_column_bytes,
+                "copies_of_table": round(run.copies, 3),
+                "total_rss_kb": run.total_rss_kb,
+                "batch_seconds": round(run.batch_seconds, 4),
+                "ingest_seconds": round(run.ingest_seconds, 4),
+                "requery_seconds": round(run.requery_seconds, 4),
+                "batch_qps": round(
+                    self.query_count / max(run.batch_seconds, 1e-12), 1),
+                "identical": run.identical,
+            } for run in self.runs],
+        }
+
+
+def _fresh_table(events) -> EventTable:
+    table = EventTable.from_events(events)
+    DeltaEstimator().fit_table(table)
+    return table
+
+
+def _total_rss(memory: dict) -> int:
+    total = memory["parent"].get("rss_kb", 0)
+    return total + sum(shard.get("rss_kb", 0)
+                       for shard in memory["shards"])
+
+
+def run(population: int = 24, days: int = 3, shards: int = 4,
+        ingest_batches: int = 2, labeled_per_device: int = 2,
+        generated: int = 40, seed: int = 17,
+        modes: Sequence[str] = ("replicated", "shared")
+        ) -> SharedMemoryResult:
+    """Measure both deployment modes on one campus workload.
+
+    Raises :class:`~repro.errors.ReproError` on any divergence — from
+    the lone baseline, or between the two modes after ingest — so no
+    memory saving is ever bought with changed answers.
+    """
+    dataset = Simulator(
+        ScenarioSpec.campus(seed=seed, population=population)).run(days=days)
+    workload = streaming_day_workload(dataset, batches=ingest_batches,
+                                      queries_per_burst=1, seed=seed + 1)
+    warm_events = list(workload.warmup)
+    warm_macs = {event.mac for event in warm_events}
+    queries = labeled_query_set(dataset, per_device=labeled_per_device,
+                                seed=seed + 2)
+    queries += generated_query_set(dataset, count=generated, seed=seed + 3)
+    queries = [q for q in queries if q.mac in warm_macs]
+
+    lone_table = _fresh_table(warm_events)
+    lone = Locater(dataset.building, dataset.metadata, lone_table,
+                   config=_CONFIG)
+    expected = lone.locate_batch(queries)
+
+    runs: list[MemoryRun] = []
+    requeries: dict[str, list] = {}
+    for mode in modes:
+        table = _fresh_table(warm_events)
+        try:
+            with ShardedLocater(dataset.building, dataset.metadata,
+                                table, shard_count=shards,
+                                executor=ProcessShardExecutor(),
+                                config=_CONFIG,
+                                shared_memory=(mode == "shared")) as cluster:
+                start = time.perf_counter()
+                answers = cluster.locate_batch(queries)
+                batch_seconds = time.perf_counter() - start
+                start = time.perf_counter()
+                for batch in workload.batches:
+                    cluster.ingest(batch.ingest)
+                ingest_seconds = time.perf_counter() - start
+                start = time.perf_counter()
+                requeries[mode] = cluster.locate_batch(queries)
+                requery_seconds = time.perf_counter() - start
+                memory = cluster.table_memory()
+            identical = answers == expected
+            if not identical:
+                raise ReproError(
+                    f"{mode} cluster diverged from the lone Locater")
+            runs.append(MemoryRun(
+                mode=mode, shards=shards,
+                batch_seconds=batch_seconds,
+                ingest_seconds=ingest_seconds,
+                requery_seconds=requery_seconds,
+                identical=identical,
+                single_copy_bytes=memory["parent"]["column_bytes"],
+                total_column_bytes=memory["total_column_bytes"],
+                total_rss_kb=_total_rss(memory)))
+        finally:
+            table.close()
+
+    if len(requeries) == 2 and \
+            requeries["replicated"] != requeries["shared"]:
+        for run_record in runs:
+            run_record.identical = False
+        raise ReproError(
+            "post-ingest answers diverged between replicated and shared "
+            "deployments")
+
+    return SharedMemoryResult(
+        runs=runs, query_count=len(queries),
+        event_count=len(warm_events),
+        device_count=len(warm_macs),
+        ingest_batches=ingest_batches,
+        cpu_count=os.cpu_count() or 1,
+        workload={"population": population, "days": days,
+                  "shards": shards, "seed": seed,
+                  "executor": "process (fork)",
+                  "scenario": "campus"})

@@ -3,12 +3,66 @@
 Implements the paper's Section 2 data model: connectivity events
 ``⟨mac, timestamp, wap⟩`` with per-device temporal validity ``δ(d)``,
 from which *gaps* — maximal periods with no valid event — are derived.
+
+Column stores
+-------------
+
+Each device's hot numeric columns — event timestamps (float64) and AP
+vocabulary codes (int32) — live behind a :class:`~repro.events.columns.
+ColumnStore`, not in plain attributes.  The store contract
+(:mod:`repro.events.columns`):
+
+* ``put(key, times, aps)`` accepts the arrays once and returns a
+  :class:`~repro.events.columns.ColumnHandle`; ``handle.arrays()``
+  yields them back *bitwise identical*, every time, no matter what the
+  store did with the bytes in between.  Handles are the only owners of
+  column memory — ``DeviceLog`` holds a handle, never a bare array.
+* :class:`~repro.events.columns.HeapColumnStore` (the default) keeps
+  ordinary heap arrays and supports *spilling*: ``handle.spill()``
+  writes the columns to a compressed temp file and drops the resident
+  arrays; the next ``arrays()`` reloads them transparently (and fires
+  the handle's ``on_reload`` hook so accounting can re-charge them).
+  This is the eviction tier's backing mechanism.
+* :class:`~repro.events.columns.SharedMemoryColumnStore` places columns
+  in named ``multiprocessing.shared_memory`` segments so other
+  processes *attach* by name instead of copying.  Lifecycle rule: the
+  **owner** store (the one that ``put`` the data) unlinks segments on
+  ``release``/``close``; **attached** stores (built via ``attached()``
+  + ``adopt()`` from a :class:`~repro.events.table.TableDescriptor`)
+  only close their maps and never unlink — views they handed out stay
+  readable until the last reference dies, and attached arrays are
+  mapped read-only (``writeable=False``) so a shard can never mutate
+  the table behind the owner's back.  Shared handles do not spill (the
+  segment *is* the single copy).
+
+``EventTable.describe()`` / ``EventTable.attach()`` ride on this:
+workers reconstruct a read-only table from segment names (O(1) bytes
+shipped), and ingest publishes new generations via ``sync_payload`` /
+``apply_sync`` so attached tables catch up without re-copying history.
+
+Eviction invariant: everything a store may spill (and everything the
+:class:`~repro.system.memory.MemoryManager` may evict above it —
+coarse models, affinity memos) is a *pure function of the table*, so
+any eviction schedule reloads/recomputes to bitwise-identical answers
+(``tests/integration/test_memory_equivalence.py``,
+``tests/property/test_prop_memory.py``).
 """
 
+from repro.events.columns import (
+    ColumnHandle,
+    ColumnStore,
+    HeapColumnStore,
+    SharedMemoryColumnStore,
+)
 from repro.events.device import Device, DeviceRegistry
 from repro.events.event import ConnectivityEvent
 from repro.events.gaps import Gap, extract_gaps, find_gap_at
-from repro.events.table import DeviceLog, EventTable
+from repro.events.table import (
+    DeviceLog,
+    EventTable,
+    TableDescriptor,
+    TableSync,
+)
 from repro.events.validity import (
     DeltaEstimator,
     ValidityInterval,
@@ -16,6 +70,8 @@ from repro.events.validity import (
 )
 
 __all__ = [
+    "ColumnHandle",
+    "ColumnStore",
     "ConnectivityEvent",
     "DeltaEstimator",
     "Device",
@@ -23,6 +79,10 @@ __all__ = [
     "DeviceRegistry",
     "EventTable",
     "Gap",
+    "HeapColumnStore",
+    "SharedMemoryColumnStore",
+    "TableDescriptor",
+    "TableSync",
     "ValidityInterval",
     "extract_gaps",
     "find_gap_at",

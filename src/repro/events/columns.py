@@ -1,0 +1,482 @@
+"""Column storage backends for the event table.
+
+The hot data of an :class:`~repro.events.table.EventTable` is two numeric
+columns per device — ``times`` (float64) and ``ap_indices`` (int32).
+This module owns *where those bytes live*, behind one small contract:
+
+* :class:`HeapColumnStore` (the default) keeps each device's columns as
+  ordinary process-heap numpy arrays, exactly as before the abstraction
+  existed — plus an optional *spill* tier: a cold log's bytes can be
+  written to disk and dropped from memory, to be reloaded bitwise-equal
+  on the next access (the hook the memory-budget eviction tier uses).
+* :class:`SharedMemoryColumnStore` packs both columns of a device into
+  one ``multiprocessing.shared_memory`` segment.  The owning process
+  creates and unlinks segments; any other process *attaches by segment
+  name* and reads the same physical pages — one copy of the log no
+  matter how many shard workers serve from it, and no dependence on
+  ``fork`` copy-on-write semantics (a spawned worker can attach too).
+
+Contract (what :class:`~repro.events.table.EventTable` relies on):
+
+* ``put(key, times, aps)`` returns a :class:`ColumnHandle` whose
+  ``arrays()`` resolves to arrays bitwise-equal to the ones put in.
+  Column data behind a handle is **immutable** — a merge produces new
+  arrays and a new handle; the old handle is passed to ``release``.
+* Handles resolve lazily.  A spilled (heap) or not-yet-attached
+  (shared) handle materializes its arrays on first ``arrays()`` call;
+  resolution never changes values, only where they are read from.
+* Lifecycle: ``release(handle)`` frees one handle's storage (the owner
+  unlinks its segment; an attached store merely unmaps).  ``close()``
+  tears the whole store down — after it, resolving any handle of the
+  store is undefined.  Owners must close their stores; leaked shared
+  segments are reclaimed only by the interpreter's resource tracker at
+  exit, with a warning.
+* Numpy views handed out earlier (log slices cached in memos) keep the
+  underlying buffer alive via ordinary refcounting, so releasing a
+  handle never invalidates data a computation already holds — at worst
+  the unmap is deferred until the last view dies.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+import tempfile
+import uuid
+from multiprocessing import resource_tracker, shared_memory
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import EventTableError
+
+#: dtype/layout of the column pair inside one buffer: ``times`` first
+#: (8 bytes per event), then ``ap_indices`` (4 bytes per event).  The
+#: aps offset ``8 * length`` is always 4-aligned, so both views are
+#: aligned no matter the log length.
+TIMES_DTYPE = np.float64
+APS_DTYPE = np.int32
+BYTES_PER_EVENT = 12
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker adoption.
+
+    On Python < 3.13 attaching registers the segment with the resource
+    tracker exactly as creating does (bpo-39959): a reader exiting would
+    log "leaked shared_memory" warnings and the tracker would *unlink*
+    segments the owner still serves.  Unregistering after the fact is
+    the commonly cited workaround, but under ``fork`` the tracker
+    process is shared with the owner, so a reader's unregister silently
+    deletes the owner's registration too (the owner's own unlink then
+    trips a KeyError inside the tracker).  Suppressing registration
+    during the attach call leaves the owner's bookkeeping untouched in
+    both start methods; 3.13+ exposes ``track=False`` for exactly this.
+    Safe unsynchronized: shard workers are single-threaded actors.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _close_quietly(segment: shared_memory.SharedMemory) -> None:
+    """Unmap a segment, tolerating live numpy views into it.
+
+    ``mmap.close`` raises ``BufferError`` while exported views exist
+    (slices of a log cached in batch memos, say).  Refcounting keeps the
+    mapping alive for those views anyway, so deferring the unmap to
+    their garbage collection is safe — the unlink (owner side) is what
+    actually retires the segment name.  The buffers are detached from
+    the segment object so its ``__del__`` does not retry the close and
+    log the same BufferError as an unraisable exception; the file
+    descriptor can close immediately (munmap never needs it).
+    """
+    try:
+        segment.close()
+    except BufferError:
+        segment._buf = None
+        segment._mmap = None
+        if segment._fd >= 0:
+            os.close(segment._fd)
+            segment._fd = -1
+
+
+class ColumnHandle:
+    """One device log's column pair, resolved lazily from its backend.
+
+    Subclass contract: ``_load()`` materializes ``(_times, _aps)`` and
+    returns them; data is immutable for the handle's lifetime.
+    """
+
+    __slots__ = ("key", "length", "_times", "_aps", "on_reload")
+
+    def __init__(self, key: str, length: int) -> None:
+        self.key = key
+        self.length = length
+        self._times: "np.ndarray | None" = None
+        self._aps: "np.ndarray | None" = None
+        #: Optional hook invoked after a cold resolve (spilled heap data
+        #: reloaded, shared segment attached) — the eviction tier uses
+        #: it to re-touch the log's LRU entry.
+        self.on_reload: "Callable[[ColumnHandle], None] | None" = None
+
+    @property
+    def nbytes(self) -> int:
+        """Logical size of the column data (resident or not)."""
+        return self.length * BYTES_PER_EVENT
+
+    @property
+    def resident(self) -> bool:
+        """Whether the arrays are currently materialized in this process."""
+        return self._times is not None
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Bytes currently held in this process's memory (0 if spilled)."""
+        return self.nbytes if self.resident else 0
+
+    def arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The ``(times, ap_indices)`` pair, materializing if needed."""
+        times = self._times
+        if times is not None:
+            return times, self._aps  # type: ignore[return-value]
+        return self._load()
+
+    def _load(self) -> "tuple[np.ndarray, np.ndarray]":
+        raise NotImplementedError
+
+    def _notify_reload(self) -> None:
+        if self.on_reload is not None:
+            self.on_reload(self)
+
+
+class _ResidentColumns(ColumnHandle):
+    """Plain in-memory columns with no store behind them.
+
+    What a :class:`DeviceLog` built directly from arrays (table slices,
+    empty logs, tests) wraps; never spillable, nothing to release.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, key: str, times: np.ndarray,
+                 aps: np.ndarray) -> None:
+        super().__init__(key, int(times.size))
+        self._times = times
+        self._aps = aps
+
+    def _load(self) -> "tuple[np.ndarray, np.ndarray]":
+        raise EventTableError(
+            f"resident columns of {self.key!r} lost their arrays")
+
+
+class HeapColumnHandle(ColumnHandle):
+    """Heap-backed columns with an optional on-disk spill copy."""
+
+    __slots__ = ("_store", "_spill_path")
+
+    def __init__(self, key: str, times: np.ndarray, aps: np.ndarray,
+                 store: "HeapColumnStore") -> None:
+        super().__init__(key, int(times.size))
+        self._times = times
+        self._aps = aps
+        self._store = store
+        self._spill_path: "pathlib.Path | None" = None
+
+    def spill(self) -> int:
+        """Write the columns to disk and drop the in-memory arrays.
+
+        Returns the bytes freed (0 when already spilled).  The spill
+        file is written once per handle — the data is immutable, so a
+        later re-spill only drops the resident arrays again.
+        """
+        if not self.resident:
+            return 0
+        if self._spill_path is None:
+            self._spill_path = self._store._spill_file(self)
+            np.savez(self._spill_path, times=self._times, aps=self._aps)
+        freed = self.nbytes
+        self._times = None
+        self._aps = None
+        self._store._spilled += 1
+        return freed
+
+    def _load(self) -> "tuple[np.ndarray, np.ndarray]":
+        if self._spill_path is None:
+            raise EventTableError(
+                f"columns of {self.key!r} were never spilled yet are "
+                "not resident (store closed?)")
+        with np.load(self._spill_path) as archive:
+            self._times = archive["times"]
+            self._aps = archive["aps"]
+        self._store._reloaded += 1
+        self._notify_reload()
+        return self._times, self._aps
+
+    def _discard(self) -> None:
+        self._times = None
+        self._aps = None
+        if self._spill_path is not None:
+            try:
+                self._spill_path.unlink()
+            except OSError:
+                pass
+            self._spill_path = None
+
+
+class SharedColumnHandle(ColumnHandle):
+    """Columns inside one shared-memory segment, resolved by name."""
+
+    __slots__ = ("segment_name", "_segment", "_store")
+
+    def __init__(self, key: str, segment_name: str, length: int,
+                 store: "SharedMemoryColumnStore",
+                 segment: "shared_memory.SharedMemory | None" = None
+                 ) -> None:
+        super().__init__(key, length)
+        self.segment_name = segment_name
+        self._segment = segment
+        self._store = store
+        if segment is not None:
+            self._map_views()
+
+    def _map_views(self) -> None:
+        n = self.length
+        buf = self._segment.buf
+        times = np.frombuffer(buf, dtype=TIMES_DTYPE, count=n)
+        aps = np.frombuffer(buf, dtype=APS_DTYPE, count=n, offset=8 * n)
+        # Readers must never mutate the one physical copy in place.
+        times.flags.writeable = False
+        aps.flags.writeable = False
+        self._times = times
+        self._aps = aps
+
+    def _load(self) -> "tuple[np.ndarray, np.ndarray]":
+        if self._segment is None:
+            self._segment = _attach_segment(self.segment_name)
+            self._store._attached += 1
+        self._map_views()
+        self._notify_reload()
+        return self._times, self._aps  # type: ignore[return-value]
+
+    def _discard(self, unlink: bool) -> None:
+        self._times = None
+        self._aps = None
+        if self._segment is not None:
+            _close_quietly(self._segment)
+            if unlink:
+                try:
+                    self._segment.unlink()
+                except FileNotFoundError:
+                    pass
+            self._segment = None
+        elif unlink:
+            # Owner releasing a handle it created in another life-cycle
+            # stage cannot happen (owners always hold the segment), but
+            # be safe for adopted names.
+            try:
+                shared_memory.SharedMemory(name=self.segment_name).unlink()
+            except FileNotFoundError:
+                pass
+
+
+class ColumnStore:
+    """Base class: owns the column storage of one event table."""
+
+    #: Human-readable backend tag (surfaced by accounting/stats).
+    kind: str = "abstract"
+    #: Whether other processes can resolve this store's handles by name.
+    is_shared: bool = False
+    #: Whether this store resolves handles created elsewhere (a reader
+    #: view); attached stores never unlink on release/close.
+    is_attached: bool = False
+    #: Whether handles support ``spill()`` (the eviction tier's hook).
+    supports_spill: bool = False
+
+    def __init__(self) -> None:
+        self._handles: "set[ColumnHandle]" = set()
+        self._closed = False
+        self._spilled = 0
+        self._reloaded = 0
+        self._attached = 0
+
+    def put(self, key: str, times: np.ndarray,
+            ap_indices: np.ndarray) -> ColumnHandle:
+        """Store one log's columns; returns the resolving handle."""
+        raise NotImplementedError
+
+    def release(self, handle: ColumnHandle) -> None:
+        """Free one handle's storage (a merge replaced it).
+
+        Foreign handles — :class:`_ResidentColumns` wrapping plain
+        arrays, or handles of another store — are ignored, so callers
+        can release whatever a log happens to carry.
+        """
+        if handle in self._handles:
+            self._handles.discard(handle)
+            self._release(handle)
+
+    def _release(self, handle: ColumnHandle) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Free every handle and the store's backing resources."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in list(self._handles):
+            self._release(handle)
+        self._handles.clear()
+        self._close()
+
+    def _close(self) -> None:
+        pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict:
+        """Accounting snapshot (bytes are exact, from handle lengths)."""
+        resident = sum(h.resident_nbytes for h in self._handles)
+        total = sum(h.nbytes for h in self._handles)
+        return {
+            "kind": self.kind,
+            "segments": len(self._handles),
+            "column_bytes": total,
+            "resident_bytes": resident,
+            "spilled_bytes": total - resident,
+            "spill_count": self._spilled,
+            "reload_count": self._reloaded,
+        }
+
+    def __enter__(self) -> "ColumnStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class HeapColumnStore(ColumnStore):
+    """Process-heap columns (the default), with disk spill support."""
+
+    kind = "heap"
+    supports_spill = True
+
+    def __init__(self, spill_dir: "str | os.PathLike | None" = None) -> None:
+        super().__init__()
+        self._spill_dir: "pathlib.Path | None" = \
+            pathlib.Path(spill_dir) if spill_dir is not None else None
+        self._owns_spill_dir = False
+        self._sequence = 0
+
+    def put(self, key: str, times: np.ndarray,
+            ap_indices: np.ndarray) -> HeapColumnHandle:
+        if times.shape != ap_indices.shape:
+            raise EventTableError("times and ap_indices must align")
+        handle = HeapColumnHandle(key, times, ap_indices, self)
+        self._handles.add(handle)
+        return handle
+
+    def _spill_file(self, handle: HeapColumnHandle) -> pathlib.Path:
+        if self._spill_dir is None:
+            self._spill_dir = pathlib.Path(
+                tempfile.mkdtemp(prefix="locater-spill-"))
+            self._owns_spill_dir = True
+        self._sequence += 1
+        return self._spill_dir / f"col-{self._sequence:06d}.npz"
+
+    def _release(self, handle: HeapColumnHandle) -> None:
+        handle._discard()
+
+    def _close(self) -> None:
+        if self._owns_spill_dir and self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+
+
+class SharedMemoryColumnStore(ColumnStore):
+    """Columns in named shared-memory segments, one per device log.
+
+    Two roles share the class:
+
+    * **owner** (``SharedMemoryColumnStore()``): creates segments on
+      ``put``, unlinks them on ``release``/``close``.  Exactly one
+      process — the one maintaining the authoritative table — owns the
+      segments.
+    * **attached** (``SharedMemoryColumnStore.attached()``): resolves
+      handles adopted by name (``adopt``) against segments some owner
+      created; ``release``/``close`` merely unmap, never unlink.
+
+    Spill is unsupported: an owner evicting a segment would tear the
+    bytes out from under attached readers.  Cold-data eviction applies
+    to heap-backed tables (see :class:`HeapColumnStore`).
+    """
+
+    kind = "shared"
+    is_shared = True
+
+    def __init__(self, prefix: "str | None" = None) -> None:
+        super().__init__()
+        # Segment names must be unique machine-wide and short (NAME_MAX
+        # applies); the prefix keys all segments of one store.
+        self._prefix = prefix if prefix is not None else \
+            f"loc-{os.getpid() & 0xFFFF:04x}-{uuid.uuid4().hex[:8]}"
+        self._sequence = 0
+
+    @classmethod
+    def attached(cls) -> "SharedMemoryColumnStore":
+        """A reader-side store resolving adopted handles by name."""
+        store = cls(prefix="attached")
+        store.is_attached = True
+        return store
+
+    def put(self, key: str, times: np.ndarray,
+            ap_indices: np.ndarray) -> SharedColumnHandle:
+        if self.is_attached:
+            raise EventTableError(
+                "attached column stores are read-only views; only the "
+                "owner creates segments")
+        if times.shape != ap_indices.shape:
+            raise EventTableError("times and ap_indices must align")
+        n = int(times.size)
+        self._sequence += 1
+        name = f"{self._prefix}-{self._sequence:06d}"
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(1, n * BYTES_PER_EVENT), name=name)
+        buf = segment.buf
+        np.frombuffer(buf, dtype=TIMES_DTYPE, count=n)[:] = \
+            np.ascontiguousarray(times, dtype=TIMES_DTYPE)
+        np.frombuffer(buf, dtype=APS_DTYPE, count=n, offset=8 * n)[:] = \
+            np.ascontiguousarray(ap_indices, dtype=APS_DTYPE)
+        handle = SharedColumnHandle(key, name, n, self, segment=segment)
+        self._handles.add(handle)
+        return handle
+
+    def adopt(self, key: str, segment_name: str,
+              length: int) -> SharedColumnHandle:
+        """Register a handle for a segment some owner published.
+
+        Resolution is lazy: the segment is attached on the first
+        ``arrays()`` call, so adopting a descriptor's worth of names is
+        free and a reader maps only the logs it actually touches.
+        """
+        handle = SharedColumnHandle(key, segment_name, length, self)
+        self._handles.add(handle)
+        return handle
+
+    def _release(self, handle: SharedColumnHandle) -> None:
+        handle._discard(unlink=not self.is_attached)
+
+    def stats(self) -> dict:
+        out = super().stats()
+        if self.is_attached:
+            out["kind"] = "shared-attached"
+        return out

@@ -5,15 +5,39 @@ and AP indices), which makes the hot operations of the localizers —
 "which event is valid at t?", "events in [a, b)", "co-occurrence scans" —
 binary searches instead of linear passes.  This mirrors how a production
 system would index the association log by device and time.
+
+Where the column bytes live is delegated to a
+:class:`~repro.events.columns.ColumnStore`: heap arrays by default, or
+named shared-memory segments (:class:`SharedMemoryColumnStore`) so that
+shard worker processes attach to one physical copy of the log instead
+of each holding a replica.  Two picklable payloads cross process
+boundaries:
+
+* :meth:`EventTable.describe` → :class:`TableDescriptor`: the full
+  table state by segment *name* — :meth:`EventTable.attach` rebuilds a
+  read-only view in any process that can map the segments.
+* :meth:`EventTable.sync_payload` → :class:`TableSync`: the delta since
+  a generation — :meth:`EventTable.apply_sync` advances an attached
+  view to the owner's exact state (logs, registry deltas, generation
+  counters and the change journal all replicated verbatim, so the
+  generation-keyed change feed behaves identically on every view).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import EmptyHistoryError, EventTableError, UnknownDeviceError
+from repro.events.columns import (
+    ColumnHandle,
+    ColumnStore,
+    HeapColumnStore,
+    SharedMemoryColumnStore,
+    _ResidentColumns,
+)
 from repro.events.device import Device, DeviceRegistry
 from repro.events.event import ConnectivityEvent
 from repro.util.timeutil import TimeInterval
@@ -23,24 +47,48 @@ class DeviceLog:
     """Chronologically sorted events of one device.
 
     Internally two parallel numpy arrays: ``times`` (float64 seconds) and
-    ``ap_indices`` (int32 indices into the table's AP vocabulary).
+    ``ap_indices`` (int32 indices into the table's AP vocabulary),
+    resolved through a :class:`~repro.events.columns.ColumnHandle` — so
+    the same log object serves heap arrays, attached shared-memory
+    segments, and spilled-to-disk cold data transparently.
     """
 
-    def __init__(self, device: Device, times: np.ndarray,
-                 ap_indices: np.ndarray, ap_vocab: Sequence[str]) -> None:
-        if times.shape != ap_indices.shape:
-            raise EventTableError("times and ap_indices must align")
+    def __init__(self, device: Device, times: "np.ndarray | None" = None,
+                 ap_indices: "np.ndarray | None" = None,
+                 ap_vocab: Sequence[str] = (),
+                 columns: "ColumnHandle | None" = None) -> None:
+        if columns is None:
+            if times is None or ap_indices is None:
+                raise EventTableError(
+                    "DeviceLog needs either arrays or a column handle")
+            if times.shape != ap_indices.shape:
+                raise EventTableError("times and ap_indices must align")
+            columns = _ResidentColumns(device.mac, times, ap_indices)
         self.device = device
-        self.times = times
-        self.ap_indices = ap_indices
+        self._columns = columns
         self._ap_vocab = ap_vocab
 
+    @property
+    def columns(self) -> ColumnHandle:
+        """The storage handle behind this log's arrays."""
+        return self._columns
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sorted event timestamps (float64 seconds)."""
+        return self._columns.arrays()[0]
+
+    @property
+    def ap_indices(self) -> np.ndarray:
+        """AP vocabulary indices aligned with :attr:`times` (int32)."""
+        return self._columns.arrays()[1]
+
     def __len__(self) -> int:
-        return int(self.times.size)
+        return self._columns.length
 
     @property
     def is_empty(self) -> bool:
-        return self.times.size == 0
+        return self._columns.length == 0
 
     @property
     def ap_vocab(self) -> Sequence[str]:
@@ -61,14 +109,16 @@ class DeviceLog:
 
     def slice_interval(self, interval: TimeInterval) -> "tuple[np.ndarray, np.ndarray]":
         """Return ``(times, ap_indices)`` of events with t in [start, end)."""
-        lo = int(np.searchsorted(self.times, interval.start, side="left"))
-        hi = int(np.searchsorted(self.times, interval.end, side="left"))
-        return self.times[lo:hi], self.ap_indices[lo:hi]
+        times, aps = self._columns.arrays()
+        lo = int(np.searchsorted(times, interval.start, side="left"))
+        hi = int(np.searchsorted(times, interval.end, side="left"))
+        return times[lo:hi], aps[lo:hi]
 
     def count_in(self, interval: TimeInterval) -> int:
         """Number of events with timestamp in [start, end)."""
-        lo = int(np.searchsorted(self.times, interval.start, side="left"))
-        hi = int(np.searchsorted(self.times, interval.end, side="left"))
+        times = self.times
+        lo = int(np.searchsorted(times, interval.start, side="left"))
+        hi = int(np.searchsorted(times, interval.end, side="left"))
         return hi - lo
 
     def count_in_windows(self, starts: np.ndarray,
@@ -91,8 +141,9 @@ class DeviceLog:
         Positions satisfy ``times[lo:hi]`` in ``[start, end)`` per window,
         exactly as :meth:`slice_interval` would return them one by one.
         """
-        lo = np.searchsorted(self.times, starts, side="left")
-        hi = np.searchsorted(self.times, ends, side="left")
+        times = self.times
+        lo = np.searchsorted(times, starts, side="left")
+        hi = np.searchsorted(times, ends, side="left")
         return lo, hi
 
     def nearest_before(self, timestamp: float) -> "int | None":
@@ -103,13 +154,60 @@ class DeviceLog:
     def nearest_after(self, timestamp: float) -> "int | None":
         """Position of the earliest event with t >= timestamp, or None."""
         pos = int(np.searchsorted(self.times, timestamp, side="left"))
-        return pos if pos < self.times.size else None
+        return pos if pos < self._columns.length else None
 
     def events(self) -> Iterator[ConnectivityEvent]:
         """Materialize the log as :class:`ConnectivityEvent` records."""
         for i in range(len(self)):
             yield ConnectivityEvent(timestamp=self.time_at(i),
                                     mac=self.device.mac, ap_id=self.ap_at(i))
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceState:
+    """Picklable snapshot of one device's log for cross-process sync.
+
+    ``segment``/``length`` name the shared-memory segment holding the
+    log's columns (``None`` for a registered device with no merged
+    events); ``journal`` replicates the change-journal entries verbatim
+    so ``changed_since`` answers identically on every view.
+    """
+
+    mac: str
+    index: int
+    delta: float
+    segment: "str | None"
+    length: int
+    generation: int
+    journal: "tuple[tuple[int, float, float], ...]"
+
+
+@dataclass(frozen=True, slots=True)
+class TableDescriptor:
+    """Everything needed to attach a read-only table view by name."""
+
+    ap_vocab: tuple[str, ...]
+    devices: tuple[DeviceState, ...]
+    generation: int
+    event_count: int
+    max_event_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class TableSync:
+    """The owner-side delta between two table generations.
+
+    Applied by :meth:`EventTable.apply_sync` on an attached view;
+    ``generation_before`` guards against divergence (a view may only
+    apply the sync whose base generation it is exactly at).
+    """
+
+    generation_before: int
+    generation: int
+    event_count: int
+    max_event_id: int
+    ap_vocab: tuple[str, ...]
+    devices: tuple[DeviceState, ...]
 
 
 class EventTable:
@@ -126,10 +224,19 @@ class EventTable:
     work derived from the table — trained models, aggregates, snapshots —
     poll :meth:`changed_since` with the last generation they observed to
     learn exactly which devices changed and over which time interval.
+
+    Args:
+        store: Column storage backend; defaults to a private
+            :class:`~repro.events.columns.HeapColumnStore`.  Pass a
+            :class:`~repro.events.columns.SharedMemoryColumnStore` (or
+            call :meth:`migrate_store` later) to publish the hot columns
+            as named segments other processes attach to.  The table owns
+            the store from here: :meth:`close` tears it down.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: "ColumnStore | None" = None) -> None:
         self.registry = DeviceRegistry()
+        self._store = store if store is not None else HeapColumnStore()
         self._ap_vocab: list[str] = []
         self._ap_index: dict[str, int] = {}
         self._pending: dict[str, list[tuple[float, int]]] = {}
@@ -146,6 +253,10 @@ class EventTable:
         # interval, newest merged generation) — changed_since may then
         # over-approximate for very old generations, never under.
         self._changes: dict[str, list[tuple[int, float, float]]] = {}
+        # Cold-data eviction plumbing (see enable_eviction): the memory
+        # manager charged per log, and its LRU entries keyed by mac.
+        self._memory = None
+        self._memory_entries: dict = {}
 
     #: Entries kept per device before the journal's oldest half is
     #: coalesced; bounds memory and changed_since cost on long-running
@@ -156,9 +267,10 @@ class EventTable:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_events(cls, events: Iterable[ConnectivityEvent]) -> "EventTable":
+    def from_events(cls, events: Iterable[ConnectivityEvent],
+                    store: "ColumnStore | None" = None) -> "EventTable":
         """Build a frozen table from an iterable of events."""
-        table = cls()
+        table = cls(store=store)
         for event in events:
             table.append(event)
         table.freeze()
@@ -166,6 +278,10 @@ class EventTable:
 
     def append(self, event: ConnectivityEvent) -> None:
         """Ingest one event (any order; sorting happens at freeze)."""
+        if self._store.is_attached:
+            raise EventTableError(
+                "attached table views are read-only; the owner merges "
+                "and publishes deltas via sync_payload/apply_sync")
         self.registry.intern(event.mac)
         ap_idx = self._ap_index.get(event.ap_id)
         if ap_idx is None:
@@ -216,8 +332,8 @@ class EventTable:
             else:
                 merged_times, merged_aps = times, aps
             device = self.registry.get(mac)
-            self._logs[mac] = DeviceLog(device, merged_times, merged_aps,
-                                        self._ap_vocab)
+            self._set_log(mac, device, merged_times, merged_aps,
+                          replaced=old)
             self._device_generation[mac] = self._generation
             journal = self._changes.setdefault(mac, [])
             journal.append(
@@ -230,6 +346,240 @@ class EventTable:
                 self._changes[mac] = [merged, *journal[half:]]
         self._pending.clear()
         self._dirty = False
+
+    def _set_log(self, mac: str, device: Device, times: np.ndarray,
+                 aps: np.ndarray, replaced: "DeviceLog | None") -> None:
+        """Install one device's merged columns through the store."""
+        handle = self._store.put(mac, times, aps)
+        self._logs[mac] = DeviceLog(device, ap_vocab=self._ap_vocab,
+                                    columns=handle)
+        if replaced is not None:
+            self._store.release(replaced.columns)
+        if self._memory is not None:
+            self._register_log(mac, handle)
+
+    # ------------------------------------------------------------------
+    # Column storage / memory
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> ColumnStore:
+        """The column storage backend behind the per-device logs."""
+        return self._store
+
+    def migrate_store(self, store: ColumnStore) -> None:
+        """Move every log's columns into ``store`` (in place).
+
+        One copy per log at migration time; afterwards the old store is
+        closed and new freezes publish into the new backend.  Used to
+        lift a heap-built table into shared memory before a cluster
+        forks/spawns process shards.  Disallowed once cold-data eviction
+        is enabled (the eviction entries are keyed to the old handles).
+        """
+        if self._memory is not None:
+            raise EventTableError(
+                "cannot migrate the column store after eviction was "
+                "enabled; migrate first, then enable_eviction")
+        self._ensure_frozen()
+        for mac, log in list(self._logs.items()):
+            if log.is_empty:
+                continue
+            times, aps = log.columns.arrays()
+            handle = store.put(mac, times, aps)
+            self._logs[mac] = DeviceLog(log.device,
+                                        ap_vocab=self._ap_vocab,
+                                        columns=handle)
+        old = self._store
+        self._store = store
+        old.close()
+
+    def close(self) -> None:
+        """Release the column store (segments, spill files).  Terminal:
+        log reads after close are undefined.  Idempotent."""
+        self._store.close()
+
+    def column_bytes(self) -> int:
+        """Total logical bytes of the hot columns across all logs."""
+        self._ensure_frozen()
+        return sum(log.columns.nbytes for log in self._logs.values())
+
+    def memory_stats(self) -> dict:
+        """Store accounting plus table-level sizes (for benchmarks)."""
+        self._ensure_frozen()
+        out = self._store.stats()
+        out["devices"] = len(self.registry)
+        out["events"] = self._event_count
+        return out
+
+    def enable_eviction(self, manager) -> bool:
+        """Let ``manager`` spill cold logs to disk under memory pressure.
+
+        Registers every current (and future) non-empty log with the
+        :class:`~repro.system.memory.MemoryManager`: access through
+        :meth:`log` touches the LRU entry, eviction spills the columns
+        (bitwise-restored on the next read).  Returns False — and does
+        nothing — when the store cannot spill (shared-memory segments
+        serve attached readers and are never torn down under them) or
+        when a different manager already owns the table.  Idempotent
+        for the same manager.
+        """
+        if not self._store.supports_spill:
+            return False
+        if self._memory is manager:
+            return True
+        if self._memory is not None:
+            return False
+        self._ensure_frozen()
+        self._memory = manager
+        for mac, log in self._logs.items():
+            if not log.is_empty:
+                self._register_log(mac, log.columns)
+        return True
+
+    def _register_log(self, mac: str, handle: ColumnHandle) -> None:
+        if not hasattr(handle, "spill"):
+            return
+        old = self._memory_entries.pop(mac, None)
+        if old is not None:
+            self._memory.release(old)
+        entry = self._memory.charge(
+            "log", ("log", mac),
+            size_fn=lambda h=handle: h.resident_nbytes,
+            evictor=handle.spill, persistent=True)
+        handle.on_reload = \
+            lambda h, e=entry, m=self._memory: m.touch(e)
+        self._memory_entries[mac] = entry
+
+    # ------------------------------------------------------------------
+    # Cross-process views (shared-memory stores)
+    # ------------------------------------------------------------------
+    def describe(self) -> TableDescriptor:
+        """Picklable snapshot naming every log's shared segment.
+
+        Requires a shared-memory store (heap arrays have no name to
+        attach to).  Devices appear in registry order so an attaching
+        process reproduces identical dense device indices.
+        """
+        self._ensure_frozen()
+        if not self._store.is_shared:
+            raise EventTableError(
+                "describe() needs a shared-memory column store; call "
+                "migrate_store(SharedMemoryColumnStore()) first")
+        return TableDescriptor(
+            ap_vocab=tuple(self._ap_vocab),
+            devices=tuple(self._device_state(device)
+                          for device in self.registry),
+            generation=self._generation,
+            event_count=self._event_count,
+            max_event_id=self._max_event_id)
+
+    def _device_state(self, device: Device) -> DeviceState:
+        log = self._logs.get(device.mac)
+        segment = None
+        length = 0
+        if log is not None and not log.is_empty:
+            segment = log.columns.segment_name
+            length = len(log)
+        return DeviceState(
+            mac=device.mac, index=device.index, delta=device.delta,
+            segment=segment, length=length,
+            generation=self._device_generation.get(device.mac, 0),
+            journal=tuple(self._changes.get(device.mac, ())))
+
+    @classmethod
+    def attach(cls, descriptor: TableDescriptor) -> "EventTable":
+        """Rebuild a read-only table view from a descriptor.
+
+        Logs resolve lazily: each device's segment is mapped on first
+        access, so attaching costs nothing until data is read.  The view
+        replicates registry order, δ estimates, generation counters and
+        the change journal verbatim — every read API (including
+        ``changed_since``) answers exactly as the owner's table does.
+        """
+        store = SharedMemoryColumnStore.attached()
+        table = cls(store=store)
+        table._ap_vocab = list(descriptor.ap_vocab)
+        table._ap_index = {ap: i for i, ap in enumerate(table._ap_vocab)}
+        for state in descriptor.devices:
+            table._adopt_device(state)
+        table._generation = descriptor.generation
+        table._event_count = descriptor.event_count
+        table._max_event_id = descriptor.max_event_id
+        return table
+
+    def _adopt_device(self, state: DeviceState) -> None:
+        device = self.registry.intern(state.mac)
+        if device.index != state.index:
+            raise EventTableError(
+                f"device order diverged: {state.mac!r} has index "
+                f"{device.index}, owner says {state.index}")
+        device.delta = state.delta
+        if state.segment is not None:
+            old = self._logs.get(state.mac)
+            handle = self._store.adopt(state.mac, state.segment,
+                                       state.length)
+            self._logs[state.mac] = DeviceLog(
+                device, ap_vocab=self._ap_vocab, columns=handle)
+            if old is not None:
+                self._store.release(old.columns)
+        if state.generation:
+            self._device_generation[state.mac] = state.generation
+        if state.journal:
+            self._changes[state.mac] = [tuple(entry)
+                                        for entry in state.journal]
+
+    def sync_payload(self, since_generation: int) -> TableSync:
+        """The delta an attached view needs to advance from a generation.
+
+        Carries, for every device whose log changed after
+        ``since_generation``, the *current* segment name, δ estimate and
+        full change journal — :meth:`apply_sync` swaps them in wholesale
+        so the view lands bitwise on the owner's state regardless of how
+        many merges the delta spans.
+        """
+        self._ensure_frozen()
+        if not self._store.is_shared:
+            raise EventTableError(
+                "sync_payload() needs a shared-memory column store")
+        changed = [self.registry.get(mac)
+                   for mac, gen in self._device_generation.items()
+                   if gen > since_generation]
+        changed.sort(key=lambda device: device.index)
+        return TableSync(
+            generation_before=since_generation,
+            generation=self._generation,
+            event_count=self._event_count,
+            max_event_id=self._max_event_id,
+            ap_vocab=tuple(self._ap_vocab),
+            devices=tuple(self._device_state(device)
+                          for device in changed))
+
+    def apply_sync(self, payload: TableSync) -> None:
+        """Advance an attached view to the owner's published state.
+
+        The view must be exactly at ``payload.generation_before``
+        (anything else means a missed or replayed sync — fail loudly
+        rather than serve silently diverged data).
+        """
+        if not self._store.is_attached:
+            raise EventTableError(
+                "apply_sync targets attached table views; the owner "
+                "advances through freeze()")
+        if self._generation != payload.generation_before:
+            raise EventTableError(
+                f"sync base mismatch: view at generation "
+                f"{self._generation}, payload expects "
+                f"{payload.generation_before}")
+        if tuple(self._ap_vocab) != \
+                payload.ap_vocab[:len(self._ap_vocab)]:
+            raise EventTableError("AP vocabulary diverged from owner")
+        for ap in payload.ap_vocab[len(self._ap_vocab):]:
+            self._ap_index[ap] = len(self._ap_vocab)
+            self._ap_vocab.append(ap)
+        for state in payload.devices:
+            self._adopt_device(state)
+        self._generation = payload.generation
+        self._event_count = payload.event_count
+        self._max_event_id = payload.max_event_id
 
     # ------------------------------------------------------------------
     # Change feed
@@ -309,6 +659,10 @@ class EventTable:
             device_log = DeviceLog(device, empty.astype(np.float64),
                                    empty.astype(np.int32), self._ap_vocab)
             self._logs[mac] = device_log
+        elif self._memory is not None:
+            entry = self._memory_entries.get(mac)
+            if entry is not None:
+                self._memory.touch(entry)
         return device_log
 
     def events_of(self, mac: str,
@@ -351,7 +705,8 @@ class EventTable:
         devices with no surviving events (their validity periods were
         estimated from the full history and remain meaningful).  The AP
         vocabulary is rebuilt in first-surviving-event order, matching
-        what appending the sliced events one by one would produce.
+        what appending the sliced events one by one would produce.  The
+        clipped table always uses a private heap store.
         """
         self._ensure_frozen()
         clipped = EventTable()
@@ -373,8 +728,9 @@ class EventTable:
                     ap_remap[old_index] = len(clipped._ap_vocab)
                     clipped._ap_index[ap_id] = len(clipped._ap_vocab)
                     clipped._ap_vocab.append(ap_id)
+            handle = clipped._store.put(mac, times.copy(),
+                                        ap_remap[aps].astype(np.int32))
             clipped._logs[mac] = DeviceLog(
-                device, times.copy(), ap_remap[aps].astype(np.int32),
-                clipped._ap_vocab)
+                device, ap_vocab=clipped._ap_vocab, columns=handle)
             clipped._event_count += int(times.size)
         return clipped

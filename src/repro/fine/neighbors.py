@@ -66,6 +66,11 @@ class NeighborIndex:
         self._snapshots: dict[float, tuple] = {}
         self._region_rooms: dict[int, tuple[str, ...]] = {}
 
+    @property
+    def snapshot_count(self) -> int:
+        """Cached snapshots currently held (memory accounting)."""
+        return len(self._snapshots)
+
     def invalidate_all(self) -> int:
         """Drop every cached snapshot; returns how many were dropped."""
         dropped = len(self._snapshots)

@@ -16,6 +16,7 @@ from repro.system.locater import (
     Locater,
     LocationAnswer,
 )
+from repro.system.memory import MemoryManager, approx_nbytes
 from repro.system.planner import (
     DEFAULT_BUCKET_SECONDS,
     PlannedQuery,
@@ -46,6 +47,7 @@ __all__ = [
     "LocaterConfig",
     "LocationAnswer",
     "LocationQuery",
+    "MemoryManager",
     "NamespacedStorage",
     "PlannedQuery",
     "QueryGroup",
@@ -53,5 +55,6 @@ __all__ = [
     "SqliteStorage",
     "StorageEngine",
     "StreamingSession",
+    "approx_nbytes",
     "plan_queries",
 ]

@@ -48,6 +48,11 @@ class LocaterConfig:
             paper-literal; higher is faster, near-identical labels).
         history_days: Days of history used to train models and mine
             affinities (None = everything available).
+        memory_budget_bytes: Resident-byte budget for recomputable state
+            (trained coarse models, batch memos, cold log columns).
+            ``None`` (default) disables eviction entirely; any budget —
+            including 0 — only trades recompute time for memory, never
+            answers (see :mod:`repro.system.memory`).
     """
 
     tau_low: float = minutes(20)
@@ -66,6 +71,7 @@ class LocaterConfig:
     reuse_affinity_cache: bool = True
     self_training_batch: int = 4
     history_days: "int | None" = None
+    memory_budget_bytes: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.tau_low <= 0 or self.tau_high <= self.tau_low:
@@ -82,6 +88,11 @@ class LocaterConfig:
         if self.history_days is not None and self.history_days < 0:
             raise ConfigurationError(
                 f"history_days must be >= 0 or None, got {self.history_days}")
+        if self.memory_budget_bytes is not None and \
+                self.memory_budget_bytes < 0:
+            raise ConfigurationError(
+                f"memory_budget_bytes must be >= 0 or None, got "
+                f"{self.memory_budget_bytes}")
 
     def with_(self, **changes) -> "LocaterConfig":
         """Return a copy with the given fields replaced."""

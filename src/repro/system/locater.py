@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -19,6 +20,7 @@ from repro.system.config import LocaterConfig
 from repro.system.planner import DEFAULT_BUCKET_SECONDS, plan_queries
 from repro.errors import EmptyHistoryError
 from repro.system.ingestion import IngestReport
+from repro.system.memory import MEMO_ENTRY_NBYTES, MemoryManager
 from repro.system.query import LocationQuery
 from repro.system.storage import StorageEngine
 from repro.util.timeutil import SECONDS_PER_DAY, TimeInterval, day_span
@@ -58,7 +60,10 @@ class LocationAnswer:
                 f"(region g{self.region_id})")
 
 
-@dataclass(slots=True)
+# No slots: the memory-budget tier tracks live states through weakrefs
+# (dataclass weakref_slot only exists on 3.11+, and the 3.10 floor
+# matters more than a few dozen bytes on a per-batch object).
+@dataclass
 class BatchState:
     """Shared-computation state threaded through ``locate_batch``.
 
@@ -175,6 +180,15 @@ class Locater:
         self.cache = CachingEngine(sigma=self.config.cache_sigma) \
             if self.config.use_caching else None
         self._history_fingerprint = self._span_fingerprint()
+        # Memory-budgeted eviction (repro.system.memory): one LRU over
+        # trained coarse models, batch memos and cold log columns.
+        # Everything it evicts recomputes deterministically, so any
+        # budget — including 0 — leaves answers bitwise unchanged.
+        self.memory: "MemoryManager | None" = None
+        if self.config.memory_budget_bytes is not None:
+            self.memory = MemoryManager(self.config.memory_budget_bytes)
+            table.enable_eviction(self.memory)
+            self.coarse.set_memory_manager(self.memory)
 
     def _resolve_history(self) -> "TimeInterval | None":
         if self.config.history_days is None:
@@ -223,7 +237,10 @@ class Locater:
         through here (``locate_batch`` passes its shared ``state``);
         cluster shards route to this entry point too.
         """
-        return self._locate_one(query, state)
+        answer = self._locate_one(query, state)
+        if self.memory is not None:
+            self.memory.enforce()
+        return answer
 
     def make_batch_state(self,
                          max_snapshots: "int | None" = None) -> BatchState:
@@ -234,8 +251,46 @@ class Locater:
         prune it (see :class:`~repro.system.streaming.StreamingSession`)
         and ``max_snapshots`` should bound the neighbor-snapshot memo.
         """
-        return BatchState(neighbors=NeighborIndex(
+        state = BatchState(neighbors=NeighborIndex(
             self._building, self._table, max_snapshots=max_snapshots))
+        if self.memory is not None:
+            self._register_batch_state(state)
+        return state
+
+    def _register_batch_state(self, state: BatchState) -> None:
+        """Put a batch state's memos under the memory budget.
+
+        One persistent LRU entry per state: its size tracks the memo
+        dicts and neighbor snapshots (nominal bytes per entry — O(1) to
+        report), evicting rebinds them all to empty (memos are pure
+        functions of the table; they recompute on demand).  The entry is
+        held through a weakref so the budget never pins a dead state,
+        and is released when the state is collected.
+        """
+        ref = weakref.ref(state)
+
+        def memo_size() -> int:
+            live = ref()
+            if live is None:
+                return 0
+            entries = sum(len(d) for d in live.memo_dicts())
+            return (entries + live.neighbors.snapshot_count) \
+                * MEMO_ENTRY_NBYTES
+
+        def evict_memos() -> None:
+            live = ref()
+            if live is None:
+                return
+            for name in CoarseSharedState.MEMO_ATTRS:
+                setattr(live.coarse, name, {})
+            for name in FineSharedState.MEMO_ATTRS:
+                setattr(live.fine, name, {})
+            live.neighbors.invalidate_all()
+
+        entry = self.memory.charge("batch-memos", ("batch-memos", id(state)),
+                                   size_fn=memo_size, evictor=evict_memos,
+                                   persistent=True)
+        weakref.finalize(state, self.memory.release, entry)
 
     def locate_batch(self, queries: Iterable[LocationQuery],
                      bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
@@ -305,6 +360,8 @@ class Locater:
                                                                state)
                     timings.append((planned.index,
                                     time.perf_counter() - start))
+        if self.memory is not None:
+            self.memory.enforce()
         return answers  # type: ignore[return-value]  # every slot filled
 
     def _devices_needing_models(self, plan) -> list[str]:
@@ -432,6 +489,8 @@ class Locater:
             history = self._resolve_history()
             self.coarse.set_history(history)
             self._device_index.set_history(history)
+            if self.memory is not None:
+                self.memory.enforce()
             return InvalidationSummary(full=True, macs=frozenset(),
                                        delta_changed=delta_changed,
                                        answers_dropped=answers_dropped)
@@ -441,6 +500,10 @@ class Locater:
         self.coarse.advance_history(self._table.span())
         self.coarse.invalidate_devices(report.macs)
         self._device_index.invalidate_devices(report.macs)
+        if self.memory is not None:
+            # The merged rows just grew some logs; spill back under
+            # budget before the next serve.
+            self.memory.enforce()
         return InvalidationSummary(full=False, macs=report.macs,
                                    delta_changed=delta_changed,
                                    answers_dropped=answers_dropped)

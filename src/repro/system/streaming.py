@@ -153,8 +153,20 @@ class StreamingSession:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def observe_report(self, report: IngestReport):
+        """React to a merge some *external* actor applied to the table.
+
+        The cluster's shared-memory sync path uses this: the authoritative
+        process merged and published new segments, the attached view
+        applied the sync, and this session must now invalidate and prune
+        exactly as if its own engine had merged — same escalation rule,
+        same surgical pruning, same counters.  Returns the
+        :class:`~repro.system.locater.InvalidationSummary`.
+        """
+        return self._on_ingest(report)
+
     # ------------------------------------------------------------------
-    def _on_ingest(self, report: IngestReport) -> None:
+    def _on_ingest(self, report: IngestReport):
         """Invalidate the locater and prune the persistent batch state."""
         self.ingests += 1
         summary = self._locater.on_ingest(report)
@@ -162,10 +174,11 @@ class StreamingSession:
             self.full_invalidations += 1
             self._state = self._locater.make_batch_state(
                 max_snapshots=MAX_SNAPSHOTS)
-            return
+            return summary
         prune_batch_state(self._state, report, summary,
                           self._locater.table.registry)
         self._trim_memos()
+        return summary
 
     def _trim_memos(self) -> None:
         """Bound the persistent memos (timestamp-keyed entries accrue

@@ -1,0 +1,139 @@
+"""Eviction equivalence: any memory budget yields bitwise-equal answers.
+
+The memory-budget tier (:mod:`repro.system.memory`) only ever drops
+state that is a pure function of the table — spilled log columns reload
+bitwise, evicted coarse models retrain deterministically, cleared memos
+recompute — so no budget value may change an answer, only its latency.
+These tests run the same workloads with eviction off, with a mid-sized
+budget, and with the budget-0 torture configuration (every enforce
+evicts everything evictable), and demand identical answers throughout:
+across batch serving, mid-tick during streaming, and after
+evict → ingest → re-query sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.queries import generated_query_set, labeled_query_set
+from repro.events.table import EventTable
+from repro.events.validity import DeltaEstimator
+from repro.sim.scenarios import ScenarioSpec, streaming_day_workload
+from repro.sim.simulator import Simulator
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+from repro.system.streaming import StreamingSession
+
+
+@pytest.fixture(scope="module")
+def world(small_dataset):
+    queries = labeled_query_set(small_dataset, per_device=2, seed=4)
+    queries += generated_query_set(small_dataset, count=16, seed=9)
+    return small_dataset, queries
+
+
+def _locater(dataset, table=None, budget=None):
+    config = LocaterConfig(use_caching=False, memory_budget_bytes=budget)
+    return Locater(dataset.building, dataset.metadata,
+                   table if table is not None else dataset.table,
+                   config=config)
+
+
+def _fresh_table(events) -> EventTable:
+    table = EventTable.from_events(events)
+    DeltaEstimator().fit_table(table)
+    return table
+
+
+class TestBatchEquivalence:
+    def test_any_budget_answers_identical(self, world):
+        dataset, queries = world
+        expected = _locater(dataset).locate_batch(queries)
+        for budget in (0, 10_000, 1_000_000):
+            budgeted = _locater(dataset, budget=budget)
+            assert budgeted.locate_batch(queries) == expected
+        # The torture budget genuinely evicted: models were dropped and
+        # log columns spilled (and reloaded bitwise on re-access).
+        torture = _locater(dataset, budget=0)
+        torture.locate_batch(queries)
+        stats = torture.memory.stats()
+        assert stats["evictions"] > 0
+        assert stats["bytes_evicted"] > 0
+
+    def test_budget_smaller_than_one_device_log(self, world):
+        # 1 byte: below every device's column footprint, so each enforce
+        # spills every resident log — the system thrashes but stays
+        # bitwise correct, and the spill/reload counters prove churn.
+        dataset, queries = world
+        workload = streaming_day_workload(dataset, batches=1,
+                                          queries_per_burst=1, seed=6)
+        expected_table = _fresh_table(workload.warmup)
+        expected = _locater(dataset, table=expected_table) \
+            .locate_batch(queries)
+        table = _fresh_table(workload.warmup)
+        budgeted = _locater(dataset, table=table, budget=1)
+        try:
+            assert budgeted.locate_batch(queries) == expected
+            store_stats = table.memory_stats()
+            assert store_stats["spill_count"] > 0
+            assert store_stats["reload_count"] > 0
+        finally:
+            table.close()
+            expected_table.close()
+
+
+class TestStreamingEquivalence:
+    @pytest.fixture(scope="class")
+    def workload(self, world):
+        dataset, _ = world
+        return streaming_day_workload(dataset, batches=3,
+                                      queries_per_burst=6, seed=8)
+
+    @pytest.mark.parametrize("budget", [0, 20_000])
+    def test_ingest_query_ticks_match_unbudgeted(self, world, workload,
+                                                 budget):
+        dataset, _ = world
+        plain_table = _fresh_table(workload.warmup)
+        budget_table = _fresh_table(workload.warmup)
+        try:
+            plain = StreamingSession(_locater(dataset, table=plain_table))
+            budgeted_locater = _locater(dataset, table=budget_table,
+                                        budget=budget)
+            budgeted = StreamingSession(budgeted_locater)
+            for batch in workload.batches:
+                plain.ingest(batch.ingest)
+                budgeted.ingest(batch.ingest)
+                # Mid-tick eviction: enforce lands between the ingest
+                # and the burst, and again between the burst's halves —
+                # the worst places for a cache to vanish.
+                budgeted_locater.memory.enforce()
+                half = len(batch.queries) // 2
+                first = budgeted.query(batch.queries[:half])
+                budgeted_locater.memory.enforce()
+                second = budgeted.query(batch.queries[half:])
+                assert first + second == plain.query(batch.queries)
+        finally:
+            plain_table.close()
+            budget_table.close()
+
+    def test_evict_ingest_requery_bitwise(self, world, workload):
+        # evict everything → ingest → re-query: the reloaded/retrained
+        # state must reflect the merged table exactly, matching a cold
+        # system built from the full stream.
+        dataset, _ = world
+        table = _fresh_table(workload.warmup)
+        try:
+            locater = _locater(dataset, table=table, budget=0)
+            session = StreamingSession(locater)
+            for batch in workload.batches:
+                session.query(batch.queries)   # warm caches...
+                locater.memory.enforce()       # ...then drop them all
+                session.ingest(batch.ingest)
+                cold = _locater(
+                    dataset,
+                    table=_fresh_table(
+                        workload.events_through(batch.index)))
+                assert session.query(batch.queries) == \
+                    cold.locate_batch(batch.queries)
+        finally:
+            table.close()

@@ -1,0 +1,212 @@
+"""Column storage backends: heap (spillable) and shared-memory stores.
+
+The contract under test is the one :class:`~repro.events.table.EventTable`
+leans on (see :mod:`repro.events.columns`): ``put`` returns a handle whose
+``arrays()`` resolves bitwise-equal no matter where the bytes currently
+live — heap, an on-disk spill file, or a shared-memory segment mapped in
+this or another store — and release/close semantics differ by role (the
+owner unlinks, an attached view only unmaps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EventTableError
+from repro.events.columns import (
+    APS_DTYPE,
+    BYTES_PER_EVENT,
+    TIMES_DTYPE,
+    HeapColumnStore,
+    SharedMemoryColumnStore,
+    _ResidentColumns,
+)
+
+
+def _columns(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0.0, 1e6, size=n)).astype(TIMES_DTYPE)
+    aps = rng.integers(0, 17, size=n).astype(APS_DTYPE)
+    return times, aps
+
+
+class TestHeapStore:
+    def test_roundtrip_bitwise(self):
+        times, aps = _columns()
+        with HeapColumnStore() as store:
+            handle = store.put("d1", times, aps)
+            got_t, got_a = handle.arrays()
+            np.testing.assert_array_equal(got_t, times)
+            np.testing.assert_array_equal(got_a, aps)
+            assert handle.nbytes == times.size * BYTES_PER_EVENT
+            assert handle.resident
+
+    def test_misaligned_shapes_rejected(self):
+        with HeapColumnStore() as store:
+            with pytest.raises(EventTableError):
+                store.put("d1", np.zeros(3), np.zeros(4, dtype=APS_DTYPE))
+
+    def test_spill_and_reload_bitwise(self):
+        times, aps = _columns(n=200, seed=3)
+        with HeapColumnStore() as store:
+            handle = store.put("d1", times, aps)
+            freed = handle.spill()
+            assert freed == handle.nbytes
+            assert not handle.resident
+            assert handle.resident_nbytes == 0
+            got_t, got_a = handle.arrays()
+            # np.savez/np.load round-trips float64/int32 exactly.
+            assert got_t.tobytes() == times.tobytes()
+            assert got_a.tobytes() == aps.tobytes()
+            assert got_t.dtype == TIMES_DTYPE and got_a.dtype == APS_DTYPE
+            assert handle.resident
+
+    def test_spill_idempotent_and_file_written_once(self):
+        times, aps = _columns(n=32)
+        with HeapColumnStore() as store:
+            handle = store.put("d1", times, aps)
+            assert handle.spill() == handle.nbytes
+            assert handle.spill() == 0  # already spilled
+            path_first = handle._spill_path
+            handle.arrays()  # reload
+            assert handle.spill() == handle.nbytes  # drop again, no rewrite
+            assert handle._spill_path == path_first
+            assert store.stats()["spill_count"] == 2
+            assert store.stats()["reload_count"] == 1
+
+    def test_on_reload_hook_fires_after_cold_resolve(self):
+        times, aps = _columns(n=8)
+        seen = []
+        with HeapColumnStore() as store:
+            handle = store.put("d1", times, aps)
+            handle.on_reload = seen.append
+            handle.arrays()  # warm: no reload
+            assert seen == []
+            handle.spill()
+            handle.arrays()
+            assert seen == [handle]
+
+    def test_stats_account_resident_vs_spilled(self):
+        with HeapColumnStore() as store:
+            hot = store.put("hot", *_columns(n=10, seed=1))
+            cold = store.put("cold", *_columns(n=30, seed=2))
+            cold.spill()
+            stats = store.stats()
+            assert stats["kind"] == "heap"
+            assert stats["segments"] == 2
+            assert stats["column_bytes"] == hot.nbytes + cold.nbytes
+            assert stats["resident_bytes"] == hot.nbytes
+            assert stats["spilled_bytes"] == cold.nbytes
+
+    def test_release_discards_spill_file(self, tmp_path):
+        times, aps = _columns(n=16)
+        with HeapColumnStore(spill_dir=tmp_path) as store:
+            handle = store.put("d1", times, aps)
+            handle.spill()
+            spill_path = handle._spill_path
+            assert spill_path.exists()
+            store.release(handle)
+            assert not spill_path.exists()
+            assert store.stats()["segments"] == 0
+
+    def test_release_ignores_foreign_handles(self):
+        times, aps = _columns(n=4)
+        foreign = _ResidentColumns("x", times, aps)
+        with HeapColumnStore() as store:
+            store.release(foreign)  # no-op, no raise
+            other = HeapColumnStore()
+            handle = other.put("d1", times, aps)
+            store.release(handle)
+            assert handle.resident  # untouched by the wrong store
+            other.close()
+
+    def test_close_removes_owned_spill_dir(self):
+        times, aps = _columns(n=16)
+        store = HeapColumnStore()
+        handle = store.put("d1", times, aps)
+        handle.spill()
+        spill_dir = store._spill_dir
+        assert spill_dir is not None and spill_dir.exists()
+        store.close()
+        assert not spill_dir.exists()
+        store.close()  # idempotent
+
+
+class TestSharedMemoryStore:
+    def test_roundtrip_bitwise_and_readonly(self):
+        times, aps = _columns(n=100, seed=5)
+        with SharedMemoryColumnStore() as store:
+            handle = store.put("d1", times, aps)
+            got_t, got_a = handle.arrays()
+            assert got_t.tobytes() == times.tobytes()
+            assert got_a.tobytes() == aps.tobytes()
+            # Readers must never mutate the one physical copy.
+            assert not got_t.flags.writeable
+            assert not got_a.flags.writeable
+            with pytest.raises(ValueError):
+                got_t[0] = 0.0
+
+    def test_empty_log_allowed(self):
+        with SharedMemoryColumnStore() as store:
+            handle = store.put("d1", np.empty(0, dtype=TIMES_DTYPE),
+                               np.empty(0, dtype=APS_DTYPE))
+            got_t, got_a = handle.arrays()
+            assert got_t.size == 0 and got_a.size == 0
+            assert handle.nbytes == 0
+
+    def test_adopt_resolves_same_bytes(self):
+        times, aps = _columns(n=77, seed=7)
+        with SharedMemoryColumnStore() as owner:
+            handle = owner.put("d1", times, aps)
+            reader = SharedMemoryColumnStore.attached()
+            adopted = reader.adopt("d1", handle.segment_name, handle.length)
+            assert not adopted.resident  # lazy until first arrays()
+            got_t, got_a = adopted.arrays()
+            assert got_t.tobytes() == times.tobytes()
+            assert got_a.tobytes() == aps.tobytes()
+            assert reader.stats()["kind"] == "shared-attached"
+            # Attached close unmaps but must not unlink: the owner's
+            # views keep reading the same bytes afterwards.
+            reader.close()
+            still_t, _ = handle.arrays()
+            assert still_t.tobytes() == times.tobytes()
+
+    def test_attached_store_rejects_put(self):
+        reader = SharedMemoryColumnStore.attached()
+        with pytest.raises(EventTableError):
+            reader.put("d1", *_columns(n=4))
+        reader.close()
+
+    def test_owner_release_unlinks_segment(self):
+        times, aps = _columns(n=12)
+        with SharedMemoryColumnStore() as owner:
+            handle = owner.put("d1", times, aps)
+            name = handle.segment_name
+            owner.release(handle)
+            # The segment name is retired: a fresh attach must fail.
+            from multiprocessing import shared_memory
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_live_views_survive_owner_close(self):
+        # Mapped pages outlive the unlink via refcounting: data already
+        # handed to a computation stays valid after the store dies.
+        times, aps = _columns(n=40, seed=9)
+        store = SharedMemoryColumnStore()
+        handle = store.put("d1", times, aps)
+        view = handle.arrays()[0]
+        store.close()
+        assert view.tobytes() == times.tobytes()
+
+    def test_segment_names_unique_within_store(self):
+        with SharedMemoryColumnStore() as store:
+            names = {store.put(f"d{i}", *_columns(n=4, seed=i)).segment_name
+                     for i in range(5)}
+            assert len(names) == 5
+
+    def test_no_spill_support(self):
+        with SharedMemoryColumnStore() as store:
+            assert not store.supports_spill
+            handle = store.put("d1", *_columns(n=4))
+            assert not hasattr(handle, "spill")

@@ -1,0 +1,187 @@
+"""MemoryManager: LRU eviction of recomputable state under a byte budget.
+
+The manager's correctness story is indirect — answers stay bitwise equal
+because everything it evicts is recomputable (enforced by the
+equivalence suites) — so what these tests pin down is the *mechanism*:
+LRU order, persistent vs one-shot entry lifecycles, dynamic sizing
+through ``size_fn``, and the accounting counters benchmarks read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.memory import MemoryManager, approx_nbytes
+
+
+class _Box:
+    """A fake evictable: holds `size` bytes until evicted."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.evicted = 0
+
+    def evict(self) -> int:
+        freed, self.size = self.size, 0
+        self.evicted += 1
+        return freed
+
+
+def _charge(manager, box, name, persistent=False):
+    return manager.charge(
+        "box", name, size_fn=lambda: box.size,
+        evictor=box.evict, persistent=persistent)
+
+
+class TestMemoryManager:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryManager(-1)
+
+    def test_enforce_noop_under_budget(self):
+        manager = MemoryManager(1000)
+        box = _Box(100)
+        _charge(manager, box, "a")
+        assert manager.enforce() == 0
+        assert box.evicted == 0
+
+    def test_enforce_evicts_lru_first_and_stops_at_budget(self):
+        manager = MemoryManager(250)
+        old, mid, new = _Box(100), _Box(100), _Box(100)
+        _charge(manager, old, "old")
+        _charge(manager, mid, "mid")
+        _charge(manager, new, "new")
+        freed = manager.enforce()
+        # 300 resident, budget 250: evicting the single oldest suffices.
+        assert freed == 100
+        assert (old.evicted, mid.evicted, new.evicted) == (1, 0, 0)
+
+    def test_touch_moves_entry_to_mru(self):
+        manager = MemoryManager(150)
+        first, second = _Box(100), _Box(100)
+        entry = _charge(manager, first, "first")
+        _charge(manager, second, "second")
+        manager.touch(entry)  # "first" was just used: evict "second"
+        manager.enforce()
+        assert (first.evicted, second.evicted) == (0, 1)
+
+    def test_one_shot_entry_removed_on_eviction(self):
+        manager = MemoryManager(0)
+        box = _Box(64)
+        _charge(manager, box, "a", persistent=False)
+        assert manager.enforce() == 64
+        assert manager.stats()["entries"] == 0
+        # A later enforce never re-visits it.
+        assert manager.enforce() == 0
+        assert box.evicted == 1
+
+    def test_persistent_entry_stays_registered_with_zero_size(self):
+        manager = MemoryManager(0)
+        box = _Box(64)
+        _charge(manager, box, "a", persistent=True)
+        assert manager.enforce() == 64
+        assert manager.stats()["entries"] == 1
+        assert manager.resident_bytes() == 0
+        # Size grows back (a reload): evictable again.
+        box.size = 32
+        assert manager.enforce() == 32
+        assert box.evicted == 2
+
+    def test_zero_size_entries_skipped(self):
+        manager = MemoryManager(0)
+        empty, full = _Box(0), _Box(10)
+        _charge(manager, empty, "empty")
+        _charge(manager, full, "full")
+        manager.enforce()
+        assert empty.evicted == 0  # evicting it would free nothing
+        assert full.evicted == 1
+
+    def test_release_deregisters(self):
+        manager = MemoryManager(0)
+        box = _Box(50)
+        entry = _charge(manager, box, "a")
+        manager.release(entry)
+        assert manager.enforce() == 0
+        assert box.evicted == 0
+        manager.touch(entry)  # released entries never re-enter the LRU
+        assert manager.stats()["entries"] == 0
+
+    def test_each_entry_visited_at_most_once_per_enforce(self):
+        # A persistent evictor that frees nothing must not loop the walk.
+        manager = MemoryManager(0)
+        calls = []
+        manager.charge("stuck", "s", size_fn=lambda: 100,
+                       evictor=lambda: calls.append(1), persistent=True)
+        manager.enforce()
+        assert len(calls) == 1
+
+    def test_dynamic_size_fn_reflects_growth(self):
+        manager = MemoryManager(1000)
+        box = _Box(10)
+        _charge(manager, box, "a")
+        assert manager.resident_bytes() == 10
+        box.size = 2000
+        assert manager.resident_bytes() == 2000
+        assert manager.enforce() == 2000
+
+    def test_stats_counters_and_categories(self):
+        manager = MemoryManager(0)
+        log, model = _Box(100), _Box(40)
+        manager.charge("log", "l", size_fn=lambda: log.size,
+                       evictor=log.evict, persistent=True)
+        manager.charge("model", "m", size_fn=lambda: model.size,
+                       evictor=model.evict)
+        before = manager.stats()
+        assert before["budget_bytes"] == 0
+        assert before["by_category"] == {"log": 100, "model": 40}
+        manager.enforce()
+        after = manager.stats()
+        assert after["evictions"] == 2
+        assert after["bytes_evicted"] == 140
+        assert after["by_category"] == {"log": 0}  # model deregistered
+
+
+@dataclasses.dataclass
+class _Point:
+    x: float
+    y: float
+
+
+class _Slotted:
+    __slots__ = ("a", "b")
+
+    def __init__(self):
+        self.a = np.zeros(4)
+        self.b = "hello"
+
+
+class TestApproxNbytes:
+    def test_ndarray_exact_plus_header(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert approx_nbytes(arr) == 800 + 96
+
+    def test_scales_with_container_contents(self):
+        small = approx_nbytes({"k": np.zeros(10)})
+        big = approx_nbytes({"k": np.zeros(1000)})
+        assert big - small == (1000 - 10) * 8
+
+    def test_strings_scale_with_length(self):
+        assert approx_nbytes("x" * 100) - approx_nbytes("x") == 99
+
+    def test_dataclass_and_slots_recurse(self):
+        assert approx_nbytes(_Point(1.0, 2.0)) > approx_nbytes(1.0)
+        slotted = _Slotted()
+        assert approx_nbytes(slotted) > approx_nbytes(slotted.a)
+
+    def test_cycles_terminate(self):
+        loop = []
+        loop.append(loop)
+        assert approx_nbytes(loop) > 0
+
+    def test_shared_subobjects_counted_once(self):
+        arr = np.zeros(1000)
+        assert approx_nbytes([arr, arr]) < 2 * approx_nbytes(arr)
