@@ -173,6 +173,45 @@ archived as ``results/BENCH_shared_memory.json``)::
                        config=LocaterConfig(memory_budget_bytes=64 << 20))
     answer = budgeted.locate(mac, t)      # identical to the unbudgeted answer
     print(budgeted.memory.stats())        # residency, evictions, by category
+
+Contracts
+---------
+
+Every equivalence suite above asserts *bitwise* identical answers, and
+that property rests on coding conventions the tests cannot see directly.
+``repro-lint`` (:mod:`repro.tools.lint`; run with ``python -m
+repro.tools.lint src/repro``) enforces them mechanically — each rule is
+checked by the named module and exercised by seeded-mutation fixtures
+in ``tests/lint/``:
+
+* **RL001 invalidation-completeness**
+  (:mod:`repro.tools.lint.checkers.invalidation`) — every memo/cache
+  attribute of the shared-state classes (``CoarseSharedState``,
+  ``FineSharedState``, ``BatchState``, ``NeighborIndex``,
+  ``CachingEngine``) is reachable from a ``drop_*``/``invalidate_*``
+  method, ``MEMO_ATTRS`` lists exactly the memo dicts, and the
+  invalidation surface is invoked from the ingest path — so no cache
+  can silently outlive the events it was computed from.
+* **RL002 determinism**
+  (:mod:`repro.tools.lint.checkers.determinism`) — answer-path modules
+  (``repro/{fine,coarse,cache,system,cluster,events}``) never iterate
+  sets or ``.keys()`` without ``sorted()``, never call ``time.time()``,
+  the global ``random`` module, legacy ``np.random`` state, or an
+  unseeded ``np.random.default_rng()``.
+* **RL003 shared-memory-lifecycle**
+  (:mod:`repro.tools.lint.checkers.lifecycle`) — classes that create
+  ``SharedMemory`` segments reach both ``close()`` and ``unlink()``
+  from a teardown path, and every unlink is ownership-gated (attached
+  views never unlink — the rule stated under *Memory architecture*).
+* **RL004 dtype-contracts**
+  (:mod:`repro.tools.lint.checkers.dtypes`) — array constructors in the
+  column-store and posterior modules always pin an explicit ``dtype=``
+  (the byte-layout contracts ``TIMES_DTYPE``/``APS_DTYPE`` depend on
+  declared widths, not numpy defaults).
+* **RL005 reference-isolation**
+  (:mod:`repro.tools.lint.checkers.isolation`) — nothing outside
+  tests/benchmarks imports ``repro.{fine,coarse}.reference``; the
+  oracles stay independent of the code they judge.
 """
 
 from repro.cache import (

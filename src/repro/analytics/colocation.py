@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.analytics.trajectory import reconstruct_trajectory
 from repro.system.locater import Locater

@@ -33,7 +33,7 @@ consumer — routing only ever co-locates more, never less.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 
 class AffinityComponents:

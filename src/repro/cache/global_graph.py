@@ -9,7 +9,7 @@ weighting observations with a normalized Gaussian kernel centred at t_q.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.cache.components import AffinityComponents
 from repro.cache.local_graph import LocalAffinityGraph

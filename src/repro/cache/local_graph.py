@@ -10,7 +10,7 @@ strongly each pair was co-located at t_q:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 
 @dataclass(slots=True)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.sim.scenarios import ScenarioSpec
 from repro.sim.simulator import Simulator

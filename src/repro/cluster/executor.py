@@ -38,7 +38,8 @@ import multiprocessing
 import traceback
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.errors import ClusterError, ConfigurationError
 

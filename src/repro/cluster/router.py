@@ -46,7 +46,8 @@ from __future__ import annotations
 
 import zlib
 from abc import ABC, abstractmethod
-from typing import Iterable, Mapping, Sequence, TypeVar
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TypeVar
 
 import numpy as np
 

@@ -24,7 +24,7 @@ placement:
 from __future__ import annotations
 
 import os
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import ClusterError
 from repro.events.event import ConnectivityEvent

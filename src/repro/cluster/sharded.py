@@ -41,7 +41,7 @@ from __future__ import annotations
 import contextlib
 import weakref
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.cluster.executor import SerialShardExecutor, ShardExecutor
 from repro.cluster.router import HashRouter, ShardRouter, partition_events

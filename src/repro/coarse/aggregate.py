@@ -13,7 +13,7 @@ inside/outside label and modal region for any time of day.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.coarse.bootstrap import BootstrapLabeler, LABEL_INSIDE
 from repro.events.gaps import extract_gaps

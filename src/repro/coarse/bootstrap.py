@@ -12,7 +12,7 @@ region label versus staying unlabeled for the region classifier.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

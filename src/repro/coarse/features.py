@@ -18,7 +18,7 @@ retained in :mod:`repro.coarse.reference` as the property-suite oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -10,7 +10,8 @@ self-trained classifiers decide (1) inside vs outside the building and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import ClassVar
 
 import numpy as np
 

@@ -23,7 +23,7 @@ Nothing in the production pipeline imports this module.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 

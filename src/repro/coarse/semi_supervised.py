@@ -23,7 +23,7 @@ loop retained in :mod:`repro.coarse.reference`, which the property suite
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.cluster import ComponentAffinityRouter, ShardedLocater
 from repro.errors import ReproError

@@ -10,7 +10,7 @@ overall curve follows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.eval.predictability import band_label, group_by_band
 from repro.eval.queries import labeled_query_set

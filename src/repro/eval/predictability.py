@@ -6,7 +6,7 @@ spent in their preferred room: [40,55), [55,70), [70,85), [85,100).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.sim.dataset import Dataset
 

@@ -10,7 +10,7 @@ Two kinds of query sets mirror the paper's:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.sim.dataset import Dataset
 from repro.system.query import LocationQuery

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],

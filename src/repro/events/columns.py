@@ -45,7 +45,7 @@ import shutil
 import tempfile
 import uuid
 from multiprocessing import resource_tracker, shared_memory
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -102,11 +102,11 @@ def _close_quietly(segment: shared_memory.SharedMemory) -> None:
     try:
         segment.close()
     except BufferError:
-        segment._buf = None
-        segment._mmap = None
-        if segment._fd >= 0:
-            os.close(segment._fd)
-            segment._fd = -1
+        segment._buf = None  # type: ignore[attr-defined]
+        segment._mmap = None  # type: ignore[attr-defined]
+        if segment._fd >= 0:  # type: ignore[attr-defined]
+            os.close(segment._fd)  # type: ignore[attr-defined]
+            segment._fd = -1  # type: ignore[attr-defined]
 
 
 class ColumnHandle:
@@ -332,7 +332,7 @@ class ColumnStore:
         if self._closed:
             return
         self._closed = True
-        for handle in list(self._handles):
+        for handle in sorted(self._handles, key=lambda h: h.key):
             self._release(handle)
         self._handles.clear()
         self._close()
@@ -346,8 +346,8 @@ class ColumnStore:
 
     def stats(self) -> dict:
         """Accounting snapshot (bytes are exact, from handle lengths)."""
-        resident = sum(h.resident_nbytes for h in self._handles)
-        total = sum(h.nbytes for h in self._handles)
+        resident = sum(h.resident_nbytes for h in self._handles)  # repro-lint: disable=RL002  integer sum, order-independent
+        total = sum(h.nbytes for h in self._handles)  # repro-lint: disable=RL002  integer sum, order-independent
         return {
             "kind": self.kind,
             "segments": len(self._handles),

@@ -8,7 +8,7 @@ records each device's validity period δ(d) once estimated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import UnknownDeviceError
 from repro.util.timeutil import minutes

@@ -98,7 +98,8 @@ def extract_gap_arrays(log: DeviceLog, delta: "float | None" = None,
     if times.size < 2:
         empty = np.empty(0, dtype=np.int64)
         return GapArrays(mac=log.device.mac,
-                         starts=np.empty(0), ends=np.empty(0),
+                         starts=np.empty(0, dtype=np.float64),
+                         ends=np.empty(0, dtype=np.float64),
                          before_positions=empty,
                          ap_before_codes=empty, ap_after_codes=empty)
     mask = (times[1:] - times[:-1]) > 2 * delta

@@ -26,9 +26,13 @@ boundaries:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # layering: events must not import system at runtime
+    from repro.system.memory import MemoryManager, _Entry
 
 from repro.errors import EmptyHistoryError, EventTableError, UnknownDeviceError
 from repro.events.columns import (
@@ -255,8 +259,8 @@ class EventTable:
         self._changes: dict[str, list[tuple[int, float, float]]] = {}
         # Cold-data eviction plumbing (see enable_eviction): the memory
         # manager charged per log, and its LRU entries keyed by mac.
-        self._memory = None
-        self._memory_entries: dict = {}
+        self._memory: "MemoryManager | None" = None
+        self._memory_entries: "dict[str, _Entry]" = {}
 
     #: Entries kept per device before the journal's oldest half is
     #: coalesced; bounds memory and changed_since cost on long-running
@@ -436,17 +440,19 @@ class EventTable:
         return True
 
     def _register_log(self, mac: str, handle: ColumnHandle) -> None:
-        if not hasattr(handle, "spill"):
+        manager = self._memory
+        spill = getattr(handle, "spill", None)  # heap handles only
+        if manager is None or spill is None:
             return
         old = self._memory_entries.pop(mac, None)
         if old is not None:
-            self._memory.release(old)
-        entry = self._memory.charge(
+            manager.release(old)
+        entry = manager.charge(
             "log", ("log", mac),
             size_fn=lambda h=handle: h.resident_nbytes,
-            evictor=handle.spill, persistent=True)
+            evictor=spill, persistent=True)
         handle.on_reload = \
-            lambda h, e=entry, m=self._memory: m.touch(e)
+            lambda h, e=entry, m=manager: m.touch(e)
         self._memory_entries[mac] = entry
 
     # ------------------------------------------------------------------
@@ -655,9 +661,10 @@ class EventTable:
         device_log = self._logs.get(mac)
         if device_log is None:
             device = self.registry.get(mac)
-            empty = np.empty(0)
-            device_log = DeviceLog(device, empty.astype(np.float64),
-                                   empty.astype(np.int32), self._ap_vocab)
+            device_log = DeviceLog(device,
+                                   np.empty(0, dtype=np.float64),
+                                   np.empty(0, dtype=np.int32),
+                                   self._ap_vocab)
             self._logs[mac] = device_log
         elif self._memory is not None:
             entry = self._memory_entries.get(mac)

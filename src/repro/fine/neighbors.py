@@ -64,7 +64,7 @@ class NeighborIndex:
         self._table = table
         self._max_snapshots = max_snapshots
         self._snapshots: dict[float, tuple] = {}
-        self._region_rooms: dict[int, tuple[str, ...]] = {}
+        self._region_rooms: dict[int, tuple[str, ...]] = {}  # repro-lint: disable=RL001  memo of the immutable Building topology, never stale
 
     @property
     def snapshot_count(self) -> int:

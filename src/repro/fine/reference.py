@@ -19,7 +19,7 @@ Nothing in the production pipeline imports this module.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.fine.worlds import PosteriorBounds

@@ -55,7 +55,7 @@ property suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -164,7 +164,7 @@ class RoomPosterior:
         the candidate set still discounts the uniform remainder, as in
         the scalar model.
         """
-        alpha = np.zeros(len(self.rooms))
+        alpha = np.zeros(len(self.rooms), dtype=np.float64)
         for room, value in affinities.items():
             pos = self._pos.get(room)
             if pos is not None:
@@ -256,7 +256,7 @@ class RoomPosterior:
         over the cap array (this sits on the stop-condition hot path).
         """
         if affinity_caps is None:
-            caps = np.full(unprocessed, self.cap)
+            caps = np.full(unprocessed, self.cap, dtype=np.float64)
         else:
             caps = np.asarray(affinity_caps, dtype=np.float64)
         c = np.clip(caps, 0.0, 1.0 - 1e-9)
@@ -339,10 +339,10 @@ class RoomPosterior:
         :meth:`bounds`).
         """
         if favoured:
-            bonus = np.full(len(self.rooms), log_worst)
+            bonus = np.full(len(self.rooms), log_worst, dtype=np.float64)
             bonus[pos] = log_best
         else:
-            bonus = np.full(len(self.rooms), log_best)
+            bonus = np.full(len(self.rooms), log_best, dtype=np.float64)
             bonus[pos] = log_worst
         scores = self._log_score + bonus
         raw = np.exp(scores - scores.max())

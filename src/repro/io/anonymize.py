@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.events.event import ConnectivityEvent
 

@@ -9,7 +9,7 @@ self-training loop's cost substantially.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from collections.abc import Hashable, Sequence
 
 
 def accuracy(truth: Sequence[Hashable], predicted: Sequence[Hashable]) -> float:

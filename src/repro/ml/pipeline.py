@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping, Sequence
+from collections.abc import Hashable, Mapping, Sequence
 
 import numpy as np
 

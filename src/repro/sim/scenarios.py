@@ -11,7 +11,7 @@ scaled by ``population_scale`` so tests and benchmarks stay fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.errors import SimulationError
 from repro.events.event import ConnectivityEvent

@@ -9,7 +9,7 @@ time in the preferred room tracks the person's predictability target.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

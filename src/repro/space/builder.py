@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.errors import SpaceModelError
 from repro.space.access_point import AccessPoint

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.errors import SpaceModelError, UnknownRegionError, UnknownRoomError
 from repro.space.access_point import AccessPoint

@@ -13,7 +13,7 @@ classification used when assigning room-affinity weights.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.errors import UnknownRoomError
 from repro.space.building import Building

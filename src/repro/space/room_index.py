@@ -16,7 +16,7 @@ be cached keyed by candidate-room tuples.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ trained on the pre-ingest table (``Locater.on_ingest``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 
 from repro.events.event import ConnectivityEvent
 from repro.events.table import EventTable

@@ -5,7 +5,7 @@ from __future__ import annotations
 import time
 import weakref
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.coarse.bootstrap import BootstrapLabeler
 from repro.coarse.localizer import CoarseLocalizer, CoarseSharedState

@@ -34,7 +34,7 @@ cached object) are dropped from the index.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -57,7 +57,8 @@ class _Entry:
     __slots__ = ("category", "key", "size_fn", "evictor", "persistent",
                  "alive", "evictions")
 
-    def __init__(self, category: str, key, size_fn: Callable[[], int],
+    def __init__(self, category: str, key: object,
+                 size_fn: Callable[[], int],
                  evictor: Callable[[], "int | None"],
                  persistent: bool) -> None:
         self.category = category
@@ -69,7 +70,7 @@ class _Entry:
         self.evictions = 0
 
 
-def approx_nbytes(obj, _seen: "set[int] | None" = None) -> int:
+def approx_nbytes(obj: object, _seen: "set[int] | None" = None) -> int:
     """Rough recursive byte estimate of a python object graph.
 
     Exact for numpy arrays (``.nbytes`` plus header), structural for
@@ -138,7 +139,7 @@ class MemoryManager:
         self._bytes_evicted = 0
 
     # ------------------------------------------------------------------
-    def charge(self, category: str, key, *,
+    def charge(self, category: str, key: object, *,
                size_fn: Callable[[], int],
                evictor: Callable[[], "int | None"],
                persistent: bool = False) -> _Entry:

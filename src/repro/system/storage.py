@@ -23,7 +23,7 @@ import json
 import sqlite3
 import threading
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.events.event import ConnectivityEvent

@@ -23,7 +23,7 @@ scratch over the merged log would produce — the equivalence suite in
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.events.event import ConnectivityEvent

@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the reproduction.
+
+Nothing under :mod:`repro.tools` is imported by the serving stack; the
+subpackages are standalone utilities run from the command line or the
+test suite (currently :mod:`repro.tools.lint`, the contract checker).
+"""

@@ -1,0 +1,54 @@
+"""repro-lint — AST contract checker for the reproduction's invariants.
+
+The equivalence guarantees of this codebase (batch ≡ sequential,
+cluster ≡ lone Locater, eviction-schedule invariance — all *bitwise*)
+rest on hand-maintained conventions: memo dicts listed in MEMO_ATTRS,
+invalidation hooks wired into the ingest path, sorted iteration on
+answer paths, pinned dtypes, shared-memory ownership discipline, and
+reference-oracle isolation.  ``repro-lint`` turns those conventions
+into mechanically checked rules:
+
+========  ===========================  ====================================
+code      name                         module
+========  ===========================  ====================================
+RL001     invalidation-completeness    repro.tools.lint.checkers.invalidation
+RL002     determinism                  repro.tools.lint.checkers.determinism
+RL003     shared-memory-lifecycle      repro.tools.lint.checkers.lifecycle
+RL004     dtype-contracts              repro.tools.lint.checkers.dtypes
+RL005     reference-isolation          repro.tools.lint.checkers.isolation
+========  ===========================  ====================================
+
+Run it with ``python -m repro.tools.lint src/repro`` (exit 0 = clean,
+1 = findings, 2 = usage error), or programmatically via
+:func:`run_lint`.  Findings are suppressed per line with
+``# repro-lint: disable=RL00x <reason>`` — false positives only, with
+the reason mandatory by repository policy.
+"""
+
+from __future__ import annotations
+
+from repro.tools.lint.core import (
+    REGISTRY,
+    Checker,
+    FileContext,
+    Suppressions,
+    Violation,
+    iter_python_files,
+    load_context,
+    parse_suppressions,
+    register,
+    run_lint,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Checker",
+    "FileContext",
+    "Suppressions",
+    "Violation",
+    "iter_python_files",
+    "load_context",
+    "parse_suppressions",
+    "register",
+    "run_lint",
+]

@@ -1,0 +1,97 @@
+"""RL004 — explicit dtype contracts on array construction.
+
+The column store's layout math (``BYTES_PER_EVENT``), the shared-memory
+views and every ``frombuffer`` reinterpretation assume the declared
+dtypes (``TIMES_DTYPE = float64``, ``APS_DTYPE = int32``, ``int64``
+gap positions).  A bare ``np.empty(n)`` or ``np.zeros(n)`` silently
+produces numpy's *default* dtype, which happens to match today — until
+an integer argument or a platform default changes it, at which point
+buffers are reinterpreted at the wrong width and every downstream
+answer is garbage that still parses.
+
+Rule: in the dtype-critical modules, every array *constructor* call
+(``np.empty/zeros/ones/full/frombuffer/fromiter/arange``) must pass an
+explicit ``dtype=``.  Derived arrays (``astype``, arithmetic, slicing)
+are unaffected; they inherit a dtype that is already pinned at the
+source.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from collections.abc import Iterator
+
+from repro.tools.lint.core import Checker, FileContext, Violation, register
+
+#: Modules whose arrays feed ColumnStore / GapArrays / RoomPosterior.
+DTYPE_MODULES = (
+    "events/columns.py",
+    "events/gaps.py",
+    "events/table.py",
+    "events/device.py",
+    "fine/worlds.py",
+)
+
+#: ``np.<fn>`` constructors that take a dtype and default it.
+DTYPE_REQUIRED = frozenset({
+    "empty", "zeros", "ones", "full", "frombuffer", "fromiter", "arange",
+})
+
+
+def _numpy_constructor(node: ast.Call) -> "str | None":
+    """``np.<fn>(...)``/``numpy.<fn>(...)`` for a dtype-defaulting fn."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and \
+            isinstance(func.value, ast.Name) and \
+            func.value.id in ("np", "numpy") and \
+            func.attr in DTYPE_REQUIRED:
+        return func.attr
+    return None
+
+
+def _has_explicit_dtype(node: ast.Call) -> bool:
+    if any(keyword.arg == "dtype" for keyword in node.keywords):
+        return True
+    # Positional dtype: np.frombuffer(buf, np.int32), np.full(n, v, float64),
+    # np.fromiter(it, np.float64) — the constructor-specific position of the
+    # dtype argument.
+    name = _numpy_constructor(node)
+    positional_dtype_index = {
+        "empty": 1, "zeros": 1, "ones": 1, "arange": 3,
+        "full": 2, "frombuffer": 1, "fromiter": 1,
+    }
+    index = positional_dtype_index.get(name or "", None)
+    return index is not None and len(node.args) > index
+
+
+@register
+class DtypeContracts(Checker):
+    """RL004: array constructors in dtype-critical modules pin their dtype."""
+
+    code = "RL004"
+    name = "dtype-contracts"
+    description = (
+        "np.empty/zeros/ones/full/frombuffer/fromiter/arange in the "
+        "column-store and posterior modules must pass an explicit dtype; "
+        "default dtypes break the byte-layout contracts")
+
+    def applies_to(self, path: pathlib.Path) -> bool:
+        posix = path.as_posix()
+        return any(posix.endswith(suffix) for suffix in DTYPE_MODULES)
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _numpy_constructor(node)
+            if name is None or _has_explicit_dtype(node):
+                continue
+            yield Violation(
+                path=ctx.posix_path, line=node.lineno, col=node.col_offset,
+                code=self.code,
+                message=(
+                    f"np.{name}(...) without an explicit dtype= in a "
+                    f"dtype-critical module — the byte-layout contracts "
+                    f"(TIMES_DTYPE/APS_DTYPE/BYTES_PER_EVENT) require "
+                    f"declared widths"))

@@ -1,0 +1,76 @@
+"""RL005 — reference-implementation isolation.
+
+``repro/fine/reference.py`` and ``repro/coarse/reference.py`` are the
+deliberately naive oracles the equivalence suites compare the optimized
+paths against.  The comparison is only meaningful while the two sides
+share no code: the moment production modules import helpers from a
+reference module, a bug can live on both sides of the ``==`` and the
+suite goes green on wrong answers.
+
+Rule: nothing outside tests/benchmarks may import
+``repro.fine.reference`` or ``repro.coarse.reference`` (absolutely or
+relatively).  The reference modules themselves are of course exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from collections.abc import Iterator
+
+from repro.tools.lint.core import Checker, FileContext, Violation, register
+
+#: Module suffixes that are the sanctioned oracles.
+REFERENCE_MODULES = ("fine.reference", "coarse.reference")
+
+#: Path parts under which importing the oracles is the whole point.
+EXEMPT_PARTS = frozenset({"tests", "test", "benchmarks", "bench"})
+
+
+def _imported_reference(node: ast.AST) -> "str | None":
+    """The oracle module an import statement pulls in, if any."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            for suffix in REFERENCE_MODULES:
+                if alias.name.endswith(suffix):
+                    return alias.name
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        for suffix in REFERENCE_MODULES:
+            if module.endswith(suffix):
+                return module or "." * node.level + module
+        # from repro.fine import reference  /  from . import reference
+        if module.endswith(("fine", "coarse")) or (node.level and not module):
+            for alias in node.names:
+                if alias.name == "reference":
+                    return (module or "." * node.level) + ".reference"
+    return None
+
+
+@register
+class ReferenceIsolation(Checker):
+    """RL005: production code never imports the reference oracles."""
+
+    code = "RL005"
+    name = "reference-isolation"
+    description = (
+        "only tests/benchmarks may import repro.{fine,coarse}.reference; "
+        "sharing oracle code with production voids the equivalence suites")
+
+    def applies_to(self, path: pathlib.Path) -> bool:
+        if path.name == "reference.py":
+            return False
+        return not EXEMPT_PARTS.intersection(path.parts)
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            module = _imported_reference(node)
+            if module is None:
+                continue
+            yield Violation(
+                path=ctx.posix_path, line=node.lineno, col=node.col_offset,
+                code=self.code,
+                message=(
+                    f"import of reference oracle {module!r} outside "
+                    f"tests/benchmarks — the equivalence suites are void "
+                    f"if production shares code with the oracle"))

@@ -1,0 +1,39 @@
+"""Reporters: violations → text or JSON on a stream."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from typing import TextIO
+
+from repro.tools.lint.core import REGISTRY, Violation
+
+
+def render_text(violations: Sequence[Violation], stream: TextIO) -> None:
+    """One ``path:line:col: CODE message`` line per finding + a summary."""
+    for violation in violations:
+        stream.write(violation.render() + "\n")
+    if violations:
+        counts: dict[str, int] = {}
+        for violation in violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        breakdown = ", ".join(
+            f"{code}×{count}" for code, count in sorted(counts.items()))
+        stream.write(
+            f"repro-lint: {len(violations)} finding"
+            f"{'s' if len(violations) != 1 else ''} ({breakdown})\n")
+    else:
+        stream.write("repro-lint: clean\n")
+
+
+def render_json(violations: Sequence[Violation], stream: TextIO) -> None:
+    """Machine-readable report: rules manifest + findings array."""
+    payload = {
+        "tool": "repro-lint",
+        "rules": {code: {"name": cls.name, "description": cls.description}
+                  for code, cls in sorted(REGISTRY.items())},
+        "findings": [violation.as_dict() for violation in violations],
+        "count": len(violations),
+    }
+    json.dump(payload, stream, indent=2, sort_keys=False)
+    stream.write("\n")

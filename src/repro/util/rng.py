@@ -7,7 +7,7 @@ that pattern uniform and make derived streams reproducible.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -1,0 +1,22 @@
+"""Clean counterpart for RL001: memos, registry and ingest all agree."""
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+
+@dataclass
+class CoarseSharedState:
+    MEMO_ATTRS: ClassVar[tuple] = ("features", "building_labels")
+
+    features: dict = field(default_factory=dict)
+    building_labels: dict = field(default_factory=dict)
+
+    def drop_devices(self, macs):
+        for attr in self.MEMO_ATTRS:
+            memo = getattr(self, attr)
+            for mac in sorted(macs):
+                memo.pop(mac, None)
+
+
+def on_ingest(state, macs):
+    state.drop_devices(macs)

@@ -1,0 +1,21 @@
+"""Seeded mutation for RL001: invalidation exists but ingest never calls it.
+
+``BatchState.drop_devices`` correctly clears the memo, but the ingest
+path forgot to invoke it — the exact bug class PR 6 fixed by hand, here
+as a minimal fixture.
+"""
+
+
+class BatchState:
+    def __init__(self) -> None:
+        self.memo = {}
+
+    def drop_devices(self, macs):
+        for mac in sorted(macs):
+            self.memo.pop(mac, None)
+
+
+def on_ingest(state, macs):
+    # Forgot state.drop_devices(macs): the memo outlives the events it
+    # was computed from.
+    return len(macs)

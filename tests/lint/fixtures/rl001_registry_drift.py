@@ -1,0 +1,26 @@
+"""Seeded mutation for RL001: MEMO_ATTRS disagreeing with the memo dicts.
+
+``priors`` is a memo dict missing from the registry (the trim/reset
+plumbing that iterates MEMO_ATTRS will skip it), and the registry lists
+a ``ghost`` attribute the class never defines.
+"""
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+
+@dataclass
+class FineSharedState:
+    MEMO_ATTRS: ClassVar[tuple] = ("pair_affinities", "ghost")
+
+    priors: dict = field(default_factory=dict)
+    pair_affinities: dict = field(default_factory=dict)
+
+    def drop_devices(self, macs):
+        for attrs in (self.priors, self.pair_affinities):
+            for key in sorted(attrs):
+                attrs.pop(key, None)
+
+
+def on_ingest(state, macs):
+    state.drop_devices(macs)

@@ -1,0 +1,21 @@
+"""Seeded mutation for RL001: a memo dict the invalidation surface misses.
+
+Minimal broken version of ``repro.coarse.localizer.CoarseSharedState``:
+the ``features`` memo exists, ``drop_devices`` exists, but the drop path
+only clears ``building_labels`` — ``features`` keeps serving stale
+values after ingest.
+"""
+
+
+class CoarseSharedState:
+    def __init__(self) -> None:
+        self.features = {}
+        self.building_labels = {}
+
+    def drop_devices(self, macs):
+        for mac in sorted(macs):
+            self.building_labels.pop(mac, None)
+
+
+def on_ingest(state, macs):
+    state.drop_devices(macs)

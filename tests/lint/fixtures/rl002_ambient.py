@@ -1,0 +1,14 @@
+"""Seeded mutation for RL002: ambient nondeterminism on an answer path."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter_score(scores):
+    now = time.time()
+    pick = random.choice(scores)
+    rng = np.random.default_rng()
+    noise = np.random.rand()
+    return now + pick + rng.random() + noise

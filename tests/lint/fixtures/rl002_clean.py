@@ -1,0 +1,24 @@
+"""Clean counterpart for RL002: sorted iteration, seeded randomness."""
+
+import time
+
+import numpy as np
+
+
+def total_affinity(affinities, macs):
+    total = 0.0
+    for mac in sorted(macs):
+        total += affinities.get(mac, 0.0)
+    return total
+
+
+def timed_draw(seed):
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    value = rng.random()
+    return value, time.perf_counter() - start
+
+
+def insertion_order_walk(weights):
+    # `for k in d:` is the sanctioned insertion-order form.
+    return [weights[k] for k in weights]

@@ -1,0 +1,27 @@
+"""Seeded mutation for RL002: hash-ordered iteration on an answer path.
+
+Three variants: a literal set, a set-typed attribute, and explicit
+``.keys()`` — each makes float accumulation order depend on hash seeds.
+"""
+
+
+def total_affinity(affinities):
+    total = 0.0
+    for mac in {"aa", "bb", "cc"}:
+        total += affinities.get(mac, 0.0)
+    return total
+
+
+class Tracker:
+    def __init__(self) -> None:
+        self.macs = set()
+
+    def fold(self, weights):
+        acc = 0.0
+        for mac in self.macs:
+            acc += weights[mac]
+        return acc
+
+
+def keys_walk(weights):
+    return [weights[k] for k in weights.keys()]

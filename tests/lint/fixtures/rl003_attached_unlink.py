@@ -1,0 +1,17 @@
+"""Seeded mutation for RL003: an attached view that unlinks.
+
+The reader never created the segment, yet tears it out of the namespace
+on detach — the exact bug the ownership gate in
+``repro.events.columns`` exists to prevent.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+class AttachedReader:
+    def __init__(self, name) -> None:
+        self._segment = SharedMemory(name=name)
+
+    def detach(self):
+        self._segment.close()
+        self._segment.unlink()

@@ -1,0 +1,31 @@
+"""Clean counterpart for RL003: ownership-gated teardown."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+class OwnedStore:
+    def __init__(self) -> None:
+        self._segments = []
+
+    def put(self, nbytes):
+        segment = SharedMemory(create=True, size=nbytes)
+        self._segments.append(segment)
+        return segment.name
+
+    def close(self):
+        for segment in self._segments:
+            self._discard(segment, unlink=True)
+        self._segments.clear()
+
+    def _discard(self, segment, unlink):
+        segment.close()
+        if unlink:
+            segment.unlink()
+
+
+class AttachedView:
+    def __init__(self, name) -> None:
+        self._segment = SharedMemory(name=name)
+
+    def detach(self):
+        self._segment.close()

@@ -1,0 +1,23 @@
+"""Seeded mutation for RL003: an owner whose teardown never unlinks.
+
+Minimal broken version of the shared-memory column store: ``close``
+unmaps the segments but forgets ``unlink()``, so every segment leaks
+until the resource tracker reclaims it at interpreter exit.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+class LeakyStore:
+    def __init__(self) -> None:
+        self._segments = []
+
+    def put(self, nbytes):
+        segment = SharedMemory(create=True, size=nbytes)
+        self._segments.append(segment)
+        return segment.name
+
+    def close(self):
+        for segment in self._segments:
+            segment.close()
+        self._segments.clear()

@@ -1,0 +1,12 @@
+"""Clean counterpart for RL004: every constructor pins its dtype."""
+
+import numpy as np
+
+
+def build_columns(n, buf):
+    times = np.empty(n, dtype=np.float64)
+    aps = np.zeros(n, dtype=np.int32)
+    caps = np.full(n, 0.5, dtype=np.float64)
+    view = np.frombuffer(buf, dtype=np.int32)
+    derived = times.astype(np.float32)  # derived arrays are exempt
+    return times, aps, caps, view, derived

@@ -1,0 +1,10 @@
+"""Seeded mutation for RL004: array constructors on the default dtype."""
+
+import numpy as np
+
+
+def build_columns(n):
+    times = np.empty(n)
+    aps = np.zeros(n)
+    caps = np.full(n, 0.5)
+    return times, aps, caps

@@ -1,0 +1,4 @@
+"""Clean counterpart for RL005: only production modules imported."""
+
+import repro.fine.localizer  # noqa: F401
+from repro.coarse import localizer  # noqa: F401

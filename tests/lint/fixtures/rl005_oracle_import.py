@@ -1,0 +1,7 @@
+"""Seeded mutation for RL005: production code importing the oracle."""
+
+from repro.fine.reference import reference_fine_locate  # noqa: F401
+
+
+def locate(log, when):
+    return reference_fine_locate(log, when)

@@ -1,0 +1,13 @@
+"""Suppression fixture: RL004 silenced for the whole file, RL002 not."""
+# repro-lint: disable-file=RL004  fixture: testing file-level suppression
+
+import numpy as np
+
+
+def build(n, macs):
+    a = np.empty(n)
+    b = np.zeros(n)
+    total = 0.0
+    for mac in {"aa", "bb"}:
+        total += n
+    return a, b, total, sorted(macs)

@@ -1,0 +1,9 @@
+"""Suppression fixture: the RL004 finding is silenced on its line only."""
+
+import numpy as np
+
+
+def build(n):
+    a = np.empty(n)  # repro-lint: disable=RL004  fixture: testing suppression
+    b = np.empty(n)
+    return a, b

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import pytest
 
 from repro.cluster.router import (
@@ -70,7 +72,7 @@ class TestHashRouter:
 
 
 class TestBuildingAffinityRouter:
-    AP_MAP = {"b0-wap1": "b0", "b0-wap2": "b0",
+    AP_MAP: ClassVar[dict] = {"b0-wap1": "b0", "b0-wap2": "b0",
               "b1-wap1": "b1", "b2-wap1": "b2"}
 
     def test_first_seen_building_wins_and_sticks(self):

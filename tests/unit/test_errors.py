@@ -1,0 +1,70 @@
+"""The exception hierarchy: one base to catch at the API boundary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ClusterError,
+    ConfigurationError,
+    EmptyHistoryError,
+    EventTableError,
+    LocalizationError,
+    ReproError,
+    SimulationError,
+    SpaceModelError,
+    StorageError,
+    TrainingError,
+    UnknownDeviceError,
+    UnknownRegionError,
+    UnknownRoomError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError, SpaceModelError, UnknownRoomError,
+    UnknownRegionError, UnknownDeviceError, EventTableError,
+    EmptyHistoryError, LocalizationError, TrainingError,
+    SimulationError, StorageError, ClusterError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    assert issubclass(exc, Exception)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_every_error_is_raisable_and_catchable_at_the_base(exc):
+    with pytest.raises(ReproError) as info:
+        raise exc("boom")
+    assert str(info.value) == "boom"
+    assert type(info.value) is exc
+
+
+@pytest.mark.parametrize("child,parent", [
+    (UnknownRoomError, SpaceModelError),
+    (UnknownRegionError, SpaceModelError),
+    (EmptyHistoryError, EventTableError),
+])
+def test_refinement_subtrees(child, parent):
+    assert issubclass(child, parent)
+    with pytest.raises(parent):
+        raise child("specific failure caught at the subtree root")
+
+
+def test_siblings_stay_distinct():
+    # Catching one subtree must not swallow another's failures.
+    with pytest.raises(EventTableError):
+        try:
+            raise EmptyHistoryError("no events")
+        except SpaceModelError:  # pragma: no cover - must not trigger
+            pytest.fail("EventTable subtree caught by SpaceModel subtree")
+
+
+def test_module_exports_exactly_the_hierarchy():
+    exported = {name for name in dir(errors)
+                if isinstance(getattr(errors, name), type)
+                and issubclass(getattr(errors, name), Exception)}
+    assert exported == {cls.__name__ for cls in ALL_ERRORS} | {"ReproError"}

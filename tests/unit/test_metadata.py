@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import pytest
 
 from repro.errors import UnknownRoomError
@@ -39,7 +41,7 @@ class TestSpaceMetadata:
 
 
 class TestClassifyCandidates:
-    CANDIDATES = ["2059", "2061", "2065", "2069", "2099"]
+    CANDIDATES: ClassVar[list] = ["2059", "2061", "2065", "2069", "2099"]
 
     def test_owner_gets_preferred_bucket(self, fig1_metadata):
         split = fig1_metadata.classify_candidates("d1", self.CANDIDATES)

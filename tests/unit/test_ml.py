@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 
@@ -144,7 +146,7 @@ class TestMetrics:
 
 
 class TestFeaturePipeline:
-    ROWS = [
+    ROWS: ClassVar[list] = [
         {"x": 1.0, "day": 0},
         {"x": 3.0, "day": 2},
     ]

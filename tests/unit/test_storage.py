@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import pytest
 
 from repro.errors import StorageError
@@ -111,7 +113,7 @@ class TestReplayEquivalence:
     tied on all three columns replayed in different orders per backend.
     """
 
-    TIED = [
+    TIED: ClassVar[list] = [
         ConnectivityEvent(50.0, "m1", "wap1", event_id=3),
         ConnectivityEvent(50.0, "m1", "wap1", event_id=1),
         ConnectivityEvent(50.0, "m1", "wap1", event_id=2),

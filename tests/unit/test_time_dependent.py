@@ -15,7 +15,7 @@ from repro.util.timeutil import hours
 CANDIDATES = ["2059", "2061", "2065", "2069", "2099"]
 
 
-def _lunch_window(rooms={"2065"}):
+def _lunch_window(rooms=("2065",)):
     return TimeWindowPreference(start_second=hours(12),
                                 end_second=hours(13),
                                 rooms=frozenset(rooms))

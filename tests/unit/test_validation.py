@@ -1,0 +1,92 @@
+"""Direct unit coverage of the argument validators.
+
+Every validator returns its input unchanged on success (so call sites
+can validate inline) and raises :class:`ConfigurationError` naming the
+offending parameter on failure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    @pytest.mark.parametrize("value", [1, 0.5, 1e-12, math.inf])
+    def test_accepts_and_returns_value(self, value):
+        assert check_positive("x", value) == value
+
+    @pytest.mark.parametrize("value", [0, 0.0, -1, -1e-12, -math.inf])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ConfigurationError, match="x must be > 0"):
+            check_positive("x", value)
+
+    def test_rejects_nan(self):
+        # NaN compares false against everything, so `not value > 0`.
+        with pytest.raises(ConfigurationError):
+            check_positive("x", math.nan)
+
+    def test_message_names_parameter_and_value(self):
+        with pytest.raises(ConfigurationError, match=r"delta must be > 0.*-3"):
+            check_positive("delta", -3)
+
+
+class TestCheckNonNegative:
+    @pytest.mark.parametrize("value", [0, 0.0, 1, 2.5, math.inf])
+    def test_accepts_and_returns_value(self, value):
+        assert check_non_negative("x", value) == value
+
+    @pytest.mark.parametrize("value", [-1, -1e-12, -math.inf])
+    def test_rejects_negative(self, value):
+        with pytest.raises(ConfigurationError, match="x must be >= 0"):
+            check_non_negative("x", value)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.25, 1.0, 0, 1])
+    def test_accepts_closed_unit_interval(self, value):
+        assert check_fraction("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2, -1, math.nan])
+    def test_rejects_outside_or_nan(self, value):
+        with pytest.raises(ConfigurationError, match=r"p must be in \[0, 1\]"):
+            check_fraction("p", value)
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_and_returns_vector(self):
+        values = [0.2, 0.3, 0.5]
+        assert check_probability_vector("w", values) is values
+
+    def test_accepts_degenerate_one_element(self):
+        assert check_probability_vector("w", (1.0,)) == (1.0,)
+
+    def test_accepts_within_tolerance(self):
+        assert check_probability_vector("w", [0.5, 0.5 + 1e-12]) is not None
+
+    def test_rejects_negative_entry(self):
+        with pytest.raises(ConfigurationError, match="w must be non-negative"):
+            check_probability_vector("w", [0.5, -0.1, 0.6])
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ConfigurationError, match="w must sum to 1"):
+            check_probability_vector("w", [0.5, 0.6])
+
+    def test_rejects_empty_vector_sum_zero(self):
+        with pytest.raises(ConfigurationError, match="sum"):
+            check_probability_vector("w", [])
+
+    def test_custom_tolerance(self):
+        values = [0.5, 0.51]
+        assert check_probability_vector("w", values, tolerance=0.05) is values
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("w", values, tolerance=1e-9)
