@@ -1,0 +1,48 @@
+"""Benchmark of cluster recovery under scripted SIGKILLs.
+
+Workload: a batched query stream over the three-component isolated
+campus, served by a 4-shard process cluster whose busiest shard is
+SIGKILLed twice at deterministic dispatch indices.  The experiment
+itself raises unless the recovered run is bitwise identical to an
+uninterrupted control over the same batch splits (answers *and* summed
+cache counters), so the reported recovery latency is never bought with
+divergence.  The archived record carries per-episode latency, the
+availability of the chaos run and the disruption overhead versus the
+control — the regression surface for the supervision layer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.eval.experiments import cluster_recovery
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="fork unavailable")
+def test_bench_cluster_recovery(benchmark, report, bench_json):
+    result = benchmark.pedantic(
+        lambda: cluster_recovery.run(buildings=3, population=24, days=3,
+                                     queries=60, shards=4, batches=3,
+                                     kills=2, executor="process",
+                                     seed=17),
+        rounds=1, iterations=1)
+    report("bench_cluster_recovery", result.render())
+    bench_json("cluster_recovery", result,
+               config={"buildings": 3, "population": 24, "days": 3,
+                       "queries": 60, "shards": 4, "batches": 3,
+                       "kills": 2, "executor": "process", "seed": 17})
+
+    # run() already raised on any divergence; the flags below are the
+    # archived record's contract.
+    assert result.equivalence_verified
+    assert result.availability == 1.0
+    assert [episode["outcome"] for episode in result.episodes] == \
+        ["recovered", "recovered"]
+    latency = result.recovery_seconds()
+    assert latency["max"] < 30.0, (
+        f"shard resurrection took {latency['max']:.1f}s — recovery "
+        f"should be orders of magnitude below re-building the cluster")

@@ -225,11 +225,17 @@ from repro.cluster import (
     ClusterCacheStats,
     ClusterIngestReport,
     ComponentAffinityRouter,
+    Fault,
+    FaultInjectingExecutor,
+    FaultPlan,
     HashRouter,
     ProcessShardExecutor,
+    RecoveryEvent,
+    RecoveryPolicy,
     SerialShardExecutor,
     ShardExecutor,
     ShardRouter,
+    ShardSupervisor,
     ShardedLocater,
     ThreadShardExecutor,
 )
@@ -240,9 +246,13 @@ from repro.coarse import (
     SelfTrainingClassifier,
 )
 from repro.errors import (
+    ClusterError,
     ConfigurationError,
     LocalizationError,
     ReproError,
+    ShardQuarantinedError,
+    ShardTimeoutError,
+    ShardUnavailableError,
     SimulationError,
     SpaceModelError,
     StorageError,
@@ -318,6 +328,7 @@ __all__ = [
     "BuildingBuilder",
     "CachingEngine",
     "ClusterCacheStats",
+    "ClusterError",
     "ClusterIngestReport",
     "CoarseLocalizer",
     "ColumnStore",
@@ -330,6 +341,9 @@ __all__ = [
     "Device",
     "DeviceAffinityIndex",
     "EventTable",
+    "Fault",
+    "FaultInjectingExecutor",
+    "FaultPlan",
     "FineLocalizer",
     "FineMode",
     "FineResult",
@@ -352,6 +366,8 @@ __all__ = [
     "ProcessShardExecutor",
     "QueryGroup",
     "QueryPlan",
+    "RecoveryEvent",
+    "RecoveryPolicy",
     "Region",
     "ReproError",
     "Room",
@@ -363,7 +379,11 @@ __all__ = [
     "SelfTrainingClassifier",
     "SerialShardExecutor",
     "ShardExecutor",
+    "ShardQuarantinedError",
     "ShardRouter",
+    "ShardSupervisor",
+    "ShardTimeoutError",
+    "ShardUnavailableError",
     "SharedMemoryColumnStore",
     "ShardedLocater",
     "SimulationError",

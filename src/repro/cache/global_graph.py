@@ -157,6 +157,20 @@ class GlobalAffinityGraph:
                                for obs in vector]))
         return extracted
 
+    def snapshot_edges(self) -> "list[tuple[str, str, list[tuple[float, float]]]]":
+        """Copy every edge vector *without* removing it (checkpointing).
+
+        Same plain-tuple payload as :meth:`extract_edges` — suitable for
+        :meth:`insert_edges` into a fresh graph — but non-destructive:
+        the supervision layer snapshots shard caches after successful
+        operations so a resurrected shard can be restored bitwise, while
+        the live graph keeps serving.  Deterministic: edges are returned
+        in graph insertion order.
+        """
+        return [(mac_a, mac_b,
+                 [(obs.weight, obs.timestamp) for obs in vector])
+                for (mac_a, mac_b), vector in self._edges.items()]
+
     def insert_edges(self, edges: "Iterable[tuple[str, str, list[tuple[float, float]]]]"
                      ) -> int:
         """Append extracted edge vectors (see :meth:`extract_edges`).

@@ -93,6 +93,66 @@ Typical use::
     cluster.ingest(new_events)                  # merge once, fan out
     cluster.close()
 
+Operating a cluster under failure
+---------------------------------
+
+Pass ``recovery=RecoveryPolicy()`` to :class:`ShardedLocater
+<repro.cluster.sharded.ShardedLocater>` and the cluster serves through
+worker crashes instead of surfacing them:
+
+* **Detection** (:mod:`repro.cluster.executor`) — every pipe failure is
+  typed: a dead worker raises
+  :class:`~repro.errors.ShardUnavailableError` (with exit-code
+  forensics: ``killed by SIGKILL``, ``exit code 1``...), a silent one
+  raises :class:`~repro.errors.ShardTimeoutError` once the executor's
+  ``call_timeout`` elapses (a timed-out pipe is desynchronized, so the
+  shard is marked dead until restarted), and fan-out failures aggregate
+  into one :class:`~repro.errors.ClusterCallError` naming every failed
+  shard while keeping the survivors' results.
+* **Recovery** (:mod:`repro.cluster.supervision`) — the
+  :class:`~repro.cluster.supervision.ShardSupervisor` retries transient
+  failures under the policy's restart budget with deterministic
+  backoff, resurrects the shard from its factory, and restores the §5
+  cache from the last post-operation checkpoint.  Shard state outside
+  the cache is a pure function of the replicated log, so a resurrected
+  shard answers **bitwise identically** to one that never died — cache
+  contents and hit/miss counters included — as long as the crash fell
+  between operations (the checkpoint granularity; a crash *inside* an
+  operation loses at most that operation's cache delta, never answer
+  correctness).  Every restart is recorded as a
+  :class:`~repro.cluster.supervision.RecoveryEvent`.
+* **Degradation** — a shard that exhausts its restart budget is
+  quarantined.  ``RecoveryPolicy(degraded="error")`` (default) raises
+  :class:`~repro.errors.ShardQuarantinedError` for queries routed to
+  it; ``degraded="fallback"`` answers them from an in-process
+  caching-off ``Locater`` over the authoritative table — correct
+  answers, reduced throughput.  Surviving shards are untouched either
+  way (their answers stay bitwise identical).
+* **Chaos harness** (:mod:`repro.cluster.faults`) — a
+  :class:`~repro.cluster.faults.FaultPlan` scripts kill/hang/corrupt
+  faults at exact dispatch indices and the
+  :class:`~repro.cluster.faults.FaultInjectingExecutor` wraps any real
+  executor to fire them deterministically, which is what lets the test
+  suite assert *bitwise* recovery rather than probabilistic survival.
+* **Crash-safe shared memory** — segment names embed the owner pid, so
+  :func:`repro.events.purge_orphan_segments` can reclaim segments
+  orphaned by a hard-killed owner.
+
+``examples/fault_tolerant_cluster.py`` scripts a mid-workload worker
+kill and shows the cluster recovering to bitwise-identical answers;
+``benchmarks/test_bench_cluster_recovery.py`` measures recovery latency
+and degraded-mode availability.
+
+Typical use::
+
+    from repro import RecoveryPolicy, ShardedLocater
+
+    cluster = ShardedLocater(building, metadata, table, shard_count=4,
+                             executor=ProcessShardExecutor(),
+                             recovery=RecoveryPolicy(max_restarts=2))
+    answers = cluster.locate_batch(queries)   # survives worker crashes
+    cluster.recovery_events                   # what happened, when
+
 ``examples/campus_cluster.py`` walks a 3-building campus on a 4-shard
 cluster with streaming ingest; ``examples/cluster_caching.py`` shows
 caching-on cluster serving under the component router;
@@ -107,6 +167,11 @@ from repro.cluster.executor import (
     SerialShardExecutor,
     ShardExecutor,
     ThreadShardExecutor,
+)
+from repro.cluster.faults import (
+    Fault,
+    FaultInjectingExecutor,
+    FaultPlan,
 )
 from repro.cluster.router import (
     BuildingAffinityRouter,
@@ -123,6 +188,11 @@ from repro.cluster.sharded import (
     ClusterIngestReport,
     ShardedLocater,
 )
+from repro.cluster.supervision import (
+    RecoveryEvent,
+    RecoveryPolicy,
+    ShardSupervisor,
+)
 
 __all__ = [
     "BuildingAffinityRouter",
@@ -130,12 +200,18 @@ __all__ = [
     "ClusterCacheStats",
     "ClusterIngestReport",
     "ComponentAffinityRouter",
+    "Fault",
+    "FaultInjectingExecutor",
+    "FaultPlan",
     "HashRouter",
     "ProcessShardExecutor",
+    "RecoveryEvent",
+    "RecoveryPolicy",
     "SerialShardExecutor",
     "Shard",
     "ShardExecutor",
     "ShardRouter",
+    "ShardSupervisor",
     "ShardedLocater",
     "ThreadShardExecutor",
     "partition_events",

@@ -163,9 +163,42 @@ class Shard:
             return 0
         return cache.graph.insert_edges(edges)
 
+    def export_cache_state(self) -> "dict | None":
+        """Snapshot the full caching state (non-destructive checkpoint).
+
+        The supervision layer calls this after successful operations;
+        :meth:`import_cache_state` on a freshly resurrected shard
+        restores the snapshot, making post-recovery cache contents *and*
+        hit/miss counters bitwise-identical to a shard that never died.
+        ``None`` when caching is off (nothing to restore).  Plain-tuple
+        edges payload, so it crosses process executors' pickled pipes.
+        """
+        cache = self.locater.cache
+        if cache is None:
+            return None
+        return {
+            "edges": cache.graph.snapshot_edges(),
+            "hits": cache.hits,
+            "misses": cache.misses,
+        }
+
+    def import_cache_state(self, state: "dict | None") -> None:
+        """Restore a :meth:`export_cache_state` snapshot after restart."""
+        cache = self.locater.cache
+        if cache is None or state is None:
+            return
+        cache.graph.clear()
+        cache.graph.insert_edges(state["edges"])
+        cache.hits = state["hits"]
+        cache.misses = state["misses"]
+
     # ------------------------------------------------------------------
     # Observability / lifecycle
     # ------------------------------------------------------------------
+    def ping(self) -> int:
+        """Liveness probe: answers with the shard id (supervision)."""
+        return self.shard_id
+
     def cache_stats(self) -> "dict[str, int] | None":
         """The shard's caching-engine counters (None when caching off)."""
         cache = self.locater.cache

@@ -43,10 +43,24 @@ import weakref
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
-from repro.cluster.executor import SerialShardExecutor, ShardExecutor
+from repro.cluster.executor import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    ShardFactory,
+)
 from repro.cluster.router import HashRouter, ShardRouter, partition_events
 from repro.cluster.shard import Shard
-from repro.errors import ClusterError, ConfigurationError
+from repro.cluster.supervision import (
+    RecoveryEvent,
+    RecoveryPolicy,
+    ShardSupervisor,
+)
+from repro.errors import (
+    ClusterError,
+    ConfigurationError,
+    ShardQuarantinedError,
+)
 from repro.events.columns import SharedMemoryColumnStore
 from repro.events.event import ConnectivityEvent
 from repro.events.table import EventTable, TableDescriptor
@@ -237,6 +251,18 @@ class ShardedLocater:
             ``ProcessShardExecutor(start_method='spawn')``.  The caller
             still owns the table: close it (``table.close()``) after
             the cluster to unlink the segments.
+        recovery: Opt into fault tolerance: a
+            :class:`~repro.cluster.supervision.RecoveryPolicy` puts a
+            :class:`~repro.cluster.supervision.ShardSupervisor` between
+            the cluster and the executor, so dead or hung shard workers
+            are detected, resurrected deterministically (restart budget
+            and backoff per the policy) and — once the budget is
+            exhausted — quarantined, degrading only their own devices
+            (``policy.degraded``: typed error or parent-side fallback)
+            while every other shard keeps serving bitwise-unchanged.
+            ``policy.call_timeout`` is applied to a process executor's
+            receives.  None (default): failures surface as
+            :class:`~repro.errors.ClusterError` exactly as before.
 
     Example:
         >>> cluster = ShardedLocater(building, metadata, table,
@@ -253,7 +279,8 @@ class ShardedLocater:
                  executor: "ShardExecutor | None" = None,
                  config: "LocaterConfig | None" = None,
                  storage: "StorageEngine | None" = None,
-                 shared_memory: bool = False) -> None:
+                 shared_memory: bool = False,
+                 recovery: "RecoveryPolicy | None" = None) -> None:
         if shard_count < 1:
             raise ConfigurationError(
                 f"shard_count must be >= 1, got {shard_count}")
@@ -309,7 +336,29 @@ class ShardedLocater:
                 engine = None if in_process else IngestionEngine(table)
                 return Shard(shard_id, locater, engine=engine)
 
+        if recovery is not None and recovery.call_timeout is not None:
+            # Reach through a wrapper (e.g. FaultInjectingExecutor) so
+            # the timeout lands on the executor that owns the pipes.
+            target = getattr(self._executor, "inner", self._executor)
+            if isinstance(target, ProcessShardExecutor):
+                target.call_timeout = recovery.call_timeout
         self._executor.start(factory, shard_count)
+        self._recovery = recovery
+        self._fallback: "Locater | None" = None
+        if recovery is not None:
+            caching_on = config.use_caching if config is not None else True
+            self._supervisor: "ShardSupervisor | None" = ShardSupervisor(
+                self._executor, policy=recovery,
+                # Attached workers must map the table's *current*
+                # segments at resurrection time; the start-time
+                # descriptor goes stale at the first ingest.  Fork /
+                # in-process factories re-derive current state on their
+                # own (a re-fork inherits the merged table).
+                factory_provider=self._shard_factory
+                if self._attached_shards else None,
+                checkpoints=caching_on)
+        else:
+            self._supervisor = None
         # States handed out by make_batch_state, pruned on every ingest
         # so held states never serve memos staled by new events.  Weak:
         # the cluster must not keep abandoned states (and their neighbor
@@ -318,6 +367,12 @@ class ShardedLocater:
             weakref.WeakSet()
         self._closed = False
         self._poisoned = False
+
+    def _shard_factory(self) -> ShardFactory:
+        """A fresh attached-shard factory over the current table state."""
+        return _AttachedShardFactory(
+            self._building, self._metadata, self._config,
+            self._table.describe())
 
     # ------------------------------------------------------------------
     @property
@@ -354,6 +409,71 @@ class ShardedLocater:
         """The shard that owns ``mac``."""
         return self._router.shard_of(mac, self._shard_count)
 
+    @property
+    def supervisor(self) -> "ShardSupervisor | None":
+        """The supervision layer (None unless ``recovery`` was given)."""
+        return self._supervisor
+
+    @property
+    def quarantined(self) -> frozenset[int]:
+        """Shards offline for good (restart budget exhausted)."""
+        return self._supervisor.quarantined \
+            if self._supervisor is not None else frozenset()
+
+    @property
+    def recovery_events(self) -> list[RecoveryEvent]:
+        """Every recovery episode so far (empty without supervision)."""
+        return list(self._supervisor.events) \
+            if self._supervisor is not None else []
+
+    # -- supervised dispatch (falls through when recovery is off) ------
+    def _call_all(self, method: str,
+                  args_per_shard: "Sequence[tuple] | None" = None
+                  ) -> list:
+        if self._supervisor is not None:
+            return self._supervisor.call_all(method, args_per_shard)
+        return self._executor.call_all(method, args_per_shard)
+
+    def _call_one(self, shard_id: int, method: str, *args) -> object:
+        if self._supervisor is not None:
+            return self._supervisor.call_one(shard_id, method, *args)
+        return self._executor.call_one(shard_id, method, *args)
+
+    def _checkpoint(self, shard_ids: "Iterable[int] | None" = None) -> None:
+        if self._supervisor is not None:
+            self._supervisor.checkpoint(shard_ids)
+
+    def _fallback_locater(self) -> Locater:
+        """Parent-side degraded-mode server for quarantined devices.
+
+        Cache-less (so surviving shards' aggregated cache counters stay
+        exactly a lone system's minus the quarantined slice) and
+        storage-less (degraded answers are best-effort, never
+        persisted); reads the authoritative table, so answers are still
+        full-quality — just without the dead shard's warm state.
+        """
+        if self._fallback is None:
+            base = self._config if self._config is not None \
+                else LocaterConfig()
+            self._fallback = Locater(
+                self._building, self._metadata, self._table,
+                config=base.with_(use_caching=False))
+        return self._fallback
+
+    def _degraded_answer(self, shard_id: int, queries: list[LocationQuery],
+                         bucket_seconds: float,
+                         share_computation: bool) -> list[LocationAnswer]:
+        """Serve a quarantined shard's slice per the degradation policy."""
+        if self._recovery is None or self._recovery.degraded == "error":
+            macs = sorted({query.mac for query in queries})
+            raise ShardQuarantinedError(
+                shard_id,
+                f"shard {shard_id} is quarantined (restart budget "
+                f"exhausted); its devices are offline: {', '.join(macs)}")
+        return self._fallback_locater().locate_batch(
+            queries, bucket_seconds=bucket_seconds,
+            share_computation=share_computation)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -363,10 +483,27 @@ class ShardedLocater:
             LocationQuery(mac=mac, timestamp=timestamp))
 
     def locate_query(self, query: LocationQuery) -> LocationAnswer:
-        """Answer an explicit :class:`LocationQuery` on its owning shard."""
+        """Answer an explicit :class:`LocationQuery` on its owning shard.
+
+        Under supervision a dead owning shard is resurrected first; a
+        quarantined one degrades per the recovery policy (typed error
+        or parent-side fallback).
+        """
         self._check_open()
-        return self._executor.call_one(self.shard_of(query.mac),
-                                       "locate_query", query)
+        shard_id = self.shard_of(query.mac)
+        if self._supervisor is None:
+            return self._executor.call_one(shard_id, "locate_query", query)
+        try:
+            if shard_id in self._supervisor.quarantined:
+                raise ShardQuarantinedError(
+                    shard_id, f"shard {shard_id} is quarantined")
+            answer = self._supervisor.call_one(
+                shard_id, "locate_query", query)
+        except ShardQuarantinedError:
+            return self._degraded_answer(
+                shard_id, [query], DEFAULT_BUCKET_SECONDS, True)[0]
+        self._checkpoint([shard_id])
+        return answer
 
     def locate_batch(self, queries: Iterable[LocationQuery],
                      bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
@@ -394,14 +531,31 @@ class ShardedLocater:
             ([query for _, query in part], bucket_seconds,
              timings is not None, share_computation, shard_state)
             for part, shard_state in zip(parts, shard_states)]
-        results = self._executor.call_all("locate_batch", args)
+        results = self._call_all("locate_batch", args)
         answers: "list[LocationAnswer | None]" = [None] * len(queries)
-        for part, (part_answers, part_timings) in zip(parts, results):
+        served: list[int] = []
+        for shard_id, (part, result) in enumerate(zip(parts, results)):
+            if result is None:
+                # Only the supervised path yields None slots: the shard
+                # is quarantined (before the call, or its recovery
+                # failed mid-call).  Its slice degrades per policy;
+                # every other shard's slice is untouched.
+                if not part:
+                    continue
+                part_answers = self._degraded_answer(
+                    shard_id, [query for _, query in part],
+                    bucket_seconds, share_computation)
+                part_timings = None
+            else:
+                part_answers, part_timings = result
+                if part:
+                    served.append(shard_id)
             for (index, _), answer in zip(part, part_answers):
                 answers[index] = answer
             if timings is not None and part_timings:
                 timings.extend((part[local][0], seconds)
                                for local, seconds in part_timings)
+        self._checkpoint(served)
         return answers  # type: ignore[return-value]  # every slot filled
 
     def make_batch_state(self, max_snapshots: "int | None" = None
@@ -458,7 +612,7 @@ class ShardedLocater:
         with self._poison_on_failure():
             self._migrate_moved(moved)
             if self._executor.in_process:
-                summaries = self._executor.call_all(
+                summaries = self._call_all(
                     "on_ingest", [(report,)] * self._shard_count)
                 self._prune_states(report,
                                    self._merge_summaries(summaries))
@@ -468,12 +622,13 @@ class ShardedLocater:
                 # idle between calls (synchronous dispatch), so no read
                 # races the handle swap.
                 payload = self._table.sync_payload(generation_before)
-                self._executor.call_all(
+                self._call_all(
                     "apply_table_sync",
                     [(payload, report)] * self._shard_count)
             else:
-                self._executor.call_all("ingest_events",
-                                        [(stamped,)] * self._shard_count)
+                self._call_all("ingest_events",
+                               [(stamped,)] * self._shard_count)
+        self._checkpoint()
         return ClusterIngestReport(
             total=report,
             shard_reports=tuple(
@@ -502,11 +657,12 @@ class ShardedLocater:
         moved = self._router.observe_table(self._table, report.macs)
         with self._poison_on_failure():
             self._migrate_moved(moved)
-            summaries: list[InvalidationSummary] = \
-                self._executor.call_all(
+            summaries: "list[InvalidationSummary | None]" = \
+                self._call_all(
                     "on_ingest", [(report,)] * self._shard_count)
             merged = self._merge_summaries(summaries)
             self._prune_states(report, merged)
+        self._checkpoint()
         return merged
 
     def _migrate_moved(self, moved: frozenset[str]) -> None:
@@ -537,28 +693,47 @@ class ShardedLocater:
             for mac in macs:
                 if self.shard_of(mac) != shard_id:
                     view.clear_answers(mac)
-        exports = self._executor.call_all(
+        exports = self._call_all(
             "export_cache_edges", [(macs,)] * self._shard_count)
         payloads: "list[list[tuple[str, str, list[tuple[float, float]]]]]" \
             = [[] for _ in range(self._shard_count)]
         for edges in exports:
-            for mac_a, mac_b, vector in edges:
+            # A None slot is a quarantined shard (supervised path): its
+            # cache is unreachable and its devices are offline, so
+            # nothing can be migrated from it.
+            for mac_a, mac_b, vector in edges or ():
                 payloads[self.shard_of(min(mac_a, mac_b))].append(
                     (mac_a, mac_b, vector))
         if any(payloads):
-            self._executor.call_all(
+            self._call_all(
                 "import_cache_edges",
                 [(payload,) for payload in payloads])
+        if any(edges for edges in exports if edges):
+            # The extraction was destructive on the source shards; a
+            # later crash must not resurrect one from a pre-extraction
+            # checkpoint (the moved edges would exist twice).
+            self._checkpoint()
 
     @staticmethod
-    def _merge_summaries(summaries: "Sequence[InvalidationSummary]"
+    def _merge_summaries(summaries: "Sequence[InvalidationSummary | None]"
                          ) -> InvalidationSummary:
+        # A None slot means the supervised path resurrected (or
+        # quarantined) that shard instead of running its invalidation —
+        # the rebuilt shard is fresh against the merged table, but any
+        # *parent-side* state derived from the old shard must be
+        # considered fully stale, so the merge escalates to a full
+        # invalidation (bitwise-safe: serving from a reset state equals
+        # serving from a fresh one).
+        present = [s for s in summaries if s is not None]
+        full = any(s.full for s in present) or len(present) < len(summaries)
         return InvalidationSummary(
-            full=any(s.full for s in summaries),
-            macs=frozenset().union(*(s.macs for s in summaries)),
+            full=full,
+            macs=frozenset().union(*(s.macs for s in present))
+            if present else frozenset(),
             delta_changed=frozenset().union(
-                *(s.delta_changed for s in summaries)),
-            answers_dropped=sum(s.answers_dropped for s in summaries))
+                *(s.delta_changed for s in present))
+            if present else frozenset(),
+            answers_dropped=sum(s.answers_dropped for s in present))
 
     def _prune_states(self, report: IngestReport,
                       summary: InvalidationSummary) -> None:
@@ -601,7 +776,7 @@ class ShardedLocater:
         bitwise equal to a lone system's ``cache.stats()``.
         """
         self._check_open()
-        per_shard = self._executor.call_all("cache_stats")
+        per_shard = self._call_all("cache_stats")
         counters = [stats for stats in per_shard if stats is not None]
         total = None
         if counters:
@@ -609,10 +784,10 @@ class ShardedLocater:
                      for key in counters[0]}
         return ClusterCacheStats(per_shard=tuple(per_shard), total=total)
 
-    def shard_stats(self) -> list[dict[str, int]]:
-        """Per-shard serving counters (events, devices, ingests)."""
+    def shard_stats(self) -> "list[dict[str, int] | None]":
+        """Per-shard serving counters (None slots: quarantined shards)."""
         self._check_open()
-        return self._executor.call_all("stats")
+        return self._call_all("stats")
 
     def table_memory(self) -> dict:
         """Event-table memory accounting: parent plus every shard.
@@ -626,9 +801,11 @@ class ShardedLocater:
         """
         self._check_open()
         parent = self._table.memory_stats()
-        shards = self._executor.call_all("table_memory")
+        shards = self._call_all("table_memory")
         private = 0
         for stats in shards:
+            if stats is None:  # quarantined shard: holds no live table
+                continue
             if stats["kind"] == "shared-attached":
                 continue  # maps the parent's segments: counted once below
             if self._executor.in_process:

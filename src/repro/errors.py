@@ -57,3 +57,67 @@ class StorageError(ReproError):
 
 class ClusterError(ReproError):
     """A sharded cluster failed: a shard call raised, or a worker died."""
+
+
+class ShardUnavailableError(ClusterError):
+    """A shard worker is dead or unreachable (pipe EOF, broken pipe).
+
+    Carries ``shard_id`` so supervision can target recovery at the one
+    failed shard instead of restarting the whole cluster.
+    """
+
+    def __init__(self, shard_id: int, message: str) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class ShardTimeoutError(ClusterError):
+    """A shard call exceeded the configured timeout (worker hung).
+
+    A timed-out pipe is desynchronized — the late reply would be read as
+    the answer to the *next* call — so the shard is marked dead and must
+    be restarted before it can serve again.
+    """
+
+    def __init__(self, shard_id: int, message: str) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class ShardQuarantinedError(ClusterError):
+    """A shard exhausted its restart budget and its devices are offline.
+
+    Raised (under ``RecoveryPolicy(degraded="error")``) when a query
+    routes to a quarantined shard; the remaining shards keep serving
+    their devices bitwise-unchanged.
+    """
+
+    def __init__(self, shard_id: int, message: str) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class ClusterCallError(ClusterError):
+    """One or more shards failed during a fan-out call.
+
+    Aggregates *every* failed shard (not just the first) and carries the
+    partial results so supervision can retry only the failed slice:
+
+    * ``shard_ids`` — the shard ids the call targeted, in dispatch order.
+    * ``results`` — one slot per targeted shard, aligned with
+      ``shard_ids``; ``None`` where that shard failed.
+    * ``failures`` — mapping of shard id to the exception it raised.
+    """
+
+    def __init__(self, method: str, shard_ids: "list[int]",
+                 results: "list[object]",
+                 failures: "dict[int, Exception]") -> None:
+        failed = ", ".join(
+            f"shard {shard_id}: {failures[shard_id]}"
+            for shard_id in sorted(failures))
+        super().__init__(
+            f"{len(failures)} shard(s) failed during {method!r} — {failed}")
+        self.method = method
+        self.shard_ids = shard_ids
+        self.results = results
+        self.failures = failures

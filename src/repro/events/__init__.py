@@ -53,6 +53,7 @@ from repro.events.columns import (
     ColumnStore,
     HeapColumnStore,
     SharedMemoryColumnStore,
+    purge_orphan_segments,
 )
 from repro.events.device import Device, DeviceRegistry
 from repro.events.event import ConnectivityEvent
@@ -86,5 +87,6 @@ __all__ = [
     "ValidityInterval",
     "extract_gaps",
     "find_gap_at",
+    "purge_orphan_segments",
     "validity_intervals",
 ]

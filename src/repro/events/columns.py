@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import re
 import shutil
 import tempfile
 import uuid
@@ -426,9 +427,11 @@ class SharedMemoryColumnStore(ColumnStore):
     def __init__(self, prefix: "str | None" = None) -> None:
         super().__init__()
         # Segment names must be unique machine-wide and short (NAME_MAX
-        # applies); the prefix keys all segments of one store.
+        # applies); the prefix keys all segments of one store.  The full
+        # owner pid is embedded so :func:`purge_orphan_segments` can
+        # tell a crashed owner's leftovers from a live one's segments.
         self._prefix = prefix if prefix is not None else \
-            f"loc-{os.getpid() & 0xFFFF:04x}-{uuid.uuid4().hex[:8]}"
+            f"loc-{os.getpid()}-{uuid.uuid4().hex[:6]}"
         self._sequence = 0
 
     @classmethod
@@ -480,3 +483,72 @@ class SharedMemoryColumnStore(ColumnStore):
         if self.is_attached:
             out["kind"] = "shared-attached"
         return out
+
+
+#: Segment names minted by owner-mode stores: ``loc-<pid>-<token>-<seq>``.
+_SEGMENT_NAME_RE = re.compile(r"^loc-(\d+)-[0-9a-f]+-\d{6}$")
+
+
+def _owner_alive(pid: int) -> bool:
+    """Whether the process that minted a segment name still runs.
+
+    Signal 0 probes existence without delivering anything; EPERM means
+    the pid exists but belongs to another user — still alive.
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def purge_orphan_segments(shm_dir: str = "/dev/shm") -> list[str]:
+    """Unlink shared-memory segments whose owning process died hard.
+
+    The crash-safety gap in the segment lifecycle: an owner that exits
+    cleanly unlinks its segments, and an owner that merely crashes
+    *inside Python* is covered by the resource tracker — but an owner
+    SIGKILLed under ``fork`` shares the tracker process with its parent,
+    and the tracker only reclaims at *parent* exit.  Until then the
+    orphan pins ``/dev/shm`` (and tmpfs is RAM).  This sweep closes the
+    window: every segment name embeds its owner's pid, so a segment
+    whose owner no longer exists is provably garbage — no live store can
+    resolve it (attach is by exact name, and readers never outlive the
+    tables that adopted the names).
+
+    Scans ``shm_dir`` for owner-minted names, probes each embedded pid,
+    and unlinks segments of dead owners.  Returns the reclaimed names
+    (sorted, deterministic).  Safe to call from any process at any time:
+    live owners are never touched, races with a concurrent purge or the
+    resource tracker are tolerated (already-gone is success).
+    """
+    try:
+        names = sorted(os.listdir(shm_dir))
+    except OSError:
+        return []
+    reclaimed: list[str] = []
+    for name in names:
+        match = _SEGMENT_NAME_RE.match(name)
+        if match is None:
+            continue
+        owner_dead = not _owner_alive(int(match.group(1)))
+        if owner_dead:
+            try:
+                os.unlink(os.path.join(shm_dir, name))
+            except OSError:
+                continue
+            # In the common case the purger is the parent of the dead
+            # (forked) owner and shares its resource tracker — drop the
+            # stale registration so tracker shutdown stays silent.  The
+            # register/unregister pair nets to "not registered" without
+            # tripping the tracker's KeyError when the dead owner used
+            # its own tracker (its registrations died with it).
+            try:
+                resource_tracker.register(f"/{name}", "shared_memory")
+                resource_tracker.unregister(f"/{name}", "shared_memory")
+            except Exception:
+                pass
+            reclaimed.append(name)
+    return reclaimed

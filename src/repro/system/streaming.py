@@ -144,8 +144,12 @@ class StreamingSession:
         return self.query([LocationQuery(mac=mac, timestamp=timestamp)])[0]
 
     def close(self) -> None:
-        """Detach from the engine's change feed."""
-        self._unsubscribe()
+        """Detach from the engine's change feed.  Idempotent — shard
+        teardown may run again after a supervised restart replaces a
+        half-closed worker."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
 
     def __enter__(self) -> "StreamingSession":
         return self

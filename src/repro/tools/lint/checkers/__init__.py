@@ -15,4 +15,5 @@ from repro.tools.lint.checkers import (  # noqa: F401  (registration imports)
     invalidation,
     isolation,
     lifecycle,
+    supervision,
 )

@@ -1,0 +1,149 @@
+"""RL006 — pipe failures in the cluster layer must surface typed.
+
+The fault-tolerance contract (:mod:`repro.cluster.supervision`) hinges
+on one property of the dispatch layer: **every way a pipe can fail maps
+to a typed cluster error**.  The supervisor retries
+:class:`~repro.errors.ShardUnavailableError` /
+:class:`~repro.errors.ShardTimeoutError` and propagates everything
+else; a raw ``BrokenPipeError`` / ``EOFError`` / ``OSError`` escaping
+``connection.send`` or ``connection.recv`` would bypass recovery
+entirely and kill the serving call with an untyped, shard-anonymous
+error.  The executors establish the idiom (see
+``ProcessShardExecutor._send`` / ``_receive`` and ``_worker_send`` in
+:mod:`repro.cluster.executor`); this rule keeps every future pipe
+touch point honest.
+
+Mechanically, every ``*.send(...)`` / ``*.recv(...)`` call in a
+``repro/cluster/`` module must sit in the body of a ``try`` with at
+least one handler that catches pipe failures (``EOFError``,
+``BrokenPipeError``, ``ConnectionError``, ``ConnectionResetError``,
+``OSError``, or a bare/``Exception`` catch), and every such handler
+must either
+
+* raise a ``Cluster*``/``Shard*``-named error (the mapping), or
+* contain no ``raise`` at all (deliberate swallow — the worker-side
+  "parent is gone, exit quietly" path).
+
+A handler that re-raises raw (bare ``raise``) or raises anything not
+cluster-typed defeats the mapping and is flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from collections.abc import Iterator
+
+from repro.tools.lint.checkers._astutil import build_parents, called_name
+from repro.tools.lint.core import Checker, FileContext, Violation, register
+
+#: Exception names that count as catching an OS-level pipe failure.
+PIPE_ERRORS = frozenset({
+    "EOFError", "BrokenPipeError", "ConnectionError",
+    "ConnectionResetError", "OSError", "IOError",
+    "Exception", "BaseException",
+})
+
+#: Error-name prefixes that count as the typed cluster mapping.
+TYPED_PREFIXES = ("Cluster", "Shard")
+
+
+def _caught_names(handler: ast.ExceptHandler) -> set[str]:
+    """The exception names one ``except`` clause catches."""
+    node = handler.type
+    if node is None:  # bare except
+        return {"BaseException"}
+    items = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: set[str] = set()
+    for item in items:
+        if isinstance(item, ast.Name):
+            names.add(item.id)
+        elif isinstance(item, ast.Attribute):
+            names.add(item.attr)
+    return names
+
+
+def _raises_typed(handler: ast.ExceptHandler) -> bool:
+    """Whether a handler maps to a Cluster*/Shard* error, or swallows.
+
+    False exactly when the handler contains a ``raise`` that is *not* a
+    cluster-typed error — a bare re-raise or a foreign exception type.
+    """
+    for node in ast.walk(handler):
+        if not isinstance(node, ast.Raise):
+            continue
+        exc = node.exc
+        if exc is None:
+            return False  # bare re-raise: propagates the raw OSError
+        name: "str | None" = None
+        if isinstance(exc, ast.Call):
+            name = called_name(exc)
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name is None or not name.startswith(TYPED_PREFIXES):
+            return False
+    return True
+
+
+@register
+class ClusterPipeFailures(Checker):
+    """RL006: cluster pipe send/recv must map failures to typed errors."""
+
+    code = "RL006"
+    name = "cluster-pipe-failures"
+    description = (
+        "every connection.send/recv in repro/cluster/ sits in a try "
+        "whose handler catches pipe failures and either raises a "
+        "Cluster*/Shard* error or deliberately swallows — raw "
+        "BrokenPipeError/EOFError escaping dispatch bypasses shard "
+        "supervision")
+
+    def applies_to(self, path: pathlib.Path) -> bool:
+        return "cluster" in path.parts
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        parents = build_parents(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and
+                    isinstance(node.func, ast.Attribute) and
+                    node.func.attr in ("send", "recv")):
+                continue
+            problem = self._diagnose(node, parents)
+            if problem is not None:
+                yield Violation(
+                    path=ctx.posix_path, line=node.lineno,
+                    col=node.col_offset, code=self.code,
+                    message=f"{problem} — pipe failures must surface as "
+                            f"Cluster*/Shard* errors so supervision can "
+                            f"recover the shard (see "
+                            f"repro.cluster.executor)")
+
+    @staticmethod
+    def _diagnose(node: ast.Call, parents: dict) -> "str | None":
+        """Why this send/recv violates the rule, or None if guarded."""
+        verb = node.func.attr  # type: ignore[union-attr]
+        guarded = False
+        saw_pipe_handler = False
+        current: ast.AST = node
+        parent = parents.get(node)
+        while parent is not None:
+            if isinstance(parent, ast.Try) and \
+                    any(current is stmt for stmt in parent.body):
+                pipe_handlers = [
+                    handler for handler in parent.handlers
+                    if _caught_names(handler) & PIPE_ERRORS]
+                if pipe_handlers:
+                    saw_pipe_handler = True
+                    if all(_raises_typed(handler)
+                           for handler in pipe_handlers):
+                        guarded = True
+                        break
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            current, parent = parent, parents.get(parent)
+        if guarded:
+            return None
+        if saw_pipe_handler:
+            return (f"pipe {verb}() whose failure handler re-raises a "
+                    f"raw or foreign exception")
+        return f"unguarded pipe {verb}()"

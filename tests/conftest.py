@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.events.columns import purge_orphan_segments
 from repro.events.event import ConnectivityEvent
 from repro.events.table import EventTable
 from repro.sim.scenarios import ScenarioSpec
@@ -17,6 +18,26 @@ from repro.sim.simulator import Simulator
 from repro.space.builder import BuildingBuilder
 from repro.space.metadata import SpaceMetadata
 from repro.util.timeutil import minutes
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shared_memory_leak_check():
+    """``/dev/shm`` hygiene around the whole run.
+
+    Before: sweep orphans left by previously crashed runs, so stale
+    segments never masquerade as leaks of this run.  After: the chaos
+    suites SIGKILL shard workers on purpose — any segment whose owner
+    pid is dead at session end is a leak in the crash-safety story
+    (:func:`repro.events.columns.purge_orphan_segments` documents why
+    the resource tracker alone does not cover hard kills under fork),
+    so the sweep doubles as the leak assertion.
+    """
+    purge_orphan_segments()
+    yield
+    leaked = purge_orphan_segments()
+    assert leaked == [], (
+        f"dead-owner shared-memory segments leaked by this run "
+        f"(reclaimed now): {leaked}")
 
 
 @pytest.fixture

@@ -20,12 +20,20 @@ Mirrors ``test_batch_equivalence.py`` (batch workloads) and
 
 from __future__ import annotations
 
+import multiprocessing
+from collections import Counter
+
 import pytest
 
 from repro.cluster import (
     BuildingAffinityRouter,
     ComponentAffinityRouter,
+    Fault,
+    FaultInjectingExecutor,
+    FaultPlan,
+    HashRouter,
     ProcessShardExecutor,
+    RecoveryPolicy,
     SerialShardExecutor,
     ShardedLocater,
     ThreadShardExecutor,
@@ -52,6 +60,8 @@ EXECUTORS = {
     "thread": ThreadShardExecutor,
     "process": ProcessShardExecutor,
 }
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
 
 
 @pytest.fixture(scope="module")
@@ -481,3 +491,184 @@ class TestCachingEquivalence:
                 assert backend.find_answer(
                     f"{namespace}:{query.mac}", query.timestamp) == \
                     answer.location_label
+
+
+class TestChaosEquivalence:
+    """SIGKILL mid-workload: recovery is invisible at the bit level.
+
+    The chaos cluster and its uninterrupted control run the *identical
+    workload shape* — same batches, same splits — because splitting a
+    batch differently legitimately changes cache evolution (the shared
+    pre-pass sees different query sets).  Faults fire at scripted
+    dispatch indices (:mod:`repro.cluster.faults`), so recovery is the
+    only difference between the two runs and bitwise identity of
+    answers, storage side effects and summed cache counters is a
+    checkable equality, not a statistical claim.
+    """
+
+    @staticmethod
+    def _halves(queries):
+        middle = len(queries) // 2
+        return [queries[:middle], queries[middle:]]
+
+    @staticmethod
+    def _busiest_shard(probe_router, queries, shard_count):
+        """The shard owning the most queries (a victim worth killing)."""
+        owners = Counter(probe_router.shard_of(query.mac, shard_count)
+                         for query in queries)
+        return owners.most_common(1)[0][0]
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork unavailable")
+    def test_sigkill_mid_batch_fork_replica_bitwise(self, isolated_world):
+        # Caching ON: the recovered shard must restore cache contents
+        # and counters from the supervisor's checkpoint, not just
+        # re-serve its slice correctly.
+        dataset, queries = isolated_world
+        halves = self._halves(queries)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=4,
+                            router=ComponentAffinityRouter.from_table(
+                                dataset.table, dataset.building)) as control:
+            expected = [control.locate_batch(half) for half in halves]
+            expected_totals = control.cache_stats().total
+        probe = ComponentAffinityRouter.from_table(dataset.table,
+                                                   dataset.building)
+        victim = self._busiest_shard(probe, queries, 4)
+        plan = FaultPlan([Fault(shard_id=victim, kind="kill",
+                                method="locate_batch", call_index=1)])
+        executor = FaultInjectingExecutor(ProcessShardExecutor(), plan)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=4,
+                            router=ComponentAffinityRouter.from_table(
+                                dataset.table, dataset.building),
+                            executor=executor,
+                            recovery=RecoveryPolicy(backoff=(0.0,))
+                            ) as cluster:
+            assert [cluster.locate_batch(half)
+                    for half in halves] == expected
+            assert cluster.cache_stats().total == expected_totals
+            assert plan.exhausted
+            [episode] = cluster.recovery_events
+            assert episode.shard_id == victim
+            assert episode.outcome == "recovered"
+            assert "SIGKILL" in episode.error
+            assert cluster.quarantined == frozenset()
+
+    def test_sigkill_mid_batch_spawn_attached_bitwise(self, isolated_world):
+        # Spawned workers attach the owner's shared-memory segments;
+        # the resurrected worker must map the table's *current*
+        # segments (factory_provider), then restore its checkpoint.
+        dataset, queries = isolated_world
+        halves = self._halves(queries)
+        control_table = dataset.table.restrict(dataset.table.span())
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            control_table, shard_count=2,
+                            router=ComponentAffinityRouter.from_table(
+                                control_table, dataset.building)) as control:
+            expected = [control.locate_batch(half) for half in halves]
+            expected_totals = control.cache_stats().total
+        table = dataset.table.restrict(dataset.table.span())
+        probe = ComponentAffinityRouter.from_table(table, dataset.building)
+        victim = self._busiest_shard(probe, queries, 2)
+        plan = FaultPlan([Fault(shard_id=victim, kind="kill",
+                                method="locate_batch", call_index=1)])
+        executor = FaultInjectingExecutor(
+            ProcessShardExecutor(start_method="spawn"), plan)
+        try:
+            with ShardedLocater(dataset.building, dataset.metadata,
+                                table, shard_count=2,
+                                router=ComponentAffinityRouter.from_table(
+                                    table, dataset.building),
+                                executor=executor, shared_memory=True,
+                                recovery=RecoveryPolicy(backoff=(0.0,))
+                                ) as cluster:
+                assert [cluster.locate_batch(half)
+                        for half in halves] == expected
+                assert cluster.cache_stats().total == expected_totals
+                assert plan.exhausted
+                [episode] = cluster.recovery_events
+                assert episode.shard_id == victim
+                assert episode.outcome == "recovered"
+        finally:
+            table.close()  # unlink the shared segments (caller-owned)
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork unavailable")
+    def test_sigkill_mid_stream_fork_replica_bitwise(self, small_dataset):
+        # Streaming: ingests interleave with the kill, so the re-forked
+        # replacement must inherit the *merged* table, not the one the
+        # cluster started with.
+        dataset = small_dataset
+        workload = streaming_day_workload(dataset, batches=4,
+                                          queries_per_burst=6, seed=3)
+
+        def warm_table():
+            table = EventTable.from_events(workload.warmup)
+            DeltaEstimator().fit_table(table)
+            return table
+
+        control_table = warm_table()
+        expected = []
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            control_table, shard_count=3,
+                            router=ComponentAffinityRouter.from_table(
+                                control_table, dataset.building)) as control:
+            for batch in workload.batches:
+                control.ingest(batch.ingest)
+                expected.append(control.locate_batch(batch.queries))
+            expected_totals = control.cache_stats().total
+        chaos_table = warm_table()
+        probe = ComponentAffinityRouter.from_table(chaos_table,
+                                                   dataset.building)
+        victim = self._busiest_shard(
+            probe, workload.batches[2].queries, 3)
+        plan = FaultPlan([Fault(shard_id=victim, kind="kill",
+                                method="locate_batch", call_index=2)])
+        executor = FaultInjectingExecutor(ProcessShardExecutor(), plan)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            chaos_table, shard_count=3,
+                            router=ComponentAffinityRouter.from_table(
+                                chaos_table, dataset.building),
+                            executor=executor,
+                            recovery=RecoveryPolicy(backoff=(0.0,))
+                            ) as cluster:
+            got = []
+            for batch in workload.batches:
+                cluster.ingest(batch.ingest)
+                got.append(cluster.locate_batch(batch.queries))
+            assert got == expected
+            assert cluster.cache_stats().total == expected_totals
+            assert plan.exhausted
+            assert [episode.outcome
+                    for episode in cluster.recovery_events] == ["recovered"]
+
+    def test_sigkill_storage_side_effects_preserved(self, world):
+        # An in-process shard is killed (emulated crash: the shard
+        # object is discarded and rebuilt), yet the shared backend ends
+        # up byte-for-byte what the lone system persisted.
+        dataset, queries = world
+        config = LocaterConfig(use_caching=False)
+        halves = self._halves(queries)
+        lone_storage = InMemoryStorage()
+        lone = Locater(dataset.building, dataset.metadata, dataset.table,
+                       config=config, storage=lone_storage)
+        expected = [lone.locate_batch(half) for half in halves]
+        victim = self._busiest_shard(HashRouter(), queries, 3)
+        plan = FaultPlan([Fault(shard_id=victim, kind="kill",
+                                method="locate_batch", call_index=1)])
+        executor = FaultInjectingExecutor(ThreadShardExecutor(), plan)
+        backend = InMemoryStorage()
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=3, config=config,
+                            storage=backend, executor=executor,
+                            recovery=RecoveryPolicy(backoff=(0.0,))
+                            ) as cluster:
+            assert [cluster.locate_batch(half)
+                    for half in halves] == expected
+            assert plan.exhausted
+            assert [episode.shard_id
+                    for episode in cluster.recovery_events] == [victim]
+            for query in queries:
+                namespace = f"shard{cluster.shard_of(query.mac)}"
+                assert backend.find_answer(
+                    f"{namespace}:{query.mac}", query.timestamp) == \
+                    lone_storage.find_answer(query.mac, query.timestamp)

@@ -1,0 +1,363 @@
+"""Cluster recovery suite: resurrection, degradation, quarantine.
+
+Companion to ``test_cluster_equivalence.py``'s chaos class: that suite
+proves a recovered cluster is bitwise-indistinguishable from an
+uninterrupted one; this one exercises the rest of the fault-tolerance
+story — repeated kills within the restart budget, hung workers, kills
+landing in ingest fan-outs, attached-table resurrection against the
+*current* segments, and both degradation modes once a shard's budget is
+exhausted (typed error vs parent-side fallback).  Every comparison is
+still against a control running the identical workload shape: graceful
+degradation must leave the surviving shards bitwise-unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.cluster import (
+    ComponentAffinityRouter,
+    Fault,
+    FaultInjectingExecutor,
+    FaultPlan,
+    HashRouter,
+    ProcessShardExecutor,
+    RecoveryPolicy,
+    SerialShardExecutor,
+    ShardedLocater,
+)
+from repro.errors import ShardQuarantinedError
+from repro.eval.queries import generated_query_set, labeled_query_set
+from repro.events.table import EventTable
+from repro.events.validity import DeltaEstimator
+from repro.sim.scenarios import (
+    isolated_campus_dataset,
+    streaming_day_workload,
+)
+from repro.system.config import LocaterConfig
+from repro.system.locater import Locater
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(scope="module")
+def chaos_world():
+    # Three affinity components over the shards (see the equivalence
+    # suite's isolated_world): killing the busiest shard leaves other
+    # components' devices genuinely unaffected.
+    dataset = isolated_campus_dataset(buildings=3, population=24,
+                                      days=3, seed=17)
+    queries = labeled_query_set(dataset, per_device=2, seed=2)
+    queries += generated_query_set(dataset, count=40, seed=5)
+    return dataset, queries
+
+
+def _component_router(dataset, table=None):
+    table = table if table is not None else dataset.table
+    return ComponentAffinityRouter.from_table(table, dataset.building)
+
+
+def _busiest_shard(probe_router, queries, shard_count):
+    owners: dict[int, int] = {}
+    for query in queries:
+        shard_id = probe_router.shard_of(query.mac, shard_count)
+        owners[shard_id] = owners.get(shard_id, 0) + 1
+    return max(owners, key=lambda shard_id: (owners[shard_id], -shard_id))
+
+
+def _split(queries, parts):
+    size = len(queries) // parts
+    chunks = [queries[i * size:(i + 1) * size] for i in range(parts - 1)]
+    chunks.append(queries[(parts - 1) * size:])
+    return chunks
+
+
+class TestRecovery:
+    def test_budget_absorbs_repeated_kills_bitwise(self, chaos_world):
+        # Two scripted kills of the same shard, both within the default
+        # budget: two recovery episodes, zero quarantines, and the
+        # checkpoint restore keeps even the cache counters exact.
+        dataset, queries = chaos_world
+        thirds = _split(queries, 3)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=4,
+                            router=_component_router(dataset)) as control:
+            expected = [control.locate_batch(third) for third in thirds]
+            expected_totals = control.cache_stats().total
+        victim = _busiest_shard(_component_router(dataset), queries, 4)
+        # Dispatch indices to the victim: 0 = first batch, 1 = second
+        # batch (kill #1 fires), 2 = the recovery re-dispatch of the
+        # second batch's slice, 3 = third batch (kill #2 fires).
+        plan = FaultPlan([
+            Fault(shard_id=victim, kind="kill",
+                  method="locate_batch", call_index=1),
+            Fault(shard_id=victim, kind="kill",
+                  method="locate_batch", call_index=3),
+        ])
+        executor = FaultInjectingExecutor(SerialShardExecutor(), plan)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=4,
+                            router=_component_router(dataset),
+                            executor=executor,
+                            recovery=RecoveryPolicy(max_restarts=2,
+                                                    backoff=(0.0,))
+                            ) as cluster:
+            assert [cluster.locate_batch(third)
+                    for third in thirds] == expected
+            assert cluster.cache_stats().total == expected_totals
+            assert plan.exhausted
+            assert cluster.quarantined == frozenset()
+            assert cluster.supervisor.restarts == {victim: 2}
+            assert [episode.outcome for episode
+                    in cluster.recovery_events] == ["recovered"] * 2
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork unavailable")
+    def test_hung_worker_recovery_is_bitwise(self, chaos_world):
+        # SIGSTOP instead of SIGKILL: the dispatch times out, the wedged
+        # worker is retired (terminate escalating to kill — SIGTERM
+        # alone stays pending on a stopped process) and the replacement
+        # serves the same bytes.
+        dataset, queries = chaos_world
+        halves = _split(queries, 2)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=2,
+                            router=_component_router(dataset)) as control:
+            expected = [control.locate_batch(half) for half in halves]
+            expected_totals = control.cache_stats().total
+        victim = _busiest_shard(_component_router(dataset), queries, 2)
+        plan = FaultPlan([Fault(shard_id=victim, kind="hang",
+                                method="locate_batch", call_index=1)])
+        executor = FaultInjectingExecutor(
+            ProcessShardExecutor(call_timeout=0.5), plan)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=2,
+                            router=_component_router(dataset),
+                            executor=executor,
+                            recovery=RecoveryPolicy(backoff=(0.0,))
+                            ) as cluster:
+            assert [cluster.locate_batch(half)
+                    for half in halves] == expected
+            assert cluster.cache_stats().total == expected_totals
+            [episode] = cluster.recovery_events
+            assert episode.shard_id == victim
+            assert episode.outcome == "recovered"
+            assert "did not answer" in episode.error
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork unavailable")
+    def test_kill_during_ingest_fanout_keeps_replicas_consistent(
+            self, small_dataset):
+        # The kill lands in the ingest fan-out itself.  The supervisor
+        # must *not* re-dispatch ingest_events to the replacement (it
+        # re-forked from the already-merged parent table: a replay
+        # would double-merge) — SKIP_AFTER_RESTART covers this — and
+        # every replica must end up tracking the authoritative table.
+        dataset = small_dataset
+        workload = streaming_day_workload(dataset, batches=3,
+                                          queries_per_burst=6, seed=3)
+        config = LocaterConfig(use_caching=False)
+
+        def warm_table():
+            table = EventTable.from_events(workload.warmup)
+            DeltaEstimator().fit_table(table)
+            return table
+
+        control_table = warm_table()
+        expected = []
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            control_table, shard_count=3,
+                            config=config) as control:
+            for batch in workload.batches:
+                control.ingest(batch.ingest)
+                expected.append(control.locate_batch(batch.queries))
+        chaos_table = warm_table()
+        victim = _busiest_shard(HashRouter(),
+                                workload.batches[1].queries, 3)
+        plan = FaultPlan([Fault(shard_id=victim, kind="kill",
+                                method="ingest_events", call_index=1)])
+        executor = FaultInjectingExecutor(ProcessShardExecutor(), plan)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            chaos_table, shard_count=3, config=config,
+                            executor=executor,
+                            recovery=RecoveryPolicy(backoff=(0.0,))
+                            ) as cluster:
+            got = []
+            for batch in workload.batches:
+                cluster.ingest(batch.ingest)
+                got.append(cluster.locate_batch(batch.queries))
+            assert got == expected
+            assert plan.exhausted
+            [episode] = cluster.recovery_events
+            assert episode.method == "ingest_events"
+            assert episode.outcome == "recovered"
+            # Every replica — the resurrected one included — tracks the
+            # authoritative table exactly.
+            for stats in cluster.shard_stats():
+                assert stats["events"] == len(cluster.table)
+                assert stats["devices"] == cluster.table.device_count
+
+    @pytest.mark.skipif(not FORK_AVAILABLE, reason="fork unavailable")
+    def test_attached_worker_resurrects_against_current_segments(
+            self, small_dataset):
+        # Attached-table mode (shared_memory=True): the dead worker's
+        # replacement must map the table's *current* shared-memory
+        # segments — the start-time descriptor went stale at the first
+        # ingest — which is exactly what the supervisor's
+        # factory_provider exists for.
+        dataset = small_dataset
+        workload = streaming_day_workload(dataset, batches=3,
+                                          queries_per_burst=6, seed=3)
+
+        def warm_table():
+            table = EventTable.from_events(workload.warmup)
+            DeltaEstimator().fit_table(table)
+            return table
+
+        control_table = warm_table()
+        expected = []
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            control_table, shard_count=2,
+                            router=_component_router(
+                                dataset, control_table)) as control:
+            for batch in workload.batches:
+                control.ingest(batch.ingest)
+                expected.append(control.locate_batch(batch.queries))
+            expected_totals = control.cache_stats().total
+        chaos_table = warm_table()
+        victim = _busiest_shard(
+            _component_router(dataset, chaos_table),
+            workload.batches[1].queries, 2)
+        plan = FaultPlan([Fault(shard_id=victim, kind="kill",
+                                method="locate_batch", call_index=1)])
+        executor = FaultInjectingExecutor(ProcessShardExecutor(), plan)
+        try:
+            with ShardedLocater(dataset.building, dataset.metadata,
+                                chaos_table, shard_count=2,
+                                router=_component_router(
+                                    dataset, chaos_table),
+                                executor=executor, shared_memory=True,
+                                recovery=RecoveryPolicy(backoff=(0.0,))
+                                ) as cluster:
+                got = []
+                for batch in workload.batches:
+                    cluster.ingest(batch.ingest)
+                    got.append(cluster.locate_batch(batch.queries))
+                assert got == expected
+                assert cluster.cache_stats().total == expected_totals
+                [episode] = cluster.recovery_events
+                assert episode.shard_id == victim
+                assert episode.outcome == "recovered"
+        finally:
+            chaos_table.close()  # unlink caller-owned shared segments
+
+
+class TestDegradation:
+    """Restart budget exhausted: only the dead shard's devices degrade."""
+
+    def _quarantine_setup(self, chaos_world, degraded):
+        dataset, queries = chaos_world
+        probe = _component_router(dataset)
+        victim = _busiest_shard(probe, queries, 4)
+        survivors = [query for query in queries
+                     if probe.shard_of(query.mac, 4) != victim]
+        orphans = [query for query in queries
+                   if probe.shard_of(query.mac, 4) == victim]
+        assert survivors and orphans
+        plan = FaultPlan([Fault(shard_id=victim, kind="kill",
+                                method="locate_batch", call_index=0)])
+        executor = FaultInjectingExecutor(SerialShardExecutor(), plan)
+        cluster = ShardedLocater(
+            dataset.building, dataset.metadata, dataset.table,
+            shard_count=4, router=_component_router(dataset),
+            executor=executor,
+            recovery=RecoveryPolicy(max_restarts=0, backoff=(0.0,),
+                                    degraded=degraded))
+        return dataset, queries, victim, survivors, orphans, cluster
+
+    def test_error_mode_quarantine_isolates_the_dead_shard(
+            self, chaos_world):
+        dataset, queries, victim, survivors, orphans, cluster = \
+            self._quarantine_setup(chaos_world, degraded="error")
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=4,
+                            router=_component_router(dataset)) as control:
+            control.locate_batch(queries)
+            expected_survivors = control.locate_batch(survivors)
+            control_per_shard = control.cache_stats().per_shard
+        with cluster:
+            with pytest.raises(ShardQuarantinedError) as excinfo:
+                cluster.locate_batch(queries)
+            assert excinfo.value.shard_id == victim
+            # The error names the offline devices, so operators can see
+            # the blast radius without grepping logs.
+            assert orphans[0].mac in str(excinfo.value)
+            assert cluster.quarantined == {victim}
+            assert cluster.recovery_events[-1].outcome == "quarantined"
+            # Surviving shards keep serving — bitwise-unchanged, down
+            # to their per-shard cache counters.
+            assert cluster.locate_batch(survivors) == expected_survivors
+            per_shard = cluster.cache_stats().per_shard
+            for shard_id in range(4):
+                if shard_id == victim:
+                    assert per_shard[shard_id] is None
+                else:
+                    assert per_shard[shard_id] == \
+                        control_per_shard[shard_id]
+            # Single-query paths degrade to the same typed error.
+            with pytest.raises(ShardQuarantinedError):
+                cluster.locate(orphans[0].mac, orphans[0].timestamp)
+
+    def test_fallback_mode_serves_full_quality_answers(self, chaos_world):
+        dataset, queries, victim, survivors, orphans, cluster = \
+            self._quarantine_setup(chaos_world, degraded="fallback")
+        probe = _component_router(dataset)
+        with ShardedLocater(dataset.building, dataset.metadata,
+                            dataset.table, shard_count=4,
+                            router=_component_router(dataset)) as control:
+            expected_first = control.locate_batch(queries)
+            expected_second = control.locate_batch(queries)
+            control_per_shard = control.cache_stats().per_shard
+        # The fallback is deliberately cache-less (so the surviving
+        # shards' counters stay exact), and cached serving legitimately
+        # shapes answers — warm affinity state changes how far the fine
+        # pre-pass walks neighbors — so the orphaned slice is compared
+        # against a cache-less lone system, not the cached control.
+        fallback_control = Locater(
+            dataset.building, dataset.metadata, dataset.table,
+            config=LocaterConfig(use_caching=False))
+        orphan_indices = {index for index, query in enumerate(queries)
+                          if probe.shard_of(query.mac, 4) == victim}
+        expected_orphan = dict(zip(
+            sorted(orphan_indices),
+            fallback_control.locate_batch(
+                [queries[index] for index in sorted(orphan_indices)])))
+        with cluster:
+            # The victim dies on the first batch, exhausts its (zero)
+            # budget and degrades to the parent-side fallback: every
+            # query is still answered — survivors bitwise the control's,
+            # orphans bitwise the cache-less lone system's.
+            got_first = cluster.locate_batch(queries)
+            assert cluster.quarantined == {victim}
+            assert cluster.recovery_events[-1].outcome == "quarantined"
+            got_second = cluster.locate_batch(queries)
+            for got, expected in ((got_first, expected_first),
+                                  (got_second, expected_second)):
+                for index in range(len(queries)):
+                    if index in orphan_indices:
+                        assert got[index] == expected_orphan[index]
+                    else:
+                        assert got[index] == expected[index]
+            per_shard = cluster.cache_stats().per_shard
+            for shard_id in range(4):
+                if shard_id == victim:
+                    assert per_shard[shard_id] is None
+                else:
+                    assert per_shard[shard_id] == \
+                        control_per_shard[shard_id]
+            # Single queries for orphaned devices flow through the
+            # fallback too.
+            assert cluster.locate(
+                orphans[0].mac, orphans[0].timestamp) == \
+                fallback_control.locate(orphans[0].mac,
+                                        orphans[0].timestamp)

@@ -1,0 +1,31 @@
+"""RL006 red fixture: cluster pipe traffic with unmapped failures.
+
+Three planted violations:
+
+1. an unguarded ``send`` (no try at all) — a dead worker turns into a
+   raw ``BrokenPipeError`` killing the serving call;
+2. a ``recv`` guarded only against ``ValueError`` — the pipe-failure
+   classes sail straight through;
+3. a ``send`` whose OS-error handler bare-re-raises — the raw error
+   propagates untyped, bypassing supervision.
+"""
+
+
+class LeakyDispatcher:
+    def __init__(self, connections):
+        self._connections = connections
+
+    def send_unguarded(self, shard_id, payload):
+        self._connections[shard_id].send(payload)  # RL006: no try
+
+    def recv_wrong_guard(self, shard_id):
+        try:
+            return self._connections[shard_id].recv()  # RL006: wrong types
+        except ValueError:
+            return None
+
+    def send_reraising(self, shard_id, payload):
+        try:
+            self._connections[shard_id].send(payload)  # RL006: bare re-raise
+        except (BrokenPipeError, OSError):
+            raise

@@ -1,0 +1,59 @@
+"""RL006 clean fixture: every pipe touch point maps or swallows.
+
+Mirrors the three sanctioned idioms from ``repro.cluster.executor``:
+the parent-side mapping to typed shard errors, the worker-side
+deliberate swallow ("parent is gone, exit quietly"), and a
+deeper-nested send still covered by its enclosing try.
+"""
+
+
+class ShardUnavailableError(Exception):
+    def __init__(self, shard_id, message):
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class TypedDispatcher:
+    def __init__(self, connections):
+        self._connections = connections
+
+    def send_mapped(self, shard_id, payload):
+        try:
+            self._connections[shard_id].send(payload)
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            raise ShardUnavailableError(
+                shard_id, f"shard worker {shard_id} died") from exc
+
+    def recv_mapped(self, shard_id):
+        try:
+            return self._connections[shard_id].recv()
+        except (EOFError, ConnectionError, OSError) as exc:
+            raise ShardUnavailableError(
+                shard_id, f"shard worker {shard_id} died") from exc
+
+    def send_nested_but_guarded(self, shard_id, payload):
+        try:
+            if payload is not None:
+                self._connections[shard_id].send(payload)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardUnavailableError(shard_id, "pipe broken") from exc
+
+
+def worker_send_quietly(connection, payload):
+    # Worker side: nobody to answer when the parent is gone — swallow.
+    try:
+        connection.send(payload)
+    except (BrokenPipeError, OSError):
+        return False
+    return True
+
+
+def worker_loop(connection, shard):
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        worker_send_quietly(connection, shard.handle(message))

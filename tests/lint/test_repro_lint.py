@@ -1,4 +1,4 @@
-"""Tier-1 suite for repro-lint (RL001–RL005).
+"""Tier-1 suite for repro-lint (RL001–RL006).
 
 Two halves:
 
@@ -53,6 +53,7 @@ RED_FIXTURES = [
     ("rl003_attached_unlink.py", "RL003", 1),
     ("rl004_default_dtype.py", "RL004", 3),
     ("rl005_oracle_import.py", "RL005", 1),
+    ("rl006_bare_send.py", "RL006", 3),
 ]
 
 CLEAN_FIXTURES = [
@@ -61,6 +62,7 @@ CLEAN_FIXTURES = [
     ("rl003_clean.py", "RL003"),
     ("rl004_clean.py", "RL004"),
     ("rl005_clean.py", "RL005"),
+    ("rl006_clean.py", "RL006"),
 ]
 
 
@@ -132,8 +134,9 @@ def test_suppression_multiple_codes():
 # ---------------------------------------------------------------------------
 # Registry and driver plumbing.
 
-def test_registry_has_the_five_contracts():
-    assert sorted(REGISTRY) == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+def test_registry_has_the_six_contracts():
+    assert sorted(REGISTRY) == ["RL001", "RL002", "RL003", "RL004",
+                                "RL005", "RL006"]
 
 
 def test_register_rejects_duplicates_and_blank_codes():

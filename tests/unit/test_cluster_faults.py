@@ -1,0 +1,165 @@
+"""Unit tests of the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cluster.executor import ProcessShardExecutor, SerialShardExecutor
+from repro.cluster.faults import Fault, FaultInjectingExecutor, FaultPlan
+from repro.errors import (
+    ClusterCallError,
+    ClusterError,
+    ConfigurationError,
+    ShardTimeoutError,
+    ShardUnavailableError,
+)
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+class Echo:
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+
+    def whoami(self) -> "tuple[int, int]":
+        return self.shard_id, os.getpid()
+
+    def add(self, a: int, b: int) -> int:
+        return self.shard_id * 100 + a + b
+
+    def ping(self) -> int:
+        return self.shard_id
+
+
+# ---------------------------------------------------------------------------
+# Fault / FaultPlan bookkeeping.
+
+def test_fault_validation():
+    with pytest.raises(ConfigurationError, match="kind"):
+        Fault(shard_id=0, kind="meteor")
+    with pytest.raises(ConfigurationError, match="shard_id"):
+        Fault(shard_id=-1)
+    with pytest.raises(ConfigurationError, match="call_index"):
+        Fault(shard_id=0, call_index=-1)
+
+
+def test_plan_fires_at_exact_dispatch_indices():
+    plan = FaultPlan([
+        Fault(shard_id=0, kind="kill", method="work", call_index=1),
+        Fault(shard_id=1, kind="corrupt", call_index=0),
+    ])
+    assert not plan.exhausted
+    assert plan.take(0, "work") is None        # index 0: not yet
+    assert plan.take(0, "other") is None       # wrong method: no count
+    hit = plan.take(1, "anything")             # any-method fault, index 0
+    assert hit is not None and hit.kind == "corrupt"
+    hit = plan.take(0, "work")                 # index 1: fires
+    assert hit is not None and hit.kind == "kill"
+    assert plan.exhausted
+    assert [fault.shard_id for fault in plan.fired] == [1, 0]
+    assert plan.take(0, "work") is None        # consumed
+
+
+def test_plan_is_a_pure_function_of_the_dispatch_sequence():
+    def run(dispatches):
+        plan = FaultPlan([Fault(shard_id=0, method="work", call_index=2)])
+        return [plan.take(*dispatch) is not None for dispatch in dispatches]
+
+    dispatches = [(0, "work"), (1, "work"), (0, "work"), (0, "work")]
+    assert run(dispatches) == run(dispatches) == \
+        [False, False, False, True]
+
+
+# ---------------------------------------------------------------------------
+# In-process emulation.
+
+def test_inprocess_kill_is_emulated_and_restart_revives():
+    plan = FaultPlan([Fault(shard_id=1, kind="kill")])
+    executor = FaultInjectingExecutor(SerialShardExecutor(), plan)
+    executor.start(Echo, 2)
+    with pytest.raises(ShardUnavailableError) as excinfo:
+        executor.call_one(1, "ping")
+    assert excinfo.value.shard_id == 1
+    assert not executor.alive(1)
+    # Dead until restarted, exactly like a real worker.
+    with pytest.raises(ShardUnavailableError, match="awaiting restart"):
+        executor.call_one(1, "ping")
+    executor.restart_shard(1)
+    assert executor.alive(1)
+    assert executor.call_one(1, "ping") == 1
+    executor.close()
+
+
+def test_inprocess_hang_raises_timeout_and_marks_dead():
+    plan = FaultPlan([Fault(shard_id=0, kind="hang")])
+    executor = FaultInjectingExecutor(SerialShardExecutor(), plan)
+    executor.start(Echo, 1)
+    with pytest.raises(ShardTimeoutError):
+        executor.call_one(0, "ping")
+    with pytest.raises(ShardUnavailableError):
+        executor.call_one(0, "ping")
+    executor.close()
+
+
+def test_corrupt_reply_is_a_non_transient_cluster_error():
+    plan = FaultPlan([Fault(shard_id=0, kind="corrupt")])
+    executor = FaultInjectingExecutor(SerialShardExecutor(), plan)
+    executor.start(Echo, 1)
+    with pytest.raises(ClusterError) as excinfo:
+        executor.call_one(0, "ping")
+    assert "corrupted" in str(excinfo.value)
+    assert not isinstance(excinfo.value,
+                          (ShardUnavailableError, ShardTimeoutError))
+    # Corruption does not kill the shard; the next call serves.
+    assert executor.call_one(0, "ping") == 0
+    executor.close()
+
+
+def test_inprocess_fanout_matches_the_aggregation_contract():
+    plan = FaultPlan([Fault(shard_id=1, kind="kill", method="add")])
+    executor = FaultInjectingExecutor(SerialShardExecutor(), plan)
+    executor.start(Echo, 3)
+    with pytest.raises(ClusterCallError) as excinfo:
+        executor.call_all("add", [(1, 1), (2, 2), (3, 3)])
+    error = excinfo.value
+    assert sorted(error.failures) == [1]
+    assert error.results == [2, None, 206]
+    executor.close()
+
+
+def test_hang_against_process_executor_requires_call_timeout():
+    plan = FaultPlan([Fault(shard_id=0, kind="hang")])
+    with pytest.raises(ConfigurationError, match="call_timeout"):
+        FaultInjectingExecutor(ProcessShardExecutor(), plan)
+
+
+# ---------------------------------------------------------------------------
+# Real process workers.
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="fork unavailable")
+def test_process_kill_produces_a_real_dead_worker():
+    plan = FaultPlan([Fault(shard_id=1, kind="kill", method="add")])
+    with FaultInjectingExecutor(ProcessShardExecutor(), plan) as executor:
+        executor.start(Echo, 2)
+        with pytest.raises(ClusterCallError) as excinfo:
+            executor.call_all("add", [(1, 1), (2, 2)])
+        failure = excinfo.value.failures[1]
+        assert isinstance(failure, ShardUnavailableError)
+        assert "killed by SIGKILL" in str(failure)
+        executor.restart_shard(1)
+        assert executor.call_all("add", [(1, 1), (2, 2)]) == [2, 104]
+
+
+@pytest.mark.skipif(not FORK_AVAILABLE, reason="fork unavailable")
+def test_process_hang_times_out_via_the_inner_executor():
+    plan = FaultPlan([Fault(shard_id=0, kind="hang")])
+    inner = ProcessShardExecutor(call_timeout=0.3)
+    with FaultInjectingExecutor(inner, plan) as executor:
+        executor.start(Echo, 1)
+        with pytest.raises(ShardTimeoutError):
+            executor.call_one(0, "ping")
+        executor.restart_shard(0)
+        assert executor.call_one(0, "ping") == 0

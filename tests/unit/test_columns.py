@@ -10,6 +10,12 @@ owner unlinks, an attached view only unmaps).
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import re
+import signal
+import time
+
 import numpy as np
 import pytest
 
@@ -21,6 +27,7 @@ from repro.events.columns import (
     HeapColumnStore,
     SharedMemoryColumnStore,
     _ResidentColumns,
+    purge_orphan_segments,
 )
 
 
@@ -210,3 +217,58 @@ class TestSharedMemoryStore:
             assert not store.supports_spill
             handle = store.put("d1", *_columns(n=4))
             assert not hasattr(handle, "spill")
+
+
+class TestOrphanPurge:
+    """Crash-safety sweep: dead owners' segments are reclaimable."""
+
+    def test_owner_prefix_embeds_the_full_pid(self):
+        with SharedMemoryColumnStore() as store:
+            assert re.fullmatch(
+                rf"loc-{os.getpid()}-[0-9a-f]{{6}}", store._prefix)
+
+    def test_live_owner_segments_are_never_touched(self):
+        times, aps = _columns(n=8)
+        with SharedMemoryColumnStore() as store:
+            handle = store.put("d1", times, aps)
+            assert purge_orphan_segments() == []
+            got_t, _ = handle.arrays()
+            assert got_t.tobytes() == times.tobytes()
+
+    def test_dead_owner_segment_is_reclaimed(self):
+        def owner_main(conn) -> None:
+            store = SharedMemoryColumnStore()
+            store.put("d1", *_columns(n=8))
+            conn.send(store._prefix)
+            time.sleep(60)  # hold the segment until SIGKILLed
+
+        recv_end, send_end = multiprocessing.Pipe(duplex=False)
+        owner = multiprocessing.Process(target=owner_main, args=(send_end,))
+        owner.start()
+        prefix = recv_end.recv()
+        os.kill(owner.pid, signal.SIGKILL)
+        owner.join(timeout=10.0)
+        orphans = [name for name in os.listdir("/dev/shm")
+                   if name.startswith(prefix)]
+        assert len(orphans) == 1, "the hard kill should orphan the segment"
+        reclaimed = purge_orphan_segments()
+        assert orphans[0] in reclaimed
+        assert not any(name.startswith(prefix)
+                       for name in os.listdir("/dev/shm"))
+        # Idempotent: a second sweep finds nothing.
+        assert purge_orphan_segments() == []
+
+    def test_purge_matches_only_owner_minted_names(self, tmp_path):
+        dead = multiprocessing.Process(target=lambda: None)
+        dead.start()
+        dead.join()
+        (tmp_path / "unrelated-file").write_bytes(b"x")
+        (tmp_path / f"loc-{os.getpid()}-abcdef-000001").write_bytes(b"x")
+        (tmp_path / f"loc-{dead.pid}-abcdef-000001").write_bytes(b"x")
+        reclaimed = purge_orphan_segments(shm_dir=str(tmp_path))
+        assert reclaimed == [f"loc-{dead.pid}-abcdef-000001"]
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            f"loc-{os.getpid()}-abcdef-000001", "unrelated-file"]
+
+    def test_purge_tolerates_a_missing_directory(self):
+        assert purge_orphan_segments(shm_dir="/no/such/dir") == []

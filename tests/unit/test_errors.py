@@ -6,12 +6,16 @@ import pytest
 
 from repro import errors
 from repro.errors import (
+    ClusterCallError,
     ClusterError,
     ConfigurationError,
     EmptyHistoryError,
     EventTableError,
     LocalizationError,
     ReproError,
+    ShardQuarantinedError,
+    ShardTimeoutError,
+    ShardUnavailableError,
     SimulationError,
     SpaceModelError,
     StorageError,
@@ -26,7 +30,15 @@ ALL_ERRORS = [
     UnknownRegionError, UnknownDeviceError, EventTableError,
     EmptyHistoryError, LocalizationError, TrainingError,
     SimulationError, StorageError, ClusterError,
+    ShardUnavailableError, ShardTimeoutError, ShardQuarantinedError,
+    ClusterCallError,
 ]
+
+# Message-only constructors; the shard/fan-out errors carry structure
+# and are covered separately below.
+MESSAGE_ERRORS = [exc for exc in ALL_ERRORS if exc not in (
+    ShardUnavailableError, ShardTimeoutError, ShardQuarantinedError,
+    ClusterCallError)]
 
 
 @pytest.mark.parametrize("exc", ALL_ERRORS)
@@ -35,12 +47,39 @@ def test_every_error_derives_from_repro_error(exc):
     assert issubclass(exc, Exception)
 
 
-@pytest.mark.parametrize("exc", ALL_ERRORS)
+@pytest.mark.parametrize("exc", MESSAGE_ERRORS)
 def test_every_error_is_raisable_and_catchable_at_the_base(exc):
     with pytest.raises(ReproError) as info:
         raise exc("boom")
     assert str(info.value) == "boom"
     assert type(info.value) is exc
+
+
+@pytest.mark.parametrize("exc", [
+    ShardUnavailableError, ShardTimeoutError, ShardQuarantinedError,
+])
+def test_shard_errors_carry_the_shard_id(exc):
+    with pytest.raises(ClusterError) as info:
+        raise exc(3, "shard 3 went away")
+    assert info.value.shard_id == 3
+    assert str(info.value) == "shard 3 went away"
+
+
+def test_cluster_call_error_aggregates_every_failure():
+    failures = {2: ShardUnavailableError(2, "dead"),
+                0: ValueError("boom")}
+    exc = ClusterCallError(
+        "locate_batch", shard_ids=[0, 1, 2],
+        results=[None, "ok", None], failures=failures)
+    assert isinstance(exc, ClusterError)
+    assert exc.method == "locate_batch"
+    assert exc.shard_ids == [0, 1, 2]
+    assert exc.results == [None, "ok", None]
+    assert exc.failures == failures
+    # Both failed shards are named, in sorted order.
+    assert "shard 0: boom" in str(exc)
+    assert "shard 2: dead" in str(exc)
+    assert "2 shard(s) failed" in str(exc)
 
 
 @pytest.mark.parametrize("child,parent", [
