@@ -1,0 +1,47 @@
+"""Benchmark of the async gateway: micro-batching vs per-query dispatch.
+
+Workload: closed-loop concurrent clients (each awaiting its answer
+before sending the next query) driven through
+:class:`~repro.serve.gateway.AsyncGateway` over a caching-on cluster
+with process shards, swept across batching-window settings from the
+one-query-per-batch baseline to a 10ms/128-query window, plus an
+open-loop Poisson burst far past the service rate against a small
+admission bound.
+
+Every sweep run records its window/ingest journal and the experiment
+replays it through plain ``locate_batch`` calls on an identically
+built cluster — it raises unless every answer and the summed cache
+counters reproduce bitwise, so the measured speedup is never bought
+with changed answers.  Acceptance bars: coalesced throughput ≥ 1.5x
+the per-query gateway configuration, and saturation must shed with
+typed errors while the pending queue stays within its bound.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import gateway
+
+
+def test_bench_gateway(benchmark, report, bench_json):
+    result = benchmark.pedantic(
+        lambda: gateway.run(days=10, population=24, shard_count=2,
+                            clients=48, queries_per_client=12, seed=23),
+        rounds=1, iterations=1)
+    report("bench_gateway", result.render())
+    bench_json("gateway", result,
+               config={"days": 10, "population": 24, "shard_count": 2,
+                       "clients": 48, "queries_per_client": 12,
+                       "seed": 23})
+
+    assert result.all_identical
+    assert len(result.points) >= 4  # baseline + three coalescing windows
+    assert result.coalescing_speedup >= 1.5, (
+        f"coalesced dispatch must be >= 1.5x the one-query-per-batch "
+        f"gateway, got {result.coalescing_speedup:.2f}x "
+        f"({result.best_qps:.0f} vs {result.baseline_qps:.0f} qps)")
+    # Past saturation the gateway sheds with typed errors instead of
+    # queueing without bound.
+    assert result.shed.shed > 0
+    assert result.shed.bounded, (
+        f"pending queue peaked at {result.shed.pending_peak}, past the "
+        f"admission bound {result.shed.max_pending}")

@@ -174,6 +174,43 @@ archived as ``results/BENCH_shared_memory.json``)::
     answer = budgeted.locate(mac, t)      # identical to the unbudgeted answer
     print(budgeted.memory.stats())        # residency, evictions, by category
 
+Serving architecture
+--------------------
+
+The batch engine answers many queries at once; the cluster spreads
+them over shards; :class:`~repro.serve.AsyncGateway` turns *concurrency
+itself* into batches.  Callers await ``gateway.locate(mac, t)`` as
+single-query coroutines; the gateway admits each query past a bounded
+pending queue (past the bound it sheds immediately with a typed
+:class:`~repro.errors.GatewayOverloadedError` — rejections, not
+unbounded latency; ``await gateway.ready()`` is the backpressure
+signal), routes it to a per-shard submission lane, and each lane
+coalesces whatever arrives within a batching window (``max_wait`` /
+``max_batch``) into one planner batch executed off the event loop — so
+one slow shard never stalls another's windows, and per-dispatch
+overhead (a pipe round-trip, for process shards) is paid once per
+window instead of once per query.  ``max_wait`` is the knob: longer
+windows coalesce more (throughput) at a latency floor, ``max_wait=0``
+still coalesces opportunistically under load.  Ingest ticks serialize
+against in-flight windows through the streaming machinery that owns
+the gateway's warm state, and the concurrent equivalence contract
+extends the core invariant: any interleaving of gateway calls returns
+bitwise the answers, storage writes and summed cache counters of the
+same queries run through plain ``locate_batch``
+(``tests/integration/test_gateway_equivalence.py`` — the realized
+schedule is journaled and replayed).  The window/latency trade-off is
+measured in ``benchmarks/test_bench_gateway.py`` (archived as
+``results/BENCH_gateway.json``)::
+
+    from repro import AsyncGateway
+
+    async with AsyncGateway(cluster, max_wait=0.002, max_batch=64) as gw:
+        answers = await asyncio.gather(*(gw.locate(mac, t)
+                                         for mac, t in calls))
+
+See :mod:`repro.serve` for the lane architecture and
+``examples/async_gateway.py`` for a closed-loop serving walkthrough.
+
 Contracts
 ---------
 
@@ -212,6 +249,17 @@ in ``tests/lint/``:
   (:mod:`repro.tools.lint.checkers.isolation`) — nothing outside
   tests/benchmarks imports ``repro.{fine,coarse}.reference``; the
   oracles stay independent of the code they judge.
+* **RL006 typed-pipe-failures**
+  (:mod:`repro.tools.lint.checkers.supervision`) — cluster pipe
+  send/recv always maps transport failures to the typed shard errors
+  the supervisor's recovery policy dispatches on; a bare ``send``
+  would turn a crashed worker into an untyped hang.
+* **RL007 event-loop-hygiene**
+  (:mod:`repro.tools.lint.checkers.eventloop`) — coroutine bodies in
+  the serving layer (``repro/serve``) never call the blocking
+  dispatch/ingest surfaces directly; every blocking step goes through
+  ``loop.run_in_executor``, so one window's work can never stall the
+  event loop that every other lane schedules on.
 """
 
 from repro.cache import (
@@ -248,6 +296,9 @@ from repro.coarse import (
 from repro.errors import (
     ClusterError,
     ConfigurationError,
+    GatewayClosedError,
+    GatewayError,
+    GatewayOverloadedError,
     LocalizationError,
     ReproError,
     ShardQuarantinedError,
@@ -279,6 +330,7 @@ from repro.fine import (
     RoomAffinityModel,
     RoomAffinityWeights,
 )
+from repro.serve import AsyncGateway, GatewayStats
 from repro.sim import Dataset, PersonProfile, ScenarioSpec, Simulator
 from repro.space import (
     AccessPoint,
@@ -320,6 +372,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessPoint",
     "AffinityComponents",
+    "AsyncGateway",
     "Baseline1",
     "Baseline2",
     "BootstrapLabeler",
@@ -348,6 +401,10 @@ __all__ = [
     "FineMode",
     "FineResult",
     "Gap",
+    "GatewayClosedError",
+    "GatewayError",
+    "GatewayOverloadedError",
+    "GatewayStats",
     "GlobalAffinityGraph",
     "GroupAffinityModel",
     "HashRouter",

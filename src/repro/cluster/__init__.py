@@ -93,6 +93,17 @@ Typical use::
     cluster.ingest(new_events)                  # merge once, fan out
     cluster.close()
 
+``locate_batch``/``ingest`` are the synchronous surface.  To serve the
+cluster to *concurrent* callers — coalescing individual ``locate``
+calls into per-shard micro-batches behind a bounded admission queue —
+front it with :class:`~repro.serve.AsyncGateway` from
+:mod:`repro.serve`; the gateway reuses :meth:`ShardedLocater.locate_slice
+<repro.cluster.sharded.ShardedLocater.locate_slice>` and
+:meth:`shard_of <repro.cluster.sharded.ShardedLocater.shard_of>` so
+its windows land on the owning shard with warm state, and its journal
+replays bitwise against this package's equivalence oracles (see the
+"Serving architecture" section of :mod:`repro`).
+
 Operating a cluster under failure
 ---------------------------------
 

@@ -558,6 +558,57 @@ class ShardedLocater:
         self._checkpoint(served)
         return answers  # type: ignore[return-value]  # every slot filled
 
+    def locate_slice(self, shard_id: int,
+                     queries: "Sequence[LocationQuery]",
+                     bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+                     share_computation: bool = True,
+                     state: "ClusterBatchState | None" = None
+                     ) -> list[LocationAnswer]:
+        """Answer a pre-routed slice on one shard (the serving layer's
+        per-lane entry).
+
+        :meth:`locate_batch` fans an unrouted batch to every shard and
+        waits for all of them; a micro-batching gateway routes queries
+        to per-shard lanes itself (via :meth:`shard_of`) and needs the
+        complement — dispatch *one* shard's window without touching the
+        others, so one slow shard never stalls another lane's batches.
+        The caller owns the routing invariant: every query must route
+        to ``shard_id`` under the current router (re-check after any
+        ingest, which is when affinity routers re-key devices).
+        Answers come back in slice order, bitwise what
+        :meth:`locate_batch` would return for the same slice.
+
+        Concurrent ``locate_slice`` calls targeting *different* shards
+        are safe on every executor (each shard sees a sequential call
+        stream, the property the executors already guarantee inside
+        ``call_all``); calls targeting one shard must be serialized by
+        the caller, and supervised dispatch must be serialized globally
+        (the supervisor's recovery bookkeeping is single-threaded).
+
+        Under supervision a dead shard is resurrected first; a
+        quarantined one degrades per the recovery policy, exactly like
+        :meth:`locate_batch`.
+        """
+        self._check_open()
+        queries = list(queries)
+        if not queries:
+            return []
+        shard_state = state.shard_states[shard_id] \
+            if state is not None else None
+        try:
+            if self._supervisor is not None and \
+                    shard_id in self._supervisor.quarantined:
+                raise ShardQuarantinedError(
+                    shard_id, f"shard {shard_id} is quarantined")
+            answers, _ = self._call_one(
+                shard_id, "locate_batch", queries, bucket_seconds,
+                False, share_computation, shard_state)
+        except ShardQuarantinedError:
+            return self._degraded_answer(
+                shard_id, queries, bucket_seconds, share_computation)
+        self._checkpoint([shard_id])
+        return answers
+
     def make_batch_state(self, max_snapshots: "int | None" = None
                          ) -> ClusterBatchState:
         """A persistent cluster state (one :class:`BatchState` per shard).

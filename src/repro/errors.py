@@ -55,6 +55,36 @@ class StorageError(ReproError):
     """The storage engine failed or was used after being closed."""
 
 
+class GatewayError(ReproError):
+    """The async serving gateway failed or was misused."""
+
+
+class GatewayClosedError(GatewayError):
+    """A query or ingest reached a gateway after ``close()``.
+
+    Also set on the futures of queries still queued when the gateway
+    shut down, so no caller awaits forever.
+    """
+
+
+class GatewayOverloadedError(GatewayError):
+    """Admission control shed this query: the pending queue is full.
+
+    The typed load-shedding signal — past saturation the gateway
+    rejects immediately with a bounded queue instead of growing latency
+    without bound.  Carries the observed ``depth`` and the configured
+    ``limit`` so callers (and load generators) can report backpressure;
+    cooperative clients should ``await gateway.ready()`` and retry.
+    """
+
+    def __init__(self, depth: int, limit: int) -> None:
+        super().__init__(
+            f"gateway overloaded: {depth} queries pending "
+            f"(max_pending={limit}); retry after backpressure clears")
+        self.depth = depth
+        self.limit = limit
+
+
 class ClusterError(ReproError):
     """A sharded cluster failed: a shard call raised, or a worker died."""
 

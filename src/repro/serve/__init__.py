@@ -1,0 +1,26 @@
+"""The async serving layer: concurrent queries in, planner batches out.
+
+Single-node LOCATER answers batches; the cluster layer shards them; this
+package turns *concurrency itself* into batches.  An
+:class:`AsyncGateway` accepts single ``await gateway.locate(mac, t)``
+coroutine calls, coalesces everything that arrives within a short
+batching window into the (device, time-bucket) planner batches the batch
+engine executes ~2.5x faster than per-query dispatch, and runs them off
+the event loop — per shard, so one slow shard never stalls another
+lane's windows.  See :class:`repro.serve.gateway.AsyncGateway` for the
+architecture and the concurrent bitwise-equivalence contract.
+"""
+
+from repro.serve.gateway import (
+    AsyncGateway,
+    GatewayStats,
+    IngestRecord,
+    WindowRecord,
+)
+
+__all__ = [
+    "AsyncGateway",
+    "GatewayStats",
+    "IngestRecord",
+    "WindowRecord",
+]

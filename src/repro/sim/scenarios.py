@@ -573,6 +573,101 @@ def streaming_day_workload(dataset, batches: int = 12,
     return StreamingWorkload(warmup=warmup, batches=tuple(out))
 
 
+# ---------------------------------------------------------------------------
+# Serving load generators (for the async gateway)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ArrivalSchedule:
+    """An open-loop load schedule: queries with submission offsets.
+
+    Open loop means the submission times are fixed in advance — they do
+    *not* wait for answers — so the offered rate keeps pressing even
+    when the server falls behind.  This is the generator that drives a
+    gateway past saturation and exposes whether admission control sheds
+    load or lets latency grow without bound.
+
+    Attributes:
+        offsets: Seconds from load start at which each query is
+            submitted (non-decreasing).
+        queries: The query submitted at each offset.
+    """
+
+    offsets: tuple[float, ...]
+    queries: tuple[LocationQuery, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.offsets) != len(self.queries):
+            raise SimulationError(
+                f"offsets and queries must align, got {len(self.offsets)} "
+                f"vs {len(self.queries)}")
+
+    @property
+    def duration(self) -> float:
+        """Seconds from load start to the last submission."""
+        return self.offsets[-1] if self.offsets else 0.0
+
+    @property
+    def offered_rate(self) -> float:
+        """Mean submissions per second over the schedule."""
+        return len(self.queries) / max(self.duration, 1e-12)
+
+
+def open_loop_arrivals(dataset, rate_per_second: float, count: int,
+                       seed: int = 0) -> ArrivalSchedule:
+    """Poisson arrivals at a fixed offered rate (open-loop load).
+
+    Inter-arrival gaps are exponential with mean ``1/rate_per_second``
+    — the memoryless stream a population of independent users offers —
+    and each arrival asks a uniform (device, time) query over the whole
+    dataset, the paper's generated-query-set distribution.
+    """
+    if rate_per_second <= 0:
+        raise SimulationError(
+            f"rate_per_second must be positive, got {rate_per_second}")
+    if count < 1:
+        raise SimulationError(f"count must be >= 1, got {count}")
+    rng = make_rng(seed)
+    macs = dataset.macs()
+    if not macs:
+        raise SimulationError("dataset has no devices to query")
+    span = dataset.span
+    gaps = rng.exponential(1.0 / rate_per_second, size=count)
+    offsets = tuple(float(offset) for offset in gaps.cumsum())
+    queries = tuple(
+        LocationQuery(mac=macs[int(rng.integers(len(macs)))],
+                      timestamp=float(rng.uniform(span.start, span.end)))
+        for _ in range(count))
+    return ArrivalSchedule(offsets=offsets, queries=queries)
+
+
+def closed_loop_clients(dataset, clients: int, queries_per_client: int,
+                        seed: int = 0) -> list[list[LocationQuery]]:
+    """Per-client query streams (closed-loop load).
+
+    Closed loop means each client submits its next query only after the
+    previous answer returns, so at most ``clients`` queries are ever in
+    flight and the system serves at its natural throughput — the
+    generator for saturation-throughput and coalescing measurements
+    (more concurrent clients ⇒ fuller batching windows).
+    """
+    if clients < 1:
+        raise SimulationError(f"clients must be >= 1, got {clients}")
+    if queries_per_client < 1:
+        raise SimulationError(
+            f"queries_per_client must be >= 1, got {queries_per_client}")
+    rng = make_rng(seed)
+    macs = dataset.macs()
+    if not macs:
+        raise SimulationError("dataset has no devices to query")
+    span = dataset.span
+    return [
+        [LocationQuery(mac=macs[int(rng.integers(len(macs)))],
+                       timestamp=float(rng.uniform(span.start, span.end)))
+         for _ in range(queries_per_client)]
+        for _ in range(clients)]
+
+
 def _airport_events(building: Building) -> list[SemanticEvent]:
     """Security checks, dining, boarding and shopping (paper §6.3)."""
     rooms = _pick_public(building, 6)

@@ -115,11 +115,19 @@ class IngestionEngine:
         ``Locater.on_ingest`` bound method keeps its models and memos
         alive), so long-lived engines must drop them on teardown or the
         stacks leak and keep receiving reports.
+
+        Removal is a single atomic ``list.remove`` — no check-then-act
+        window — so concurrent unsubscribes of the same listener (a
+        gateway closing its session from the event loop while shard
+        teardown runs elsewhere) race benignly: exactly one caller wins
+        and returns True.  An ingest mid-publish is unaffected either
+        way; it notifies a snapshot of the subscriber list.
         """
-        if listener in self._subscribers:
+        try:
             self._subscribers.remove(listener)
-            return True
-        return False
+        except ValueError:
+            return False
+        return True
 
     def resync_event_ids(self) -> int:
         """Catch the id counter up with the table and storage maxima.

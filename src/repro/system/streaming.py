@@ -146,10 +146,14 @@ class StreamingSession:
     def close(self) -> None:
         """Detach from the engine's change feed.  Idempotent — shard
         teardown may run again after a supervised restart replaces a
-        half-closed worker."""
-        if self._unsubscribe is not None:
-            self._unsubscribe()
-            self._unsubscribe = None
+        half-closed worker, and a gateway may close its session while a
+        serve loop is mid-tick.  The handle is swapped out *before* it
+        is invoked (and unsubscribe itself removes atomically), so
+        concurrent or re-entrant closes release the subscription exactly
+        once."""
+        unsubscribe, self._unsubscribe = self._unsubscribe, None
+        if unsubscribe is not None:
+            unsubscribe()
 
     def __enter__(self) -> "StreamingSession":
         return self

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.tools.lint.checkers import (  # noqa: F401  (registration imports)
     determinism,
     dtypes,
+    eventloop,
     invalidation,
     isolation,
     lifecycle,

@@ -1,0 +1,123 @@
+"""RL007 — event-loop hygiene in the serving layer.
+
+The async gateway's latency story hinges on one discipline: **nothing
+blocking ever runs on the event loop**.  A single ``time.sleep``, a
+pipe ``recv`` or a direct planner-batch dispatch inside a coroutine
+stalls *every* lane's windows at once — the p99 regression is global,
+not per-shard, and invisible to unit tests that never run two lanes
+concurrently.  The sanctioned pattern (established by
+:mod:`repro.serve.gateway`) is the executor off-ramp: coroutines only
+enqueue, coordinate and resolve futures; the blocking work — executor
+dispatch, ``locate_batch``, ingest merges — runs in worker threads via
+``loop.run_in_executor``.
+
+Mechanically, inside any ``async def`` in a ``repro/serve/`` module,
+these calls are violations:
+
+* ``time.sleep(...)`` — blocks the loop (``asyncio.sleep`` is fine);
+* any ``*.recv(...)`` — a pipe/socket read blocks until the peer
+  answers;
+* direct shard-executor dispatch — ``*.call_one/call_all/call_some``;
+* direct serving or ingest dispatch — ``*.locate_batch``,
+  ``*.locate_slice``, ``*.locate_query``;
+* ``*.result(...)`` — a ``concurrent.futures`` result wait.
+
+Function *references* passed to ``run_in_executor`` are not calls and
+never match; sync helpers (``def`` bodies nested inside the coroutine)
+and lambdas are skipped — they execute on the pool, not the loop.
+``await``-ed calls are exempt too: ``await peer.locate_query(...)`` is
+an async invocation that yields to the loop, not a block (its argument
+expressions still execute inline and stay checked).
+The wall-clock scheduling the gateway does (window deadlines off
+``loop.time()``) is exempt by construction: RL002's determinism scope
+deliberately excludes ``repro/serve/``, because batching windows are
+wall-clock by nature and never enter an answer.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from collections.abc import Iterator
+
+from repro.tools.lint.checkers._astutil import dotted_name
+from repro.tools.lint.core import Checker, FileContext, Violation, register
+
+#: Attribute-call names that block the calling thread: pipe reads,
+#: shard-executor dispatch, planner-batch serving and future waits.
+BLOCKING_ATTRS = frozenset({
+    "recv", "call_one", "call_all", "call_some",
+    "locate_batch", "locate_slice", "locate_query", "result",
+})
+
+#: Dotted call targets that block outright.
+BLOCKING_DOTTED = frozenset({"time.sleep"})
+
+
+def _coroutine_calls(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Every call that executes *on the event loop* within ``func``.
+
+    Nested ``def`` bodies and lambdas are excluded: defining them runs
+    nothing, and the gateway's idiom is precisely to hand such helpers
+    to ``run_in_executor``.  Nested ``async def`` bodies are excluded
+    here too — the outer walk visits them as coroutines of their own.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Await) and \
+                isinstance(node.value, ast.Call):
+            # An awaited call is an async invocation — the coroutine
+            # yields to the loop instead of blocking it.  Its argument
+            # expressions still execute inline, so walk those.
+            stack.extend(ast.iter_child_nodes(node.value))
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class EventLoopHygiene(Checker):
+    """RL007: no blocking calls inside ``async def`` in repro/serve/."""
+
+    code = "RL007"
+    name = "event-loop-hygiene"
+    description = (
+        "coroutines in repro/serve/ must not block the event loop: "
+        "time.sleep, pipe recv, shard-executor dispatch and direct "
+        "locate_batch/ingest execution belong behind the gateway's "
+        "run_in_executor off-ramp, or one lane's window stalls every "
+        "lane's latency")
+
+    def applies_to(self, path: pathlib.Path) -> bool:
+        return "serve" in path.parts
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for call in _coroutine_calls(func):
+                label = self._blocking_label(call)
+                if label is not None:
+                    yield Violation(
+                        path=ctx.posix_path, line=call.lineno,
+                        col=call.col_offset, code=self.code,
+                        message=f"{label} blocks the event loop inside "
+                                f"coroutine {func.name!r} — dispatch it "
+                                f"through loop.run_in_executor so other "
+                                f"lanes' windows keep flowing")
+
+    @staticmethod
+    def _blocking_label(call: ast.Call) -> "str | None":
+        """The human name of a blocking call, or None when benign."""
+        dotted = dotted_name(call.func)
+        if dotted in BLOCKING_DOTTED:
+            return f"{dotted}(...)"
+        if isinstance(call.func, ast.Attribute) and \
+                call.func.attr in BLOCKING_ATTRS:
+            return f"*.{call.func.attr}(...)"
+        return None

@@ -1,0 +1,22 @@
+"""Seeded mutation: blocking calls on the serving event loop (RL007).
+
+A lane worker that sleeps, reads a pipe and dispatches the planner
+batch directly — every lane's window stalls behind it.
+"""
+
+
+async def serve_window(lane, backend, queries):
+    import time
+
+    time.sleep(0.002)                       # blocks every lane's windows
+    sync = lane.connection.recv()           # pipe read on the loop
+    answers = backend.locate_batch(queries)  # planner batch on the loop
+    return answers, sync
+
+
+async def drain_executor(executor, shard_id, batch):
+    return executor.call_one(shard_id, "locate_batch", batch)  # dispatch
+
+
+async def wait_for_worker(pending):
+    return pending.result()                 # concurrent.futures wait

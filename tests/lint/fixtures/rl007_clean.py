@@ -1,0 +1,39 @@
+"""Clean twin of rl007_blocking_loop: the executor off-ramp idiom.
+
+Coroutines only enqueue, await and resolve; every blocking step runs
+in a worker thread via ``run_in_executor``, and pauses use
+``asyncio.sleep``.  Sync helpers may block freely — they execute on
+the pool, never on the loop.
+"""
+
+import asyncio
+
+
+def _execute_window(backend, queries):
+    # Sync helper: runs on the gateway's thread pool, where blocking
+    # planner-batch dispatch is the whole point.
+    return backend.locate_batch(queries)
+
+
+def _drain_pipe(connection):
+    return connection.recv()
+
+
+async def serve_window(loop, pool, backend, queries):
+    await asyncio.sleep(0)  # cooperative yield, not a blocking sleep
+    return await loop.run_in_executor(pool, _execute_window,
+                                      backend, queries)
+
+
+async def locate(gateway, query):
+    # Awaiting an async peer is an async invocation that yields to the
+    # loop — the blocking name only matters when called synchronously.
+    return await gateway.locate_query(query)
+
+
+async def resync_lane(loop, pool, lane):
+    sync = await loop.run_in_executor(pool, _drain_pipe, lane.connection)
+    # Handing the bound method itself to the pool is a reference, not
+    # a call — the dispatch happens on a worker thread.
+    await loop.run_in_executor(pool, lane.executor.call_one, 0, "ping")
+    return sync

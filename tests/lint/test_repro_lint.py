@@ -1,4 +1,4 @@
-"""Tier-1 suite for repro-lint (RL001–RL006).
+"""Tier-1 suite for repro-lint (RL001–RL007).
 
 Two halves:
 
@@ -54,6 +54,7 @@ RED_FIXTURES = [
     ("rl004_default_dtype.py", "RL004", 3),
     ("rl005_oracle_import.py", "RL005", 1),
     ("rl006_bare_send.py", "RL006", 3),
+    ("rl007_blocking_loop.py", "RL007", 5),
 ]
 
 CLEAN_FIXTURES = [
@@ -63,6 +64,7 @@ CLEAN_FIXTURES = [
     ("rl004_clean.py", "RL004"),
     ("rl005_clean.py", "RL005"),
     ("rl006_clean.py", "RL006"),
+    ("rl007_clean.py", "RL007"),
 ]
 
 
@@ -134,9 +136,9 @@ def test_suppression_multiple_codes():
 # ---------------------------------------------------------------------------
 # Registry and driver plumbing.
 
-def test_registry_has_the_six_contracts():
+def test_registry_has_the_seven_contracts():
     assert sorted(REGISTRY) == ["RL001", "RL002", "RL003", "RL004",
-                                "RL005", "RL006"]
+                                "RL005", "RL006", "RL007"]
 
 
 def test_register_rejects_duplicates_and_blank_codes():

@@ -11,6 +11,9 @@ from repro.errors import (
     ConfigurationError,
     EmptyHistoryError,
     EventTableError,
+    GatewayClosedError,
+    GatewayError,
+    GatewayOverloadedError,
     LocalizationError,
     ReproError,
     ShardQuarantinedError,
@@ -31,14 +34,15 @@ ALL_ERRORS = [
     EmptyHistoryError, LocalizationError, TrainingError,
     SimulationError, StorageError, ClusterError,
     ShardUnavailableError, ShardTimeoutError, ShardQuarantinedError,
-    ClusterCallError,
+    ClusterCallError, GatewayError, GatewayClosedError,
+    GatewayOverloadedError,
 ]
 
-# Message-only constructors; the shard/fan-out errors carry structure
-# and are covered separately below.
+# Message-only constructors; the shard/fan-out/admission errors carry
+# structure and are covered separately below.
 MESSAGE_ERRORS = [exc for exc in ALL_ERRORS if exc not in (
     ShardUnavailableError, ShardTimeoutError, ShardQuarantinedError,
-    ClusterCallError)]
+    ClusterCallError, GatewayOverloadedError)]
 
 
 @pytest.mark.parametrize("exc", ALL_ERRORS)
@@ -82,10 +86,19 @@ def test_cluster_call_error_aggregates_every_failure():
     assert "2 shard(s) failed" in str(exc)
 
 
+def test_gateway_overloaded_error_carries_queue_depth():
+    with pytest.raises(GatewayError) as info:
+        raise GatewayOverloadedError(64, 64)
+    assert info.value.depth == 64
+    assert info.value.limit == 64
+    assert "max_pending=64" in str(info.value)
+
+
 @pytest.mark.parametrize("child,parent", [
     (UnknownRoomError, SpaceModelError),
     (UnknownRegionError, SpaceModelError),
     (EmptyHistoryError, EventTableError),
+    (GatewayClosedError, GatewayError),
 ])
 def test_refinement_subtrees(child, parent):
     assert issubclass(child, parent)

@@ -161,3 +161,60 @@ class TestIngestionEngine:
         engine = IngestionEngine(EventTable())
         report = engine.ingest([])
         assert report.count == 0 and not report.changed
+
+
+class TestConcurrentTeardown:
+    """Regression: unsubscribe/close race freely (gateway teardown can
+    overlap shard teardown after a supervised restart).  Exactly one
+    concurrent unsubscribe wins; the rest are no-ops, never errors."""
+
+    def test_concurrent_unsubscribe_has_exactly_one_winner(self):
+        import threading
+
+        engine = IngestionEngine(EventTable())
+        listener = object.__repr__  # any callable; identity is the key
+        for _ in range(25):
+            engine.subscribe(listener)
+            barrier = threading.Barrier(4)
+            outcomes: list[bool] = []
+
+            def attempt():
+                barrier.wait()
+                outcomes.append(engine.unsubscribe(listener))
+
+            threads = [threading.Thread(target=attempt)
+                       for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert sorted(outcomes) == [False, False, False, True]
+
+    def test_concurrent_session_close_releases_once(
+            self, fig1_building, fig1_metadata, fig1_table):
+        import threading
+
+        from repro.system.locater import Locater
+        from repro.system.streaming import StreamingSession
+
+        locater = Locater(fig1_building, fig1_metadata, fig1_table)
+        engine = IngestionEngine(fig1_table)
+        for _ in range(25):
+            session = StreamingSession(locater, engine)
+            barrier = threading.Barrier(4)
+
+            def close():
+                barrier.wait()
+                session.close()
+
+            threads = [threading.Thread(target=close)
+                       for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # The subscription is gone and re-closing stays a no-op.
+            start = fig1_table.span().end + 60.0
+            engine.ingest(_events(1, mac="d1", start=start))
+            assert session.ingests == 0
+            session.close()
